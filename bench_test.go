@@ -1,0 +1,294 @@
+package severifast
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// benchmark regenerates its experiment through the harness and reports the
+// headline *simulated* quantities as custom metrics (sim_*), alongside the
+// usual wall-clock cost of running the simulation itself.
+//
+// The full-size sweep lives in cmd/sevf-bench; benchmarks here use reduced
+// run counts so `go test -bench=.` stays minutes, not hours.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/expt"
+	"github.com/severifast/severifast/internal/kernelgen"
+)
+
+func benchOpts() expt.Options {
+	return expt.Options{Runs: 3, Seed: 1, InitrdSize: 16 << 20}
+}
+
+func reportMS(b *testing.B, name string, d time.Duration) {
+	b.ReportMetric(float64(d)/float64(time.Millisecond), name)
+}
+
+// pickMS extracts a "123.45ms" cell from a table row found by prefix.
+func pickMS(b *testing.B, tab *expt.Table, col int, prefix ...string) time.Duration {
+	b.Helper()
+	for _, row := range tab.Rows {
+		ok := true
+		for i, p := range prefix {
+			if i >= len(row) || row[i] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			var v float64
+			if _, err := fmtSscanf(row[col], &v); err != nil {
+				b.Fatalf("cell %q: %v", row[col], err)
+			}
+			return time.Duration(v * float64(time.Millisecond))
+		}
+	}
+	b.Fatalf("no row %v in %s", prefix, tab.Title)
+	return 0
+}
+
+func fmtSscanf(s string, v *float64) (int, error) {
+	return sscanfMS(s, v)
+}
+
+// BenchmarkFig3OVMFPhases regenerates the OVMF phase breakdown (Fig. 3).
+func BenchmarkFig3OVMFPhases(b *testing.B) {
+	opts := benchOpts()
+	var total, verifier time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = pickMS(b, tab, 1, "TOTAL")
+		verifier = pickMS(b, tab, 1, "boot verifier")
+	}
+	reportMS(b, "sim_ovmf_total_ms", total)
+	reportMS(b, "sim_verifier_ms", verifier)
+}
+
+// BenchmarkFig4PreEncryption regenerates the pre-encryption line (Fig. 4).
+func BenchmarkFig4PreEncryption(b *testing.B) {
+	opts := benchOpts()
+	var at23M time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at23M = pickMS(b, tab, 3, "23.0M")
+	}
+	reportMS(b, "sim_preenc_23MiB_ms", at23M) // paper: 5650 ms
+}
+
+// BenchmarkFig5MeasuredDirectBoot regenerates the step-cost table (Fig. 5).
+func BenchmarkFig5MeasuredDirectBoot(b *testing.B) {
+	opts := benchOpts()
+	var lz, vm time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lz = pickMS(b, tab, 5, "aws/bzImage-lz4")
+		vm = pickMS(b, tab, 5, "aws/vmlinux")
+	}
+	reportMS(b, "sim_mdb_bz_lz4_ms", lz)
+	reportMS(b, "sim_mdb_vmlinux_ms", vm)
+}
+
+// BenchmarkFig7BootStructPolicy regenerates the pre-encrypt-or-generate
+// table (Fig. 7).
+func BenchmarkFig7BootStructPolicy(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig7(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ArtifactSizes regenerates the kernel-size table (Fig. 8).
+func BenchmarkFig8ArtifactSizes(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig8(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	art, err := kernelgen.Cached(kernelgen.AWS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(art.BzImageLZ4))/(1<<20), "aws_bzimage_MiB") // paper: 7.1
+}
+
+// BenchmarkFig9EndToEnd regenerates the CDF experiment (Fig. 9) at reduced
+// run count, reporting the headline reduction.
+func BenchmarkFig9EndToEnd(b *testing.B) {
+	opts := benchOpts()
+	opts.Runs = 2
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	var sevf, qemuD time.Duration
+	for i := 0; i < b.N; i++ {
+		data, err := expt.Fig9(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sevf = data.CDFs["aws/severifast"].Mean()
+		qemuD = data.CDFs["aws/qemu-ovmf"].Mean()
+	}
+	reportMS(b, "sim_severifast_ms", sevf)
+	reportMS(b, "sim_qemu_ms", qemuD)
+	b.ReportMetric(100*(1-float64(sevf)/float64(qemuD)), "reduction_pct") // paper: 88.5 for aws
+}
+
+// BenchmarkFig10Breakdown regenerates the pre-encryption/firmware table.
+func BenchmarkFig10Breakdown(b *testing.B) {
+	opts := benchOpts()
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	var sevfPre, qemuPre time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig10(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sevfPre = pickMS(b, tab, 1, "severifast aws")
+		qemuPre = pickMS(b, tab, 1, "qemu-ovmf aws")
+	}
+	reportMS(b, "sim_sevf_preenc_ms", sevfPre) // paper: 8.22
+	reportMS(b, "sim_qemu_preenc_ms", qemuPre) // paper: 287.76
+}
+
+// BenchmarkFig11Breakdown regenerates the three-scheme breakdown (Fig. 11).
+func BenchmarkFig11Breakdown(b *testing.B) {
+	opts := benchOpts()
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	var stock, sevf time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig11(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stock = pickMS(b, tab, 6, "aws", "stock-fc")
+		sevf = pickMS(b, tab, 6, "aws", "severifast")
+	}
+	reportMS(b, "sim_stock_ms", stock)
+	reportMS(b, "sim_severifast_ms", sevf)
+	b.ReportMetric(float64(sevf)/float64(stock), "sev_overhead_x") // paper: ~4x
+}
+
+// BenchmarkFig12Concurrency regenerates the concurrent-launch sweep.
+func BenchmarkFig12Concurrency(b *testing.B) {
+	opts := benchOpts()
+	opts.ConcurrencyPoints = []int{1, 10, 25, 50}
+	var at50 time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.Fig12(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at50 = pickMS(b, tab, 1, "50")
+	}
+	reportMS(b, "sim_mean_at_50_ms", at50) // paper: ~1800
+}
+
+// BenchmarkMemoryFootprint regenerates the §6.3 numbers.
+func BenchmarkMemoryFootprint(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.MemoryFootprint(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOutOfBandHashing regenerates the §4.3 ablation.
+func BenchmarkAblationOutOfBandHashing(b *testing.B) {
+	opts := benchOpts()
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	var saved time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.AblationOutOfBandHashing(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = pickMS(b, tab, 3, "aws")
+	}
+	reportMS(b, "sim_saved_ms", saved)
+}
+
+// BenchmarkAblationPreEncryptPageTables regenerates the Fig. 7 ablation.
+func BenchmarkAblationPreEncryptPageTables(b *testing.B) {
+	opts := benchOpts()
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationPreEncryptPageTables(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHugePages regenerates the §6.1 pvalidate ablation.
+func BenchmarkAblationHugePages(b *testing.B) {
+	opts := benchOpts()
+	opts.Presets = []kernelgen.Preset{kernelgen.AWS()}
+	var delta time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := expt.AblationHugePages(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = pickMS(b, tab, 3, "aws")
+	}
+	reportMS(b, "sim_4k_penalty_ms", delta) // paper: ~60
+}
+
+// BenchmarkBootSEVeriFast measures the wall-clock cost of simulating one
+// SEVeriFast boot (the simulator's own hot path).
+func BenchmarkBootSEVeriFast(b *testing.B) {
+	// Warm artifact caches outside the timed region.
+	if _, err := Boot(Config{Kernel: KernelAWS, InitrdMiB: 16}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Boot(Config{Kernel: KernelAWS, InitrdMiB: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBootStock measures the wall-clock cost of simulating one stock
+// Firecracker boot.
+func BenchmarkBootStock(b *testing.B) {
+	if _, err := Boot(Config{Kernel: KernelAWS, Scheme: SchemeStock, InitrdMiB: 16}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Boot(Config{Kernel: KernelAWS, Scheme: SchemeStock, InitrdMiB: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpectedLaunchDigest measures the §4.2 digest tool.
+func BenchmarkExpectedLaunchDigest(b *testing.B) {
+	cfg := Config{Kernel: KernelAWS, InitrdMiB: 16}
+	if _, err := ExpectedLaunchDigest(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExpectedLaunchDigest(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sscanfMS parses "123.45ms" into v.
+func sscanfMS(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%fms", v)
+}

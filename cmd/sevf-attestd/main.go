@@ -1,0 +1,66 @@
+// sevf-attestd runs the guest-owner attestation service over HTTP — the
+// reproduction's stand-in for the paper's nginx server (§6.1). It trusts
+// the PSP of the simulated host identified by -host-seed and releases
+// -secret to guests whose launch digest matches an allowed configuration.
+//
+//	sevf-attestd -listen :8443 -allow aws/severifast -secret "disk key"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	severifast "github.com/severifast/severifast"
+)
+
+func main() {
+	handler, listen, err := setup(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("guest-owner attestation service on %s (POST /attest)\n", listen)
+	if err := http.ListenAndServe(listen, handler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// setup parses flags and assembles the owner's handler; main only binds
+// the socket, so tests can drive the full service via httptest.
+func setup(args []string, out io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("sevf-attestd", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", ":8443", "listen address")
+		hostSeed = fs.Int64("host-seed", 1, "seed of the simulated host whose PSP we trust")
+		secret   = fs.String("secret", "guest-volume-key", "secret released after successful attestation")
+		allow    = fs.String("allow", "aws/severifast", "comma-separated kernel/scheme configurations to allow")
+		initrd   = fs.Int("initrd", 16, "initrd size (MiB) of the allowed configurations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	host := severifast.NewHostSeed(*hostSeed)
+	owner := severifast.NewGuestOwner(host, []byte(*secret))
+	for _, entry := range strings.Split(*allow, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), "/", 2)
+		if len(parts) != 2 {
+			return nil, "", fmt.Errorf("bad -allow entry %q (want kernel/scheme)", entry)
+		}
+		cfg := severifast.Config{
+			Kernel:    severifast.Kernel(parts[0]),
+			Scheme:    severifast.Scheme(parts[1]),
+			InitrdMiB: *initrd,
+		}
+		if err := owner.AllowConfig(cfg); err != nil {
+			return nil, "", fmt.Errorf("allow %q: %w", entry, err)
+		}
+		fmt.Fprintf(out, "allowing %s\n", entry)
+	}
+	return owner.Handler(), *listen, nil
+}

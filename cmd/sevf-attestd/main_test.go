@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	severifast "github.com/severifast/severifast"
+)
+
+func TestSetupAndAttestEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	handler, listen, err := setup([]string{
+		"-allow", "lupine/severifast",
+		"-secret", "the-disk-key",
+		"-host-seed", "5",
+		"-initrd", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listen != ":8443" {
+		t.Fatalf("listen %q", listen)
+	}
+	if !strings.Contains(out.String(), "allowing lupine/severifast") {
+		t.Fatalf("setup output: %q", out.String())
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// A guest booted on the same (seed-5) host attests successfully.
+	host := severifast.NewHostSeed(5)
+	res, err := host.Boot(severifast.Config{Kernel: severifast.KernelLupine, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := res.AttestOverHTTP(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secret) != "the-disk-key" {
+		t.Fatalf("secret %q", secret)
+	}
+
+	// A guest from a *different* host (different PSP identity) is refused:
+	// its report is signed by a key the daemon does not trust.
+	other := severifast.NewHostSeed(6)
+	res2, err := other.Boot(severifast.Config{Kernel: severifast.KernelLupine, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res2.AttestOverHTTP(srv.URL); err == nil {
+		t.Fatal("foreign-platform guest attested")
+	}
+}
+
+func TestSetupRejectsBadAllowEntry(t *testing.T) {
+	var out bytes.Buffer
+	if _, _, err := setup([]string{"-allow", "nonsense"}, &out); err == nil {
+		t.Fatal("malformed allow entry accepted")
+	}
+	if _, _, err := setup([]string{"-allow", "gentoo/severifast"}, &out); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-expt", "fig7,fig8,rot", "-runs", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 7", "Figure 8", "Root-of-trust", "all experiments done"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Figure 12") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-expt", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFig9WithCSVAndCharts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-expt", "fig9", "-runs", "2", "-out", dir, "-charts"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 9") {
+		t.Fatal("fig9 table missing")
+	}
+	// ASCII CDF charts drawn.
+	if !strings.Contains(out.String(), "p50=") {
+		t.Fatal("CDF charts missing")
+	}
+	// CSV written, with the per-series distribution file.
+	csv, err := os.ReadFile(filepath.Join(dir, "fig9-cdf.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "series,boot_ms,fraction") {
+		t.Fatal("CDF csv header missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig9.csv")); err != nil {
+		t.Fatal("fig9 summary csv missing")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSEVeriFast(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "lupine", "-initrd", "2", "-digest"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"total boot time", "pre-encryption", "boot verification", "bootstrap loader", "launch digest:", "expected digest:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The printed launch digest and expected digest must agree.
+	var printed, expected string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "launch digest:") {
+			printed = strings.TrimSpace(strings.TrimPrefix(line, "launch digest:"))
+		}
+		if strings.HasPrefix(line, "expected digest:") {
+			expected = strings.TrimSpace(strings.TrimPrefix(line, "expected digest:"))
+		}
+	}
+	if printed == "" || printed != expected {
+		t.Fatalf("digest mismatch: %q vs %q", printed, expected)
+	}
+}
+
+func TestRunStock(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "lupine", "-scheme", "stock", "-initrd", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "pre-encryption") {
+		t.Fatal("stock boot printed SEV phases")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "lupine", "-initrd", "2", "-timeline"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "boot timeline") {
+		t.Fatal("timeline missing")
+	}
+}
+
+func TestRunConcurrency(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "lupine", "-initrd", "2", "-concurrency", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "--- guest 2 ---") || !strings.Contains(s, "mean boot time of 3") {
+		t.Fatalf("concurrency output:\n%s", s)
+	}
+}
+
+func TestRunAttest(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kernel", "aws", "-initrd", "2", "-attest"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "attestation") {
+		t.Fatal("attestation line missing")
+	}
+}
+
+func TestRunBadScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "grub"}, &out); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

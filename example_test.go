@@ -1,0 +1,88 @@
+package severifast_test
+
+import (
+	"fmt"
+	"time"
+
+	severifast "github.com/severifast/severifast"
+)
+
+// The basic flow: boot one SEV-SNP microVM with SEVeriFast and inspect
+// where the time went.
+func ExampleBoot() {
+	res, err := severifast.Boot(severifast.Config{
+		Kernel: severifast.KernelLupine,
+		Scheme: severifast.SchemeSEVeriFast,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pre-encryption under 10ms:", res.PreEncryption < 10*time.Millisecond)
+	fmt.Println("booted to init:", res.InitrdOK)
+	// Output:
+	// pre-encryption under 10ms: true
+	// booted to init: true
+}
+
+// The guest owner's side: compute the launch digest a correct boot must
+// produce, without booting anything (the paper's §4.2 tool).
+func ExampleExpectedLaunchDigest() {
+	cfg := severifast.Config{Kernel: severifast.KernelLupine}
+	want, err := severifast.ExpectedLaunchDigest(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := severifast.Boot(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("measurement matches:", res.LaunchDigest == want)
+	// Output:
+	// measurement matches: true
+}
+
+// Concurrent launches contend on the single PSP (the paper's Fig. 12).
+func ExampleHost_BootConcurrent() {
+	cfg := severifast.Config{Kernel: severifast.KernelLupine, InitrdMiB: 2}
+	one, err := severifast.NewHost().BootConcurrent(cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	eight, err := severifast.NewHost().BootConcurrent(cfg, 8)
+	if err != nil {
+		panic(err)
+	}
+	var mean time.Duration
+	for _, r := range eight {
+		mean += r.Total
+	}
+	mean /= 8
+	fmt.Println("8-way slower than 1-way:", mean > one[0].Total)
+	// Output:
+	// 8-way slower than 1-way: true
+}
+
+// Warm start from a snapshot needs the donor's consent to key sharing —
+// and is then much faster than a cold boot (the paper's §7 exploration).
+func ExampleHost_WarmBoot() {
+	host := severifast.NewHost()
+	cold, err := host.Boot(severifast.Config{
+		Kernel:          severifast.KernelLupine,
+		InitrdMiB:       2,
+		AllowKeySharing: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	snap, err := host.Snapshot(cold)
+	if err != nil {
+		panic(err)
+	}
+	warm, err := host.WarmBoot(snap)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("warm faster than cold:", warm.Total < cold.Total)
+	// Output:
+	// warm faster than cold: true
+}

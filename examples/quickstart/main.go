@@ -1,0 +1,62 @@
+// Quickstart: boot one SEV-SNP microVM with SEVeriFast, print the paper's
+// Fig. 11 breakdown, and compare against the QEMU/OVMF baseline and a
+// non-confidential stock Firecracker boot.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	severifast "github.com/severifast/severifast"
+)
+
+func main() {
+	// SEVeriFast: minimal boot verifier, out-of-band hashes, LZ4 bzImage.
+	sevf, err := severifast.Boot(severifast.Config{
+		Kernel: severifast.KernelAWS,
+		Scheme: severifast.SchemeSEVeriFast,
+		Attest: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The mainstream flow: QEMU + a fully pre-encrypted OVMF.
+	qemu, err := severifast.Boot(severifast.Config{
+		Kernel: severifast.KernelAWS,
+		Scheme: severifast.SchemeQEMUOVMF,
+		Attest: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reference point: stock Firecracker without SEV.
+	stock, err := severifast.Boot(severifast.Config{
+		Kernel: severifast.KernelAWS,
+		Scheme: severifast.SchemeStock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+	fmt.Println("AWS microVM kernel, 256 MiB guest, SEV-SNP:")
+	fmt.Printf("  stock firecracker (no SEV)  boot %8v\n", r(stock.Total))
+	fmt.Printf("  SEVeriFast                  boot %8v   attested end-to-end %8v\n",
+		r(sevf.Total), r(sevf.TotalWithAttest))
+	fmt.Printf("  QEMU/OVMF                   boot %8v   attested end-to-end %8v\n",
+		r(qemu.Total), r(qemu.TotalWithAttest))
+	fmt.Printf("\nSEVeriFast boots %.1f%% faster than QEMU/OVMF (paper: 86-93%%)\n",
+		100*(1-float64(sevf.TotalWithAttest)/float64(qemu.TotalWithAttest)))
+
+	fmt.Println("\nSEVeriFast breakdown (paper Fig. 11):")
+	fmt.Printf("  vmm (incl. %v pre-encryption)  %v\n", r(sevf.PreEncryption), r(sevf.VMM))
+	fmt.Printf("  boot verification                   %v\n", r(sevf.BootVerification))
+	fmt.Printf("  bootstrap loader (LZ4 decompress)   %v\n", r(sevf.BootstrapLoader))
+	fmt.Printf("  linux boot                          %v\n", r(sevf.LinuxBoot))
+	fmt.Printf("  launch digest                       %x...\n", sevf.LaunchDigest[:8])
+}

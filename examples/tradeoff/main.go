@@ -1,0 +1,49 @@
+// The measurement-vs-decompression tradeoff (paper §3.3, Fig. 5): under
+// SEV, every byte handed to the guest is copied and hashed on the CPU, so
+// shrinking the kernel with compression pays even though decompression
+// joins the critical path. This example sweeps kernel and format to show
+// where the time goes and why LZ4 bzImages win.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	severifast "github.com/severifast/severifast"
+)
+
+func main() {
+	fmt.Println("Measured direct boot: verification + bootstrap cost per kernel format")
+	fmt.Printf("%-8s %-22s %10s %10s %10s\n", "kernel", "format", "verify", "bootstrap", "total boot")
+
+	for _, kernel := range []severifast.Kernel{
+		severifast.KernelLupine, severifast.KernelAWS, severifast.KernelUbuntu,
+	} {
+		type variant struct {
+			name string
+			cfg  severifast.Config
+		}
+		variants := []variant{
+			{"bzImage (lz4)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFast}},
+			{"bzImage (gzip)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFast, Compression: "gzip"}},
+			{"vmlinux (uncompressed)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFastVmlinux}},
+		}
+		for _, v := range variants {
+			res, err := severifast.Boot(v.cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-22s %10v %10v %10v\n", kernel, v.name,
+				round(res.BootVerification), round(res.BootstrapLoader), round(res.Total))
+		}
+	}
+
+	fmt.Println("\nLZ4 wins everywhere: the hash+copy saved on ~4-7x fewer bytes")
+	fmt.Println("outweighs decompression; gzip decompresses too slowly; the raw")
+	fmt.Println("vmlinux pays full-size measurement (paper Fig. 5, §4.4).")
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

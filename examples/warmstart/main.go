@@ -1,0 +1,65 @@
+// Warm start for confidential microVMs — the paper's §7 future work,
+// explored: snapshot a booted SEV-SNP guest and restart clones from the
+// image instead of cold-booting. The catch is the paper's trade-off: the
+// donor must be launched with a key-sharing policy, which every guest
+// owner sees in the attestation report; and without key sharing the
+// restored memory is undecryptable ciphertext.
+//
+//	go run ./examples/warmstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	severifast "github.com/severifast/severifast"
+)
+
+func main() {
+	host := severifast.NewHost()
+
+	// Cold-boot a donor with the relaxed (key-sharing) policy.
+	cold, err := host.Boot(severifast.Config{
+		Kernel:          severifast.KernelAWS,
+		Scheme:          severifast.SchemeSEVeriFast,
+		AllowKeySharing: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := host.Snapshot(cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm-start a clone from the snapshot.
+	warm, err := host.WarmBoot(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+	fmt.Printf("cold boot (SEVeriFast, SNP):  %v\n", r(cold.Total))
+	fmt.Printf("warm start from snapshot:     %v  (%.1fx faster)\n",
+		r(warm.Total), float64(cold.Total)/float64(warm.Total))
+
+	// The trade-off is enforced: a strict-policy donor cannot donate.
+	strict, err := host.Boot(severifast.Config{
+		Kernel: severifast.KernelAWS,
+		Scheme: severifast.SchemeSEVeriFast,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	strictSnap, err := host.Snapshot(strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := host.WarmBoot(strictSnap); err != nil {
+		fmt.Printf("\nstrict-policy donor refused, as it must: %v\n", err)
+	} else {
+		log.Fatal("BUG: strict policy donated its key")
+	}
+	fmt.Println("\nKey sharing weakens the trust model — and it is visible: the relaxed")
+	fmt.Println("policy changes the launch digest, so guest owners always know (§6.2/§7).")
+}

@@ -1,0 +1,3 @@
+module github.com/severifast/severifast
+
+go 1.22

@@ -1,0 +1,190 @@
+package severifast
+
+// Cross-cutting scenario tests over the public API: flows that span
+// several subsystems and would be a downstream user's first contact with
+// the library.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestScenarioMultiTenantHost boots guests for two different tenants on
+// one host, each with their own guest-owner service. Each owner releases
+// its secret only to its own configuration, and a tenant cannot attest
+// against the other's service.
+func TestScenarioMultiTenantHost(t *testing.T) {
+	host := NewHost()
+
+	cfgA := Config{Kernel: KernelAWS, InitrdMiB: 2}
+	cfgB := Config{Kernel: KernelUbuntu, InitrdMiB: 2}
+
+	ownerA := NewGuestOwner(host, []byte("tenant-a-volume-key"))
+	if err := ownerA.AllowConfig(cfgA); err != nil {
+		t.Fatal(err)
+	}
+	ownerB := NewGuestOwner(host, []byte("tenant-b-volume-key"))
+	if err := ownerB.AllowConfig(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(ownerA.Handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(ownerB.Handler())
+	defer srvB.Close()
+
+	guestA, err := host.Boot(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestB, err := host.Boot(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	secretA, err := guestA.AttestOverHTTP(srvA.URL)
+	if err != nil {
+		t.Fatalf("tenant A attestation: %v", err)
+	}
+	if !bytes.Equal(secretA, []byte("tenant-a-volume-key")) {
+		t.Fatal("tenant A got the wrong secret")
+	}
+	// Tenant A's guest against tenant B's owner: different expected
+	// digest (different kernel) — refused.
+	if _, err := guestA.AttestOverHTTP(srvB.URL); err == nil {
+		t.Fatal("tenant A attested against tenant B's owner")
+	}
+	if _, err := guestB.AttestOverHTTP(srvB.URL); err != nil {
+		t.Fatalf("tenant B attestation: %v", err)
+	}
+}
+
+// TestScenarioHostReusedSerially boots many guests one after another on
+// the same host — the paper's serial-runs methodology — and checks the
+// timings are identical (determinism) while ASIDs and digests behave.
+func TestScenarioHostReusedSerially(t *testing.T) {
+	host := NewHost()
+	cfg := Config{Kernel: KernelLupine, InitrdMiB: 2}
+	var first time.Duration
+	for i := 0; i < 5; i++ {
+		res, err := host.Boot(cfg)
+		if err != nil {
+			t.Fatalf("boot %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res.Total
+		} else if res.Total != first {
+			t.Fatalf("boot %d took %v, boot 0 took %v; serial boots must be identical", i, res.Total, first)
+		}
+	}
+}
+
+// TestScenarioMixedFleet launches confidential and plain guests together:
+// the plain guests must not be slowed by the SEV guests' PSP contention.
+func TestScenarioMixedFleet(t *testing.T) {
+	plainAlone, err := NewHost().Boot(Config{Kernel: KernelLupine, Scheme: SchemeStock, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run a 4-way SEV burst on a host, then boot a plain guest on the
+	// same host and compare with a plain boot on a quiet host.
+	host := NewHost()
+	if _, err := host.BootConcurrent(Config{Kernel: KernelLupine, InitrdMiB: 2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	plainAfter, err := host.Boot(Config{Kernel: KernelLupine, Scheme: SchemeStock, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainAfter.Total != plainAlone.Total {
+		t.Fatalf("plain boot after SEV burst took %v vs %v alone; non-SEV boots must not pay PSP costs",
+			plainAfter.Total, plainAlone.Total)
+	}
+}
+
+// TestScenarioVerifierUpgrade models a fleet rolling out a new verifier
+// build: the owner allows both digests during the transition, then
+// revokes... (the API has no revoke; a new owner stands in for rotation).
+func TestScenarioVerifierUpgrade(t *testing.T) {
+	host := NewHost()
+	oldCfg := Config{Kernel: KernelAWS, InitrdMiB: 2, VerifierSeed: 1}
+	newCfg := Config{Kernel: KernelAWS, InitrdMiB: 2, VerifierSeed: 2}
+
+	owner := NewGuestOwner(host, []byte("k"))
+	if err := owner.AllowConfig(oldCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.AllowConfig(newCfg); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(owner.Handler())
+	defer srv.Close()
+
+	for _, cfg := range []Config{oldCfg, newCfg} {
+		res, err := host.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.AttestOverHTTP(srv.URL); err != nil {
+			t.Fatalf("verifier seed %d refused during rollout: %v", cfg.VerifierSeed, err)
+		}
+	}
+
+	// After rotation, a fresh owner only trusts the new build.
+	rotated := NewGuestOwner(host, []byte("k2"))
+	if err := rotated.AllowConfig(newCfg); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(rotated.Handler())
+	defer srv2.Close()
+	oldGuest, err := host.Boot(oldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oldGuest.AttestOverHTTP(srv2.URL); err == nil {
+		t.Fatal("retired verifier still attests after rotation")
+	}
+}
+
+// TestScenarioWarmPoolServesBurst combines snapshotting with concurrency:
+// one donor, several warm clones, all faster than cold boots.
+func TestScenarioWarmPoolServesBurst(t *testing.T) {
+	host := NewHost()
+	cold, err := host.Boot(Config{Kernel: KernelAWS, InitrdMiB: 2, AllowKeySharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := host.Snapshot(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm, err := host.WarmBoot(snap)
+		if err != nil {
+			t.Fatalf("clone %d: %v", i, err)
+		}
+		if warm.Total >= cold.Total {
+			t.Fatalf("clone %d warm (%v) not faster than cold (%v)", i, warm.Total, cold.Total)
+		}
+	}
+}
+
+// TestScenarioAllKernelsAllSchemes is the full configuration matrix smoke
+// test: every kernel preset boots under every scheme that supports it.
+func TestScenarioAllKernelsAllSchemes(t *testing.T) {
+	kernels := []Kernel{KernelLupine, KernelAWS, KernelUbuntu}
+	schemes := []Scheme{SchemeStock, SchemeSEVeriFast, SchemeSEVeriFastVmlinux, SchemeQEMUOVMF}
+	for _, k := range kernels {
+		for _, s := range schemes {
+			res, err := Boot(Config{Kernel: k, Scheme: s, InitrdMiB: 2})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k, s, err)
+			}
+			if !res.InitrdOK || res.CPUs != 1 {
+				t.Fatalf("%s/%s: bad guest state %+v", k, s, res)
+			}
+		}
+	}
+}

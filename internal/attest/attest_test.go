@@ -1,0 +1,274 @@
+package attest
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/guestmem"
+	"github.com/severifast/severifast/internal/psp"
+	"github.com/severifast/severifast/internal/sev"
+)
+
+// launchGuest boots a minimal launch context and returns the platform,
+// its context, and the final digest.
+func launchGuest(t *testing.T, seed int64, level sev.Level, policy sev.Policy) (*psp.PSP, *psp.GuestContext, [32]byte) {
+	t.Helper()
+	p := psp.New(costmodel.Unit(), seed)
+	mem := guestmem.New(1 << 20)
+	ctx, err := p.LaunchStart(nil, mem, level, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.HostWrite(0x1000, []byte("boot verifier image")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchUpdateData(nil, 0x1000, 19, sev.PageNormal); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := ctx.LaunchFinish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ctx, digest
+}
+
+func TestHappyPathReleasesSecret(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	secret := []byte("disk encryption key 0123456789ab")
+	owner := NewOwner(platform.VerificationKey(), secret, rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := owner.HandleReport(report.Marshal(), agent.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := agent.Unwrap(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(secret) {
+		t.Fatal("unwrapped secret differs")
+	}
+}
+
+func TestUnknownMeasurementRefused(t *testing.T) {
+	platform, ctx, _ := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	// Nothing allowed.
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReport(report.Marshal(), agent.PublicKey()); !errors.Is(err, ErrMeasurement) {
+		t.Fatalf("err = %v, want ErrMeasurement", err)
+	}
+}
+
+func TestForgedSignatureRefused(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := report.Marshal()
+	raw[len(raw)-1] ^= 0xFF // corrupt the signature
+	if _, err := owner.HandleReport(raw, agent.PublicKey()); !errors.Is(err, ErrSignature) {
+		t.Fatalf("err = %v, want ErrSignature", err)
+	}
+}
+
+func TestWrongPlatformRefused(t *testing.T) {
+	_, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	other := psp.New(costmodel.Unit(), 2)
+	owner := NewOwner(other.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReport(report.Marshal(), agent.PublicKey()); !errors.Is(err, ErrSignature) {
+		t.Fatalf("err = %v, want ErrSignature", err)
+	}
+}
+
+func TestWeakPolicyRefused(t *testing.T) {
+	weak := sev.Policy{ESRequired: true} // missing NoDebug/NoKeySharing
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, weak)
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReport(report.Marshal(), agent.PublicKey()); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("err = %v, want ErrPolicy", err)
+	}
+}
+
+func TestLowLevelRefused(t *testing.T) {
+	pol := sev.Policy{NoDebug: true, NoKeySharing: true}
+	platform, ctx, digest := launchGuest(t, 1, sev.SEV, pol)
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	owner.RequirePolicy(pol)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReport(report.Marshal(), agent.PublicKey()); !errors.Is(err, ErrLevel) {
+		t.Fatalf("err = %v, want ErrLevel", err)
+	}
+	owner.RequireLevel(sev.SEV)
+	if _, err := owner.HandleReport(report.Marshal(), agent.PublicKey()); err != nil {
+		t.Fatalf("lowered requirement still refused: %v", err)
+	}
+}
+
+func TestKeySubstitutionRefused(t *testing.T) {
+	// A MITM swapping the guest public key must fail the binding check.
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	mitm := NewAgentSeeded(666)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReport(report.Marshal(), mitm.PublicKey()); !errors.Is(err, ErrBinding) {
+		t.Fatalf("err = %v, want ErrBinding", err)
+	}
+}
+
+func TestWrongAgentCannotUnwrap(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	owner := NewOwner(platform.VerificationKey(), []byte("secret!"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := owner.HandleReport(report.Marshal(), agent.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eavesdropper := NewAgentSeeded(1234)
+	if _, err := eavesdropper.Unwrap(bundle); err == nil {
+		t.Fatal("eavesdropper decrypted the secret")
+	}
+	// Tampered ciphertext must also fail (GCM).
+	bundle.Ciphertext[0] ^= 1
+	if _, err := agent.Unwrap(bundle); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	secret := []byte("network secret")
+	owner := NewOwner(platform.VerificationKey(), secret, rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	srv := httptest.NewServer(owner.Handler())
+	defer srv.Close()
+
+	agent := NewAgentSeeded(5)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := Client(srv.URL, report.Marshal(), agent.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := agent.Unwrap(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(secret) {
+		t.Fatal("secret differs over HTTP")
+	}
+}
+
+func TestHTTPServerRefusesBadReport(t *testing.T) {
+	platform, _, _ := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	owner := NewOwner(platform.VerificationKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	srv := httptest.NewServer(owner.Handler())
+	defer srv.Close()
+	if _, err := Client(srv.URL, []byte("garbage"), []byte("junk")); err == nil {
+		t.Fatal("garbage report accepted over HTTP")
+	}
+}
+
+func TestChainBasedAttestation(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	secret := []byte("chain-released secret")
+	// The owner pins only AMD's root key.
+	owner := NewOwnerWithRoot(platform.AMDRootKey(), secret, rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := owner.HandleReportWithChain(report.Marshal(), platform.CertChain().Marshal(), agent.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := agent.Unwrap(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(secret) {
+		t.Fatal("secret mismatch via chain attestation")
+	}
+}
+
+func TestChainAttestationRejectsForeignChain(t *testing.T) {
+	platform, ctx, digest := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	evilPlatform := psp.New(costmodel.Unit(), 666)
+	owner := NewOwnerWithRoot(platform.AMDRootKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digest)
+	agent := NewAgentSeeded(99)
+	report, err := ctx.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malicious host presents a self-minted chain: the ARK pin refuses.
+	if _, err := owner.HandleReportWithChain(report.Marshal(), evilPlatform.CertChain().Marshal(), agent.PublicKey()); err == nil {
+		t.Fatal("foreign chain accepted")
+	}
+}
+
+func TestChainAttestationRejectsWrongVCEK(t *testing.T) {
+	// Valid chain from the right platform, but report signed by a
+	// different key (another platform's VCEK): signature check fails.
+	platformA, _, _ := launchGuest(t, 1, sev.SNP, sev.DefaultPolicy())
+	platformB, ctxB, digestB := launchGuest(t, 2, sev.SNP, sev.DefaultPolicy())
+	_ = platformB
+	owner := NewOwnerWithRoot(platformA.AMDRootKey(), []byte("s"), rand.New(rand.NewSource(7)))
+	owner.Allow(digestB)
+	agent := NewAgentSeeded(99)
+	report, err := ctxB.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.HandleReportWithChain(report.Marshal(), platformA.CertChain().Marshal(), agent.PublicKey()); !errors.Is(err, ErrSignature) {
+		t.Fatalf("cross-platform report accepted: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package costmodel holds every calibrated duration and throughput used to
+// charge virtual time in the SEVeriFast reproduction.
+//
+// The constants are fit to numbers published in the paper (see DESIGN.md §4
+// for each anchor point): the PSP pre-encryption line of Fig. 4, the
+// SEVeriFast pre-encryption and firmware times of Fig. 10, the pvalidate
+// and huge-page observations of §6.1, the ~2.3x SNP Linux-boot multiplier
+// of §6.2, and the reference 40 ms non-SEV AWS-kernel boot.
+//
+// Everything is an exported field on Model so experiments (and tests) can
+// override individual costs; Default() returns the calibrated model and
+// Unit() returns a trivially-predictable model for unit tests.
+package costmodel
+
+import "time"
+
+// Model is the complete set of cost parameters. All per-byte costs are
+// expressed as throughputs (bytes per second) except PSP pre-encryption,
+// which the paper characterizes as linear in bytes with a visible slope,
+// kept here as a per-byte latency for clarity.
+type Model struct {
+	// --- PSP (Platform Security Processor, single low-power ARM core) ---
+
+	// PSPPreEncPerByte is the per-byte cost of LAUNCH_UPDATE_DATA: the PSP
+	// hashes the region into the launch digest and encrypts it with the
+	// guest key. Fig. 4 anchor: 23 MiB vmlinux -> 5.65 s.
+	PSPPreEncPerByte time.Duration
+	// PSPCommandOverhead is the fixed cost of any single PSP mailbox
+	// command (doorbell, firmware dispatch, completion).
+	PSPCommandOverhead time.Duration
+	// PSPLaunchStart covers LAUNCH_START: allocating an ASID and deriving
+	// a fresh VM encryption key.
+	PSPLaunchStart time.Duration
+	// PSPLaunchFinish covers LAUNCH_FINISH: finalizing the measurement and
+	// locking the guest state.
+	PSPLaunchFinish time.Duration
+	// PSPReportGen is the cost for the PSP to build and sign an
+	// attestation report (SNP_GUEST_REQUEST for MSG_REPORT_REQ).
+	PSPReportGen time.Duration
+	// PSPGuestInit covers the remaining per-guest PSP firmware work KVM
+	// issues outside the measured pre-encryption span: SNP context
+	// creation, RMPUPDATE firmware commands, GHCB registration. The paper
+	// attributes this to the enlarged "Firecracker" column of Fig. 11 and
+	// it dominates the per-VM slope of Fig. 12.
+	PSPGuestInit time.Duration
+
+	// --- Guest CPU (full-speed x86 core) ---
+
+	// CPUHashBytesPerSec is SHA-256 throughput with the x86 SHA extensions
+	// (the boot verifier uses the sha2 crate's SHA-NI path).
+	CPUHashBytesPerSec float64
+	// CopyBytesPerSec is the memcpy bandwidth for moving boot components
+	// from shared (plain-text) pages into C-bit (encrypted) pages.
+	CopyBytesPerSec float64
+	// LZ4DecompBytesPerSec is LZ4 decompression throughput measured in
+	// *output* bytes per second.
+	LZ4DecompBytesPerSec float64
+	// GzipDecompBytesPerSec is gzip/DEFLATE decompression throughput in
+	// output bytes per second (the slower alternative of Fig. 5).
+	GzipDecompBytesPerSec float64
+	// ELFParsePerSegment is the verifier-side cost to parse one program
+	// header and prepare a segment load.
+	ELFParsePerSegment time.Duration
+
+	// --- RMP / SNP memory management ---
+
+	// PvalidatePerPage is the cost of one pvalidate instruction, roughly
+	// independent of page size. §6.1 anchor: validating 256 MiB of 4 KiB
+	// pages costs >60 ms; with 2 MiB huge pages it drops below 1 ms.
+	PvalidatePerPage time.Duration
+	// RMPInitBytesPerSec is the host-side (KVM) throughput for initializing
+	// RMP entries covering guest memory before launch.
+	RMPInitBytesPerSec float64
+	// PinBytesPerSec is the KVM throughput for pinning guest pages during
+	// SEV launch (encrypted pages cannot be transparently moved).
+	PinBytesPerSec float64
+	// VCExit is the guest+host cost of one #VC exit (GHCB world switch).
+	VCExit time.Duration
+	// KVMSNPVMCreate is the host-kernel cost of creating the SEV VM scope
+	// before any launch command: SNP context allocation in KVM, encrypted
+	// memslot registration, and firmware state setup. It lands in the
+	// paper's enlarged "Firecracker" column (Fig. 11) for SEV guests.
+	KVMSNPVMCreate time.Duration
+
+	// --- VMM / host process ---
+
+	// VMMProcessStart is exec-to-KVM-ready time for the monitor process
+	// (Firecracker anchor: a few ms of its ~8 ms pre-guest time).
+	VMMProcessStart time.Duration
+	// VMMLoadBytesPerSec is the VMM-side throughput for placing a boot
+	// component into guest memory (buffer-cache-warm read + map + copy).
+	VMMLoadBytesPerSec float64
+	// VMMSetupMisc is the remaining per-boot VMM setup (devices, vCPU).
+	VMMSetupMisc time.Duration
+	// QEMUProcessStart is exec-to-KVM-ready for QEMU, which carries far
+	// more device emulation than a microVM monitor.
+	QEMUProcessStart time.Duration
+
+	// --- Guest Linux ---
+
+	// LinuxBootBase is per-kernel-preset decompressed-kernel init time and
+	// lives in the kernel preset, not here; this multiplier applies the
+	// SNP #VC/RMP-check tax of §6.2 (~2.3x) on top of it.
+	SNPLinuxBootMultiplier float64
+	// BzImageSetupCost is the 16-bit/32-bit setup stub work in the bzImage
+	// bootstrap loader before decompression starts.
+	BzImageSetupCost time.Duration
+	// VirtioProbe is the per-device virtio-mmio probe cost (register
+	// traffic, feature negotiation, virtqueue setup).
+	VirtioProbe time.Duration
+
+	// --- OVMF (QEMU reference flow), Fig. 3 phase costs ---
+
+	OVMFPhaseSEC time.Duration
+	OVMFPhasePEI time.Duration
+	OVMFPhaseDXE time.Duration
+	OVMFPhaseBDS time.Duration
+
+	// --- Attestation (guest owner round trip) ---
+
+	// AttestNetwork is the network + server-side validation time, on top
+	// of PSPReportGen; §6.1 anchors the total near 200 ms.
+	AttestNetwork time.Duration
+}
+
+// Default returns the model calibrated to the paper's published numbers.
+func Default() Model {
+	return Model{
+		// 23 MiB * 235 ns/B = 5.67 s (paper: 5.65 s for the Lupine
+		// vmlinux); 1 MiB OVMF = 247 ms (paper: 256.65 ms extra).
+		PSPPreEncPerByte:   235 * time.Nanosecond,
+		PSPCommandOverhead: 150 * time.Microsecond,
+		PSPLaunchStart:     700 * time.Microsecond,
+		PSPLaunchFinish:    800 * time.Microsecond,
+		// Attestation totals ~200 ms; most of it is the PSP building and
+		// signing the report, the rest network + validation.
+		PSPReportGen:  150 * time.Millisecond,
+		PSPGuestInit:  20 * time.Millisecond,
+		AttestNetwork: 50 * time.Millisecond,
+
+		CPUHashBytesPerSec:    2.0e9,  // SHA-NI class
+		CopyBytesPerSec:       10.0e9, // DDR4-3200 single-stream memcpy
+		LZ4DecompBytesPerSec:  3.6e9,
+		GzipDecompBytesPerSec: 0.35e9,
+		ELFParsePerSegment:    2 * time.Microsecond,
+
+		// 256 MiB / 4 KiB = 65536 pages * 0.95 us = 62 ms (paper: >60 ms);
+		// 128 huge pages * 0.95 us = 0.12 ms (paper: <1 ms).
+		PvalidatePerPage:   950 * time.Nanosecond,
+		RMPInitBytesPerSec: 134e9, // 256 MiB in ~2 ms
+		PinBytesPerSec:     89e9,  // 256 MiB in ~3 ms
+		VCExit:             4 * time.Microsecond,
+		KVMSNPVMCreate:     60 * time.Millisecond,
+
+		VMMProcessStart:    4 * time.Millisecond,
+		VMMLoadBytesPerSec: 8.0e9,
+		VMMSetupMisc:       2 * time.Millisecond,
+		QEMUProcessStart:   60 * time.Millisecond,
+
+		SNPLinuxBootMultiplier: 2.3,
+		BzImageSetupCost:       300 * time.Microsecond,
+		VirtioProbe:            700 * time.Microsecond,
+
+		// Fig. 3 / Fig. 10: OVMF firmware runtime is ~3.1-3.2 s, DXE
+		// dominated (driver dispatch), with SEC/PEI/BDS around it.
+		OVMFPhaseSEC: 55 * time.Millisecond,
+		OVMFPhasePEI: 430 * time.Millisecond,
+		OVMFPhaseDXE: 2250 * time.Millisecond,
+		OVMFPhaseBDS: 420 * time.Millisecond,
+	}
+}
+
+// Unit returns a model where every per-byte cost is 1 ns/byte, every
+// throughput is 1 GB/s, and every fixed cost is 1 ms (phases: 1/2/3/4 ms).
+// Tests use it to assert exact virtual-time arithmetic.
+func Unit() Model {
+	return Model{
+		PSPPreEncPerByte:   1 * time.Nanosecond,
+		PSPCommandOverhead: 1 * time.Millisecond,
+		PSPLaunchStart:     1 * time.Millisecond,
+		PSPLaunchFinish:    1 * time.Millisecond,
+		PSPReportGen:       1 * time.Millisecond,
+		PSPGuestInit:       1 * time.Millisecond,
+		AttestNetwork:      1 * time.Millisecond,
+
+		CPUHashBytesPerSec:    1e9,
+		CopyBytesPerSec:       1e9,
+		LZ4DecompBytesPerSec:  1e9,
+		GzipDecompBytesPerSec: 1e9,
+		ELFParsePerSegment:    time.Microsecond,
+
+		PvalidatePerPage:   time.Microsecond,
+		RMPInitBytesPerSec: 1e9,
+		PinBytesPerSec:     1e9,
+		VCExit:             time.Microsecond,
+		KVMSNPVMCreate:     time.Millisecond,
+
+		VMMProcessStart:    time.Millisecond,
+		VMMLoadBytesPerSec: 1e9,
+		VMMSetupMisc:       time.Millisecond,
+		QEMUProcessStart:   time.Millisecond,
+
+		SNPLinuxBootMultiplier: 2.0,
+		BzImageSetupCost:       time.Millisecond,
+		VirtioProbe:            time.Millisecond,
+
+		OVMFPhaseSEC: 1 * time.Millisecond,
+		OVMFPhasePEI: 2 * time.Millisecond,
+		OVMFPhaseDXE: 3 * time.Millisecond,
+		OVMFPhaseBDS: 4 * time.Millisecond,
+	}
+}
+
+// PerBytes converts a throughput in bytes/second into the duration for n
+// bytes. Zero or negative throughput returns zero (treated as free).
+func PerBytes(bytesPerSec float64, n int) time.Duration {
+	if bytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bytesPerSec * float64(time.Second))
+}
+
+// Linear charges a fixed overhead plus a per-byte slope for n bytes.
+func Linear(fixed time.Duration, perByte time.Duration, n int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return fixed + time.Duration(n)*perByte
+}
+
+// PreEncrypt returns the PSP time to pre-encrypt n bytes as one
+// LAUNCH_UPDATE_DATA command: command overhead plus the per-byte slope.
+func (m Model) PreEncrypt(n int) time.Duration {
+	return Linear(m.PSPCommandOverhead, m.PSPPreEncPerByte, n)
+}
+
+// Hash returns the guest-CPU time to SHA-256 n bytes.
+func (m Model) Hash(n int) time.Duration { return PerBytes(m.CPUHashBytesPerSec, n) }
+
+// Copy returns the guest-CPU time to copy n bytes between shared and
+// private memory.
+func (m Model) Copy(n int) time.Duration { return PerBytes(m.CopyBytesPerSec, n) }
+
+// Decompress returns guest-CPU decompression time producing n output bytes
+// with the named codec ("lz4", "gzip"); unknown codecs decompress at LZ4
+// speed.
+func (m Model) Decompress(codec string, n int) time.Duration {
+	switch codec {
+	case "gzip":
+		return PerBytes(m.GzipDecompBytesPerSec, n)
+	default:
+		return PerBytes(m.LZ4DecompBytesPerSec, n)
+	}
+}
+
+// Pvalidate returns the time to validate a region of totalBytes using the
+// given page size.
+func (m Model) Pvalidate(totalBytes, pageSize int) time.Duration {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	pages := (totalBytes + pageSize - 1) / pageSize
+	return time.Duration(pages) * m.PvalidatePerPage
+}
+
+// VMMLoad returns the VMM-side time to place n bytes into guest memory.
+func (m Model) VMMLoad(n int) time.Duration { return PerBytes(m.VMMLoadBytesPerSec, n) }
+
+// RMPInit returns the host-side time to initialize RMP entries for n bytes
+// of guest memory.
+func (m Model) RMPInit(n int) time.Duration { return PerBytes(m.RMPInitBytesPerSec, n) }
+
+// Pin returns the host-side time to pin n bytes of guest memory.
+func (m Model) Pin(n int) time.Duration { return PerBytes(m.PinBytesPerSec, n) }

@@ -1,0 +1,157 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerBytes(t *testing.T) {
+	if d := PerBytes(1e9, 1e9); d != time.Second {
+		t.Fatalf("1e9 bytes at 1 GB/s = %v, want 1s", d)
+	}
+	if d := PerBytes(2e9, 1e9); d != 500*time.Millisecond {
+		t.Fatalf("1e9 bytes at 2 GB/s = %v, want 500ms", d)
+	}
+	if d := PerBytes(0, 100); d != 0 {
+		t.Fatalf("zero throughput = %v, want 0", d)
+	}
+	if d := PerBytes(1e9, 0); d != 0 {
+		t.Fatalf("zero bytes = %v, want 0", d)
+	}
+	if d := PerBytes(1e9, -5); d != 0 {
+		t.Fatalf("negative bytes = %v, want 0", d)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	got := Linear(time.Millisecond, time.Nanosecond, 1000)
+	if got != time.Millisecond+time.Microsecond {
+		t.Fatalf("Linear = %v", got)
+	}
+	if Linear(time.Millisecond, time.Nanosecond, -1) != time.Millisecond {
+		t.Fatal("negative n should clamp to 0")
+	}
+}
+
+func TestPreEncryptIsLinearInBytes(t *testing.T) {
+	m := Default()
+	small := m.PreEncrypt(4096)
+	big := m.PreEncrypt(8192)
+	if big-small != 4096*m.PSPPreEncPerByte {
+		t.Fatalf("slope mismatch: %v vs %v", big-small, 4096*m.PSPPreEncPerByte)
+	}
+	if small <= m.PSPCommandOverhead {
+		t.Fatal("pre-encrypt must include per-byte cost above overhead")
+	}
+}
+
+// TestPreEncryptMatchesPaperAnchors pins the calibration against the
+// measurements published in §3.2 of the paper.
+func TestPreEncryptMatchesPaperAnchors(t *testing.T) {
+	m := Default()
+	anchors := []struct {
+		name   string
+		bytes  int
+		paper  time.Duration
+		within float64 // acceptable relative error
+	}{
+		{"lupine-vmlinux-23MiB", 23 << 20, 5650 * time.Millisecond, 0.05},
+		{"lupine-bzimage-3.3MiB", 3460300, 840 * time.Millisecond, 0.08},
+		{"initrd-12MiB", 12 << 20, 2850 * time.Millisecond, 0.05},
+		{"ovmf-1MiB", 1 << 20, 256 * time.Millisecond, 0.08},
+	}
+	for _, a := range anchors {
+		got := m.PreEncrypt(a.bytes)
+		rel := float64(got-a.paper) / float64(a.paper)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > a.within {
+			t.Errorf("%s: pre-encrypt %v vs paper %v (rel err %.3f > %.3f)",
+				a.name, got, a.paper, rel, a.within)
+		}
+	}
+}
+
+func TestPvalidateHugePagesAnchor(t *testing.T) {
+	m := Default()
+	const guest = 256 << 20
+	small := m.Pvalidate(guest, 4096)
+	huge := m.Pvalidate(guest, 2<<20)
+	if small < 60*time.Millisecond {
+		t.Errorf("4 KiB pvalidate of 256 MiB = %v, paper says >60ms", small)
+	}
+	if huge >= time.Millisecond {
+		t.Errorf("2 MiB pvalidate of 256 MiB = %v, paper says <1ms", huge)
+	}
+}
+
+func TestPvalidateRoundsUpPartialPage(t *testing.T) {
+	m := Unit()
+	if m.Pvalidate(4097, 4096) != 2*m.PvalidatePerPage {
+		t.Fatal("partial page should count as a full page")
+	}
+	if m.Pvalidate(100, 0) != m.PvalidatePerPage {
+		t.Fatal("zero page size should default to 4096")
+	}
+}
+
+func TestDecompressCodecSelection(t *testing.T) {
+	m := Default()
+	lz4 := m.Decompress("lz4", 1<<20)
+	gz := m.Decompress("gzip", 1<<20)
+	unknown := m.Decompress("zstd", 1<<20)
+	if gz <= lz4 {
+		t.Fatalf("gzip (%v) must be slower than lz4 (%v)", gz, lz4)
+	}
+	if unknown != lz4 {
+		t.Fatalf("unknown codec should fall back to lz4 speed")
+	}
+}
+
+func TestHashSlowerThanCopy(t *testing.T) {
+	// §3.3: measured direct boot pays twice per byte — a copy and a hash —
+	// and hashing dominates. The calibrated model must preserve that.
+	m := Default()
+	if m.Hash(1<<20) <= m.Copy(1<<20) {
+		t.Fatal("hash must cost more than copy per byte")
+	}
+}
+
+func TestUnitModelExactArithmetic(t *testing.T) {
+	m := Unit()
+	if m.PreEncrypt(1000) != time.Millisecond+1000*time.Nanosecond {
+		t.Fatalf("unit PreEncrypt = %v", m.PreEncrypt(1000))
+	}
+	if m.Hash(1e6) != time.Millisecond {
+		t.Fatalf("unit Hash(1e6) = %v", m.Hash(int(1e6)))
+	}
+}
+
+func TestRMPInitAndPin(t *testing.T) {
+	m := Default()
+	if m.RMPInit(256<<20) <= 0 || m.Pin(256<<20) <= 0 {
+		t.Fatal("RMP init / pin for a 256 MiB guest must be non-zero")
+	}
+	if m.RMPInit(256<<20) > 10*time.Millisecond {
+		t.Fatalf("RMP init for 256 MiB unreasonably large: %v", m.RMPInit(256<<20))
+	}
+}
+
+func TestVMMLoad(t *testing.T) {
+	m := Unit()
+	if m.VMMLoad(1e9) != time.Second {
+		t.Fatalf("unit VMMLoad(1e9) = %v", m.VMMLoad(int(1e9)))
+	}
+}
+
+func TestOVMFFirmwareTotalNearPaper(t *testing.T) {
+	// Fig. 10: QEMU firmware runtime 3.17-3.24 s. The four PI phases plus
+	// a ~25-35 ms boot-verifier stage (charged elsewhere) must land in that
+	// neighborhood.
+	m := Default()
+	total := m.OVMFPhaseSEC + m.OVMFPhasePEI + m.OVMFPhaseDXE + m.OVMFPhaseBDS
+	if total < 3000*time.Millisecond || total > 3300*time.Millisecond {
+		t.Fatalf("OVMF phase total %v outside paper's 3.0-3.3 s window", total)
+	}
+}

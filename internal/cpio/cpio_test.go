@@ -1,0 +1,144 @@
+package cpio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []File {
+	return []File{
+		{Name: "init", Mode: ModeExec, Data: []byte("#!/bin/sh\nexec /bin/attest-agent\n")},
+		{Name: "bin", Mode: ModeDir},
+		{Name: "bin/attest-agent", Mode: ModeExec, Data: bytes.Repeat([]byte{0x90}, 1000)},
+		{Name: "etc/owner.pub", Mode: ModeFile, Data: []byte("-----BEGIN PUBLIC KEY-----")},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample()
+	archive := Build(in)
+	out, err := Parse(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d members, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name {
+			t.Errorf("member %d name %q, want %q", i, out[i].Name, in[i].Name)
+		}
+		if out[i].Mode != in[i].Mode {
+			t.Errorf("member %d mode %o, want %o", i, out[i].Mode, in[i].Mode)
+		}
+		if !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("member %d data mismatch", i)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := Build(sample())
+	b := Build(sample())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical input produced different archives; initrd hashes must be reproducible")
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	archive := Build(nil)
+	out, err := Parse(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty archive parsed to %d members", len(out))
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	// Odd-sized names and data must not corrupt subsequent entries.
+	files := []File{
+		{Name: "a", Mode: ModeFile, Data: []byte{1}},
+		{Name: "bb", Mode: ModeFile, Data: []byte{1, 2}},
+		{Name: "ccc", Mode: ModeFile, Data: []byte{1, 2, 3}},
+		{Name: "dddd", Mode: ModeFile, Data: []byte{1, 2, 3, 4}},
+	}
+	out, err := Parse(Build(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range files {
+		if out[i].Name != files[i].Name || !bytes.Equal(out[i].Data, files[i].Data) {
+			t.Fatalf("member %d corrupted by alignment handling", i)
+		}
+	}
+}
+
+func TestParseRejectsBadMagic(t *testing.T) {
+	archive := Build(sample())
+	archive[0] = 'X'
+	if _, err := Parse(archive); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	archive := Build(sample())
+	for _, cut := range []int{10, 50, 111, len(archive) / 2} {
+		if _, err := Parse(archive[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseRejectsBadHexField(t *testing.T) {
+	archive := Build(sample())
+	copy(archive[6:], "ZZZZZZZZ") // corrupt c_ino field of first header
+	if _, err := Parse(archive); err == nil {
+		t.Fatal("non-hex header field accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	files := sample()
+	if f := Lookup(files, "bin/attest-agent"); f == nil || f.Mode != ModeExec {
+		t.Fatal("Lookup failed to find member")
+	}
+	if Lookup(files, "missing") != nil {
+		t.Fatal("Lookup invented a member")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names(sample())
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestQuickRoundTripArbitraryData(t *testing.T) {
+	f := func(data []byte, nameSeed uint8) bool {
+		name := "f" + string(rune('a'+nameSeed%26))
+		files := []File{{Name: name, Mode: ModeFile, Data: data}}
+		out, err := Parse(Build(files))
+		return err == nil && len(out) == 1 && out[0].Name == name && bytes.Equal(out[0].Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryNlink(t *testing.T) {
+	files := []File{{Name: "usr", Mode: ModeDir}}
+	out, err := Parse(Build(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Mode&0o170000 != 0o040000 {
+		t.Fatal("directory mode lost")
+	}
+}

@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/trace"
+)
+
+// Fig12 reproduces the concurrent-launch experiment: N guests started at
+// once on ONE host (one PSP). SEV boot time grows linearly with N because
+// every launch command serializes on the single-core PSP; non-SEV boots
+// stay flat (paper §6.2, "Concurrent VMs").
+func Fig12(opts Options) (*Table, error) {
+	tab := &Table{
+		Title: "Figure 12: mean boot time of concurrent guest launches (AWS kernel)",
+		Note:  "One host, one PSP. SEV series grow linearly; the non-SEV series stays flat.",
+		Columns: []string{
+			"concurrency", "severifast-snp", "qemu-snp", "stock-fc (no sev)",
+		},
+	}
+	preset := kernelgen.AWS()
+	for _, n := range opts.concurrencyPoints() {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, sc := range []scheme{schemeSEVeriFast, schemeQEMU, schemeStock} {
+			mean, err := concurrentMean(opts, preset, sc, n)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(mean))
+		}
+		tab.AddRow(row...)
+	}
+	return tab, nil
+}
+
+// concurrentMean launches n guests simultaneously on one shared host and
+// returns the mean boot time (to init; no attestation, as in Fig. 12).
+func concurrentMean(opts Options, preset kernelgen.Preset, sc scheme, n int) (time.Duration, error) {
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return 0, err
+	}
+	initrd := opts.initrd()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, opts.model(), opts.Seed)
+
+	var series trace.Series
+	var firstErr error
+	for i := 0; i < n; i++ {
+		eng.Go(fmt.Sprintf("vm-%d", i), func(p *sim.Proc) {
+			out, err := runBootProc(p, host, preset, art, initrd, sc, nil)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			series = append(series, out.b().Total)
+		})
+	}
+	eng.Run()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if len(series) != n {
+		return 0, fmt.Errorf("expt: %d of %d concurrent boots completed", len(series), n)
+	}
+	return series.Mean(), nil
+}
+
+// ConcurrencySlope fits the per-VM cost of the SEV series between two
+// concurrency points — the paper's observation that the slope equals the
+// total PSP launch-command time per guest (commands from different guests
+// interleave on the PSP FIFO, so every guest's launch completes only after
+// nearly all N guests' worth of PSP work).
+func ConcurrencySlope(opts Options, lo, hi int) (time.Duration, error) {
+	preset := kernelgen.AWS()
+	mLo, err := concurrentMean(opts, preset, schemeSEVeriFast, lo)
+	if err != nil {
+		return 0, err
+	}
+	mHi, err := concurrentMean(opts, preset, schemeSEVeriFast, hi)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(int64(mHi-mLo) / int64(hi-lo)), nil
+}

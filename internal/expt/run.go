@@ -1,0 +1,167 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/severifast/severifast/internal/attest"
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/qemu"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/trace"
+	"github.com/severifast/severifast/internal/verifier"
+)
+
+// initrdCache shares the generated attestation initrd across experiments.
+var initrdCache sync.Map // key {seed,size} -> []byte
+
+type initrdKey struct {
+	seed int64
+	size int
+}
+
+func (o Options) initrd() []byte {
+	k := initrdKey{o.Seed, o.initrdSize()}
+	if v, ok := initrdCache.Load(k); ok {
+		return v.([]byte)
+	}
+	b := kernelgen.BuildInitrd(o.Seed, o.initrdSize())
+	actual, _ := initrdCache.LoadOrStore(k, b)
+	return actual.([]byte)
+}
+
+// scheme identifies one boot configuration under test.
+type scheme struct {
+	name  string
+	level sev.Level
+	kind  firecracker.Scheme // ignored for qemuFlow
+	qemu  bool
+}
+
+var (
+	schemeStock       = scheme{name: "stock-fc", level: sev.None, kind: firecracker.SchemeStock}
+	schemeSEVeriFast  = scheme{name: "severifast", level: sev.SNP, kind: firecracker.SchemeSEVeriFastBz}
+	schemeSEVFVmlinux = scheme{name: "severifast-vmlinux", level: sev.SNP, kind: firecracker.SchemeSEVeriFastVmlinux}
+	schemeQEMU        = scheme{name: "qemu-ovmf", level: sev.SNP, qemu: true}
+)
+
+// bootOnce runs one boot of (preset, scheme) on a fresh host and returns
+// its breakdown-bearing result. withAttest wires a guest owner that
+// expects exactly this configuration's launch digest.
+func bootOnce(model costmodel.Model, preset kernelgen.Preset, initrd []byte, sc scheme, seed int64, withAttest bool) (*bootOutcome, error) {
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, model, seed)
+
+	attestor := buildAttestor(host, preset, art, initrd, sc, seed, withAttest)
+
+	var out *bootOutcome
+	var bootErr error
+	eng.Go("boot", func(p *sim.Proc) {
+		out, bootErr = runBootProc(p, host, preset, art, initrd, sc, attestor)
+	})
+	eng.Run()
+	return out, bootErr
+}
+
+type bootOutcome struct {
+	FC   *firecracker.Result
+	QEMU *qemu.Result
+}
+
+// b returns the boot's phase breakdown regardless of monitor.
+func (o *bootOutcome) b() trace.Breakdown {
+	if o.QEMU != nil {
+		return o.QEMU.Breakdown
+	}
+	return o.FC.Breakdown
+}
+
+// runBootProc executes one boot on the calling process.
+func runBootProc(p *sim.Proc, host *kvm.Host, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte, sc scheme, attestor attest2) (*bootOutcome, error) {
+	if sc.qemu {
+		res, err := qemu.Boot(p, host, qemu.Config{
+			Preset:    preset,
+			Artifacts: art,
+			Initrd:    initrd,
+			Level:     sc.level,
+			Attestor:  attestor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", sc.name, preset.Name, err)
+		}
+		return &bootOutcome{QEMU: res}, nil
+	}
+	cfg := firecracker.Config{
+		Preset:    preset,
+		Artifacts: art,
+		Initrd:    initrd,
+		Level:     sc.level,
+		Scheme:    sc.kind,
+		Attestor:  attestor,
+	}
+	if sc.level.Encrypted() {
+		// SEVeriFast always runs with the out-of-band hash file (§4.3);
+		// the in-band ablation overrides this.
+		h := componentHashes(art, initrd, preset, sc.kind)
+		cfg.Hashes = &h
+	}
+	res, err := firecracker.Boot(p, host, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", sc.name, preset.Name, err)
+	}
+	return &bootOutcome{FC: res}, nil
+}
+
+func componentHashes(art *kernelgen.Artifacts, initrd []byte, preset kernelgen.Preset, kind firecracker.Scheme) measure.ComponentHashes {
+	kernel := art.BzImageLZ4
+	if kind == firecracker.SchemeSEVeriFastVmlinux {
+		kernel = art.VMLinux
+	}
+	return measure.HashComponents(kernel, initrd, preset.Cmdline)
+}
+
+// attest2 is the shared Attestor shape of both monitors.
+type attest2 interface {
+	Attest(proc *sim.Proc, m *kvm.Machine) error
+}
+
+// buildAttestor returns an in-process guest owner primed with the expected
+// digest for this exact configuration, or nil when attestation is off or
+// impossible (Lupine has no networking, §6.1).
+func buildAttestor(host *kvm.Host, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte, sc scheme, seed int64, on bool) attest2 {
+	if !on || !preset.Networking || !sc.level.Encrypted() {
+		return nil
+	}
+	secret := []byte("volume-key-" + preset.Name)
+	owner := attest.NewOwner(host.PSP.VerificationKey(), secret, rand.New(rand.NewSource(seed^0xA77E57)))
+	if sc.qemu {
+		h := measure.HashComponents(art.BzImageLZ4, initrd, preset.Cmdline)
+		owner.Allow(qemu.ExpectedDigest(1, sc.level, h))
+	} else {
+		h := componentHashes(art, initrd, preset, sc.kind)
+		expected, err := measure.ExpectedDigest(measure.Config{
+			Verifier: verifier.Image(1),
+			Hashes:   h,
+			Cmdline:  preset.Cmdline,
+			VCPUs:    1,
+			MemSize:  256 << 20,
+			Level:    sc.level,
+			Policy:   sev.DefaultPolicy(),
+		})
+		if err != nil {
+			panic("expt: expected digest: " + err.Error())
+		}
+		owner.Allow(expected)
+	}
+	return &attest.InProcess{Owner: owner, AgentSeed: seed, WantSecret: secret}
+}

@@ -1,0 +1,435 @@
+// Package firecracker models the microVM monitor with SEVeriFast's
+// modifications (paper §5): the stock direct-boot path (unchanged, no SEV)
+// and the SEV boot path, which pre-encrypts the minimal root of trust,
+// stages components for measured direct boot, and enters the guest at the
+// boot verifier.
+//
+// Three boot schemes reproduce the paper's comparisons:
+//
+//	SchemeStock             Fig. 11's "Stock FC": direct vmlinux boot, no SEV
+//	SchemeSEVeriFastBz      SEVeriFast with an LZ4 bzImage (the design point)
+//	SchemeSEVeriFastVmlinux SEVeriFast with an uncompressed vmlinux over the
+//	                        optimized fw_cfg streaming protocol (§5)
+package firecracker
+
+import (
+	"fmt"
+
+	"github.com/severifast/severifast/internal/bootparams"
+	"github.com/severifast/severifast/internal/bzimage"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/linux"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/mptable"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/trace"
+	"github.com/severifast/severifast/internal/verifier"
+	"github.com/severifast/severifast/internal/virtio"
+)
+
+// Scheme selects the boot path.
+type Scheme int
+
+// Boot schemes.
+const (
+	SchemeStock Scheme = iota
+	SchemeSEVeriFastBz
+	SchemeSEVeriFastVmlinux
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeStock:
+		return "stock-fc"
+	case SchemeSEVeriFastBz:
+		return "severifast-bz"
+	case SchemeSEVeriFastVmlinux:
+		return "severifast-vmlinux"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Attestor performs remote attestation for a booted guest; implemented by
+// internal/attest. Nil means no attestation (e.g. the Lupine kernel, which
+// has no networking — paper §6.1).
+type Attestor interface {
+	Attest(proc *sim.Proc, m *kvm.Machine) error
+}
+
+// Config is the VM configuration file plus SEVeriFast's extra arguments
+// (boot verifier and hash file, §4.3/§5).
+type Config struct {
+	Preset    kernelgen.Preset
+	Artifacts *kernelgen.Artifacts
+	Initrd    []byte
+	Cmdline   string // defaults to the preset's
+	VCPUs     int    // defaults to 1
+	MemSize   uint64 // defaults to 256 MiB
+	Level     sev.Level
+	Scheme    Scheme
+
+	// Codec overrides the bzImage compression for SchemeSEVeriFastBz
+	// (lz4 is the design default; gzip reproduces Fig. 5's alternative).
+	Codec bzimage.Codec
+
+	// Hashes carries the out-of-band component hashes (§4.3). Nil means
+	// the VMM hashes the components itself at launch — the in-band
+	// ablation, which puts ~Hash(kernel)+Hash(initrd) on the critical path.
+	Hashes *measure.ComponentHashes
+
+	// PreEncryptPageTables is the Fig. 7 ablation.
+	PreEncryptPageTables bool
+
+	// VerifierSeed selects the boot verifier build; changing it models
+	// shipping a different verifier (which attestation must catch).
+	VerifierSeed int64
+
+	// AllowKeySharing relaxes the launch policy's NoKeySharing bit so the
+	// guest can donate its encryption key to warm-started clones (paper
+	// §6.2/§7). The relaxed policy is visible in the measurement.
+	AllowKeySharing bool
+
+	// Attestor, when set and the kernel has networking, runs remote
+	// attestation after init.
+	Attestor Attestor
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cmdline == "" {
+		c.Cmdline = c.Preset.Cmdline
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 1
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 256 << 20
+	}
+	if c.Codec == "" {
+		c.Codec = bzimage.CodecLZ4
+	}
+	if c.VerifierSeed == 0 {
+		c.VerifierSeed = 1
+	}
+}
+
+// Result is one completed boot.
+type Result struct {
+	Timeline     *trace.Timeline
+	Breakdown    trace.Breakdown
+	Report       *linux.BootReport
+	Machine      *kvm.Machine
+	LaunchDigest [32]byte
+	Scheme       Scheme
+}
+
+// Boot runs one microVM boot to init (plus attestation when configured) on
+// the calling simulation process.
+func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Artifacts == nil {
+		return nil, fmt.Errorf("firecracker: no kernel artifacts")
+	}
+
+	m := host.NewMachine(proc, cfg.MemSize, cfg.Level)
+	attachDevices(m, cfg.Preset)
+	proc.Sleep(host.Model.VMMProcessStart)
+
+	var (
+		res *Result
+		err error
+	)
+	if cfg.Scheme == SchemeStock {
+		res, err = bootStock(proc, host, m, cfg)
+	} else {
+		res, err = bootSEV(proc, host, m, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Attestor != nil && cfg.Preset.Networking && cfg.Level.Encrypted() {
+		m.DebugEvent(proc, sev.EvAttestStart)
+		if err := cfg.Attestor.Attest(proc, m); err != nil {
+			return nil, fmt.Errorf("firecracker: attestation: %w", err)
+		}
+		m.DebugEvent(proc, sev.EvAttestDone)
+	}
+	res.Breakdown = m.Timeline.Breakdown()
+	return res, nil
+}
+
+// bootStock is the unmodified Firecracker path: direct boot of an
+// uncompressed vmlinux, no firmware, no verifier (paper §2.1).
+func bootStock(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Result, error) {
+	if cfg.Level != sev.None {
+		return nil, fmt.Errorf("firecracker: stock scheme cannot boot a %v guest", cfg.Level)
+	}
+	model := host.Model
+
+	// Load each ELF segment to the location it will run (§2.1 step 1).
+	img, err := parseVMLinux(cfg.Artifacts)
+	if err != nil {
+		return nil, err
+	}
+	loaded := 0
+	for _, seg := range img.segments {
+		if len(seg.data) == 0 {
+			continue
+		}
+		if err := m.Mem.HostWriteAliased(seg.vaddr, seg.data); err != nil {
+			return nil, fmt.Errorf("firecracker: loading segment: %w", err)
+		}
+		loaded += len(seg.data)
+	}
+	proc.Sleep(model.VMMLoad(loaded))
+
+	// Boot structures (§2.1 step 2) and the initrd, all plain text.
+	if err := writeBootStructures(m, cfg, len(cfg.Initrd)); err != nil {
+		return nil, err
+	}
+	if len(cfg.Initrd) > 0 {
+		if err := m.Mem.HostWriteAliased(measure.GPAInitrd, cfg.Initrd); err != nil {
+			return nil, err
+		}
+		proc.Sleep(model.VMMLoad(len(cfg.Initrd)))
+	}
+	proc.Sleep(model.VMMSetupMisc)
+
+	// Enter the guest at the kernel's 64-bit entry point (§2.1 step 3).
+	m.DebugEvent(proc, sev.EvGuestEntry)
+	handoff := &verifier.Handoff{
+		Kind:       verifier.KindVmlinux,
+		Entry:      img.entry,
+		InitrdGPA:  measure.GPAInitrd,
+		InitrdSize: len(cfg.Initrd),
+	}
+	rep, err := linux.Boot(proc, m, handoff, cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Timeline: m.Timeline, Report: rep, Machine: m, Scheme: cfg.Scheme}, nil
+}
+
+// bootSEV is the SEVeriFast path (Fig. 6).
+func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Result, error) {
+	if !cfg.Level.Encrypted() {
+		return nil, fmt.Errorf("firecracker: SEVeriFast scheme requires an SEV level, got %v", cfg.Level)
+	}
+	model := host.Model
+
+	// Select the kernel image and the staging strategy.
+	kernelImage, kind, err := selectKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Component hashes: out-of-band (free at boot time) or in-band.
+	var hashes measure.ComponentHashes
+	if cfg.Hashes != nil {
+		hashes = *cfg.Hashes
+	} else {
+		hashes = measure.HashComponents(kernelImage, cfg.Initrd, cfg.Cmdline)
+		proc.Sleep(model.Hash(len(kernelImage)) + model.Hash(len(cfg.Initrd)))
+	}
+
+	policy := launchPolicy(cfg.Level)
+	if cfg.AllowKeySharing {
+		policy.NoKeySharing = false
+	}
+	planCfg := measure.Config{
+		Verifier:             verifier.Image(cfg.VerifierSeed),
+		Hashes:               hashes,
+		Cmdline:              cfg.Cmdline,
+		VCPUs:                cfg.VCPUs,
+		MemSize:              cfg.MemSize,
+		Level:                cfg.Level,
+		Policy:               policy,
+		PreEncryptPageTables: cfg.PreEncryptPageTables,
+	}
+	regions, err := measure.Plan(planCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	m.PrepSEVHost(proc)
+
+	// Stage the measured-direct-boot components in shared memory.
+	in := verifier.Inputs{
+		Kind:                   kind,
+		InitrdStageGPA:         measure.GPAStageB,
+		InitrdSize:             len(cfg.Initrd),
+		InitrdDstGPA:           measure.GPAInitrd,
+		ScratchGPA:             measure.GPAScratch,
+		PageTablesPreEncrypted: cfg.PreEncryptPageTables,
+	}
+	switch kind {
+	case verifier.KindBzImage:
+		if err := m.Mem.HostWriteAliased(measure.GPAStageA, kernelImage); err != nil {
+			return nil, err
+		}
+		in.StageGPA = measure.GPAStageA
+		in.KernelSize = len(kernelImage)
+		in.KernelDstGPA = measure.GPABzTarget
+	case verifier.KindVmlinux:
+		chunks, err := verifier.BuildChunks(kernelImage, measure.GPAStageA)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Mem.HostWriteAliased(measure.GPAStageA, kernelImage); err != nil {
+			return nil, err
+		}
+		in.Chunks = chunks
+	}
+	proc.Sleep(model.VMMLoad(len(kernelImage)))
+	if len(cfg.Initrd) > 0 {
+		if err := m.Mem.HostWriteAliased(measure.GPAStageB, cfg.Initrd); err != nil {
+			return nil, err
+		}
+		proc.Sleep(model.VMMLoad(len(cfg.Initrd)))
+	}
+	proc.Sleep(model.VMMSetupMisc)
+
+	// The launch flow (Fig. 1): LAUNCH_START, LAUNCH_UPDATE_DATA over the
+	// plan, LAUNCH_FINISH. This is the "Pre-encryption" column of Fig. 10.
+	m.Timeline.Begin("preenc", proc.Now())
+	if err := m.StartLaunch(proc, policy); err != nil {
+		return nil, err
+	}
+	for _, r := range regions {
+		if err := m.Mem.HostWrite(r.GPA, r.Data); err != nil {
+			return nil, fmt.Errorf("firecracker: placing %s: %w", r.Name, err)
+		}
+		if err := m.Launch.LaunchUpdateData(proc, r.GPA, len(r.Data), r.Type); err != nil {
+			return nil, fmt.Errorf("firecracker: measuring %s: %w", r.Name, err)
+		}
+	}
+	digest, err := m.Launch.LaunchFinish(proc)
+	if err != nil {
+		return nil, err
+	}
+	m.Timeline.End("preenc", proc.Now())
+
+	// Enter the guest at the boot verifier (the root of trust).
+	m.DebugEvent(proc, sev.EvGuestEntry)
+	handoff, err := verifier.Run(proc, m, in)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := linux.Boot(proc, m, handoff, cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Timeline:     m.Timeline,
+		Report:       rep,
+		Machine:      m,
+		LaunchDigest: digest,
+		Scheme:       cfg.Scheme,
+	}, nil
+}
+
+func selectKernel(cfg Config) ([]byte, verifier.KernelKind, error) {
+	switch cfg.Scheme {
+	case SchemeSEVeriFastBz:
+		switch cfg.Codec {
+		case bzimage.CodecLZ4:
+			return cfg.Artifacts.BzImageLZ4, verifier.KindBzImage, nil
+		case bzimage.CodecGzip:
+			return cfg.Artifacts.BzImageGzip, verifier.KindBzImage, nil
+		default:
+			img, err := bzimage.Build(cfg.Artifacts.VMLinux, cfg.Codec, cfg.Preset.Seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			return img, verifier.KindBzImage, nil
+		}
+	case SchemeSEVeriFastVmlinux:
+		return cfg.Artifacts.VMLinux, verifier.KindVmlinux, nil
+	}
+	return nil, 0, fmt.Errorf("firecracker: scheme %v has no SEV kernel", cfg.Scheme)
+}
+
+// launchPolicy picks the strongest policy the level supports.
+func launchPolicy(level sev.Level) sev.Policy {
+	p := sev.DefaultPolicy()
+	if level < sev.ES {
+		p.ESRequired = false
+	}
+	return p
+}
+
+// writeBootStructures fills guest memory with the plain-text structures a
+// non-SEV direct boot needs (zero page, cmdline, mptable).
+func writeBootStructures(m *kvm.Machine, cfg Config, initrdSize int) error {
+	zp, err := bootparams.Build(bootparams.Params{
+		CmdlinePtr:   measure.GPACmdline,
+		CmdlineSize:  uint32(len(cfg.Cmdline)),
+		RamdiskImage: measure.GPAInitrd,
+		RamdiskSize:  uint32(initrdSize),
+		E820:         bootparams.StandardE820(cfg.MemSize),
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Mem.HostWrite(measure.GPAZeroPage, zp); err != nil {
+		return err
+	}
+	if err := m.Mem.HostWrite(measure.GPACmdline, []byte(cfg.Cmdline)); err != nil {
+		return err
+	}
+	return m.Mem.HostWrite(measure.GPAMPTable, mptable.Build(cfg.VCPUs, measure.GPAMPTable))
+}
+
+// vmImage is a lightweight view of the vmlinux for direct loading.
+type vmImage struct {
+	entry    uint64
+	segments []vmSegment
+}
+
+type vmSegment struct {
+	vaddr uint64
+	data  []byte
+}
+
+func parseVMLinux(art *kernelgen.Artifacts) (*vmImage, error) {
+	regions, err := verifier.BuildChunks(art.VMLinux, 0)
+	if err != nil {
+		return nil, err
+	}
+	img := &vmImage{entry: art.Entry}
+	for _, c := range regions {
+		if c.DestGPA == 0 {
+			continue
+		}
+		img.segments = append(img.segments, vmSegment{
+			vaddr: c.DestGPA,
+			data:  art.VMLinux[c.FileOff : c.FileOff+uint64(c.Size)],
+		})
+	}
+	return img, nil
+}
+
+// RootfsImage is the deterministic block-device image every microVM gets:
+// sector 0 carries the magic the guest checks when mounting /dev/vda.
+func RootfsImage() []byte {
+	img := make([]byte, 128*512)
+	copy(img, "SVFROOT1")
+	for i := 512; i < len(img); i++ {
+		img[i] = byte(i)
+	}
+	return img
+}
+
+// attachDevices gives the machine its virtio-mmio devices: a block device
+// always, a network device when the kernel config supports it (§6.1:
+// CONFIG_VIRTIO_BLK and CONFIG_VIRTIO_NET).
+func attachDevices(m *kvm.Machine, preset kernelgen.Preset) {
+	m.Devices = append(m.Devices,
+		virtio.NewDevice(virtio.IDBlk, virtio.FeatBlkFlush, &virtio.BlkBackend{Image: RootfsImage()}))
+	if preset.Networking {
+		m.Devices = append(m.Devices,
+			virtio.NewDevice(virtio.IDNet, virtio.FeatNetMac, virtio.NetBackend{}))
+	}
+}

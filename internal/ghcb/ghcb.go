@@ -1,0 +1,245 @@
+// Package ghcb models the Guest-Host Communication Block: the shared page
+// an SEV-ES/SNP guest uses to expose chosen register state to the
+// hypervisor during #VC exits (paper §2.2, §6.1 Testing Methodology).
+//
+// Two protocols coexist, both modeled with real page bytes:
+//
+//   - The GHCB page protocol: the #VC handler writes the exit code, exit
+//     info, and the registers it chooses to share into a 4 KiB *shared*
+//     page, sets the valid bitmap, and issues VMGEXIT; the hypervisor
+//     reads the page, emulates, writes results back.
+//   - The GHCB MSR protocol: before a handler/page exists (early boot),
+//     the guest communicates through the GHCB MSR itself with small coded
+//     values — which is how the paper's boot-timing events escape the
+//     guest before #VC handlers are installed.
+package ghcb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/severifast/severifast/internal/guestmem"
+)
+
+// Exit codes (SVM VMEXIT codes reused by the GHCB protocol).
+const (
+	ExitIOIO   uint64 = 0x7B // port I/O (the debug port writes)
+	ExitMSR    uint64 = 0x7C
+	ExitCPUID  uint64 = 0x72
+	ExitMMIO   uint64 = 0x80000001
+	ExitSNPReq uint64 = 0x80000011 // SNP_GUEST_REQUEST (attestation)
+)
+
+// Page field offsets within the 4 KiB GHCB (following the shape of the
+// GHCB layout: a save area plus protocol fields near the end).
+const (
+	offRAX       = 0x01F8
+	offRBX       = 0x0318
+	offRCX       = 0x0308
+	offRDX       = 0x0310
+	offExitCode  = 0x0390
+	offExitInfo1 = 0x0398
+	offExitInfo2 = 0x03A0
+	offValidBM   = 0x03F0 // 16-byte bitmap of valid quadwords
+	offVersion   = 0x0FFA
+	offUsage     = 0x0FF8 // protocol usage: 0 = GHCB
+)
+
+// Errors.
+var (
+	ErrNotShared = errors.New("ghcb: GHCB page must be in shared memory")
+	ErrProtocol  = errors.New("ghcb: protocol violation")
+)
+
+// GHCB is a guest-side handle on the communication page.
+type GHCB struct {
+	mem *guestmem.Memory
+	gpa uint64
+}
+
+// New registers the GHCB at gpa. The page must be shared: a private GHCB
+// would hand the hypervisor ciphertext, so the guest converts it first.
+func New(mem *guestmem.Memory, gpa uint64) (*GHCB, error) {
+	if gpa%guestmem.PageSize != 0 {
+		return nil, fmt.Errorf("%w: GHCB must be page aligned", ErrProtocol)
+	}
+	// Page-state-change to shared, then initialize version/usage.
+	if err := mem.ShareRange(gpa, guestmem.PageSize); err != nil {
+		return nil, err
+	}
+	g := &GHCB{mem: mem, gpa: gpa}
+	var init [8]byte
+	binary.LittleEndian.PutUint16(init[0:], 2) // version 2
+	if err := mem.GuestWrite(gpa+offVersion, init[:2], false); err != nil {
+		return nil, err
+	}
+	if err := mem.GuestWrite(gpa+offUsage, []byte{0, 0}, false); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Exit is one #VC exit: the guest-chosen state to expose.
+type Exit struct {
+	Code         uint64
+	Info1, Info2 uint64
+	RAX, RBX     uint64
+	RCX, RDX     uint64
+	ShareRAX     bool // which registers the handler chooses to expose
+	ShareRBX     bool
+	ShareRCX     bool
+	ShareRDX     bool
+}
+
+// validBit indexes the quadword-valid bitmap.
+func validBit(off int) (byteIdx int, mask byte) {
+	q := off / 8
+	return q / 8, 1 << (q % 8)
+}
+
+// Write stages an exit in the GHCB page (the guest #VC handler's job):
+// only the registers the handler marked shared become visible.
+func (g *GHCB) Write(e Exit) error {
+	page := make([]byte, guestmem.PageSize)
+	le := binary.LittleEndian
+	bm := page[offValidBM : offValidBM+16]
+	set := func(off int, v uint64) {
+		le.PutUint64(page[off:], v)
+		bi, mask := validBit(off)
+		bm[bi] |= mask
+	}
+	set(offExitCode, e.Code)
+	set(offExitInfo1, e.Info1)
+	set(offExitInfo2, e.Info2)
+	if e.ShareRAX {
+		set(offRAX, e.RAX)
+	}
+	if e.ShareRBX {
+		set(offRBX, e.RBX)
+	}
+	if e.ShareRCX {
+		set(offRCX, e.RCX)
+	}
+	if e.ShareRDX {
+		set(offRDX, e.RDX)
+	}
+	le.PutUint16(page[offVersion:], 2)
+	return g.mem.GuestWrite(g.gpa, page, false)
+}
+
+// HostView is what the hypervisor decodes from the page after VMGEXIT.
+type HostView struct {
+	Code         uint64
+	Info1, Info2 uint64
+	RAX, RBX     uint64
+	RCX, RDX     uint64
+	HasRAX       bool
+	HasRBX       bool
+	HasRCX       bool
+	HasRDX       bool
+}
+
+// ReadFromHost parses the GHCB as the hypervisor does: fields count only
+// when their valid bit is set. Reading a private page fails loudly.
+func ReadFromHost(mem *guestmem.Memory, gpa uint64) (*HostView, error) {
+	if mem.IsPrivate(gpa) {
+		return nil, ErrNotShared
+	}
+	page, err := mem.HostRead(gpa, guestmem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint16(page[offVersion:]) != 2 {
+		return nil, fmt.Errorf("%w: bad GHCB version", ErrProtocol)
+	}
+	bm := page[offValidBM : offValidBM+16]
+	valid := func(off int) bool {
+		bi, mask := validBit(off)
+		return bm[bi]&mask != 0
+	}
+	if !valid(offExitCode) {
+		return nil, fmt.Errorf("%w: exit code not marked valid", ErrProtocol)
+	}
+	v := &HostView{
+		Code:  le.Uint64(page[offExitCode:]),
+		Info1: le.Uint64(page[offExitInfo1:]),
+		Info2: le.Uint64(page[offExitInfo2:]),
+	}
+	if valid(offRAX) {
+		v.RAX, v.HasRAX = le.Uint64(page[offRAX:]), true
+	}
+	if valid(offRBX) {
+		v.RBX, v.HasRBX = le.Uint64(page[offRBX:]), true
+	}
+	if valid(offRCX) {
+		v.RCX, v.HasRCX = le.Uint64(page[offRCX:]), true
+	}
+	if valid(offRDX) {
+		v.RDX, v.HasRDX = le.Uint64(page[offRDX:]), true
+	}
+	return v, nil
+}
+
+// WriteResult is the hypervisor writing emulation results back (e.g. the
+// RAX an IN instruction produced).
+func WriteResult(mem *guestmem.Memory, gpa uint64, rax uint64) error {
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], rax)
+	if err := mem.HostWrite(gpa+offRAX, raw[:]); err != nil {
+		return err
+	}
+	bi, mask := validBit(offRAX)
+	bmRaw, err := mem.HostRead(gpa+offValidBM+uint64(bi), 1)
+	if err != nil {
+		return err
+	}
+	return mem.HostWrite(gpa+offValidBM+uint64(bi), []byte{bmRaw[0] | mask})
+}
+
+// ReadResult is the guest consuming the hypervisor's response.
+func (g *GHCB) ReadResult() (uint64, error) {
+	raw, err := g.mem.GuestRead(g.gpa+offRAX, 8, false)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(raw), nil
+}
+
+// --- MSR protocol (pre-handler early boot) ---
+
+// MSR protocol request/response codes (low 12 bits).
+const (
+	MSRCPUIDReq  = 0x004
+	MSRCPUIDResp = 0x005
+	MSRTermReq   = 0x100
+)
+
+// MSRCPUIDRequest encodes an early-boot CPUID request through the GHCB
+// MSR: leaf in the high bits, register selector in bits 30-31, request
+// code in the low 12.
+func MSRCPUIDRequest(leaf uint32, reg uint8) uint64 {
+	return uint64(leaf)<<32 | uint64(reg&3)<<30 | MSRCPUIDReq
+}
+
+// ParseMSRCPUIDRequest decodes the hypervisor side.
+func ParseMSRCPUIDRequest(v uint64) (leaf uint32, reg uint8, ok bool) {
+	if v&0xFFF != MSRCPUIDReq {
+		return 0, 0, false
+	}
+	return uint32(v >> 32), uint8(v >> 30 & 3), true
+}
+
+// MSRCPUIDResponse encodes the reply value.
+func MSRCPUIDResponse(value uint32) uint64 {
+	return uint64(value)<<32 | MSRCPUIDResp
+}
+
+// ParseMSRCPUIDResponse decodes the guest side.
+func ParseMSRCPUIDResponse(v uint64) (value uint32, ok bool) {
+	if v&0xFFF != MSRCPUIDResp {
+		return 0, false
+	}
+	return uint32(v >> 32), true
+}

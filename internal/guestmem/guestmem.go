@@ -1,0 +1,574 @@
+// Package guestmem implements a guest-physical address space with SEV
+// memory-encryption semantics.
+//
+// Every page is either *shared* (plain text, visible to the host) or
+// *private* (protected by the guest's memory-encryption key). Guest
+// accesses carry the C-bit; host accesses never decrypt. Reading a private
+// page from the host yields real AES-CTR ciphertext under the guest key,
+// tweaked by the physical address — so, as on real hardware, identical
+// plain text at different addresses (or under different guests) has
+// different ciphertext, which is what defeats page deduplication for SEV
+// guests (paper §7.1).
+//
+// Representation note: pages store plain text plus an "encrypted" flag;
+// ciphertext is produced on demand when the host reads a private page.
+// This is an internal representation choice that preserves every
+// observable behaviour while letting identical kernel pages be shared
+// copy-on-write across the 50-VM concurrency experiment.
+//
+// When an RMP table is attached (SEV-SNP), host writes to assigned pages
+// are blocked and guest private accesses to unvalidated pages raise #VC,
+// both surfaced as errors from the access functions.
+package guestmem
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/severifast/severifast/internal/rmp"
+)
+
+// PageSize is the guest page granularity.
+const PageSize = 4096
+
+// Errors.
+var (
+	ErrOutOfRange = errors.New("guestmem: access beyond guest memory")
+	ErrNoKey      = errors.New("guestmem: encryption key not set")
+)
+
+type page struct {
+	data      []byte // PageSize bytes of plain text; nil = all zero
+	cow       bool   // data is aliased; copy before mutating
+	encrypted bool   // page is private (guest-key protected)
+}
+
+// Memory is one guest's physical address space.
+type Memory struct {
+	size  uint64
+	pages map[uint64]*page
+
+	key  []byte // 16-byte AES key; set by LAUNCH_START via SetKey
+	asid uint32
+	rmp  *rmp.Table // nil unless SNP
+
+	// bookkeeping for the memory-footprint experiment (§6.3)
+	sevMetadataBytes int
+}
+
+// New returns a zeroed address space of the given size (page aligned up).
+func New(size uint64) *Memory {
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+	return &Memory{size: size, pages: make(map[uint64]*page)}
+}
+
+// Size returns the guest memory size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// SetKey installs the guest memory-encryption key and the ASID that
+// tweaks it in the memory controller (done by LAUNCH_START; shared-key
+// launches install the donor's pair).
+func (m *Memory) SetKey(key []byte, asid uint32) {
+	if len(key) != 16 {
+		panic("guestmem: key must be 16 bytes")
+	}
+	m.key = append([]byte(nil), key...)
+	m.asid = asid
+	m.sevMetadataBytes += len(key) + 48 // key + per-guest SEV context
+}
+
+// HasKey reports whether an encryption key is installed.
+func (m *Memory) HasKey() bool { return m.key != nil }
+
+// AttachRMP enables SNP semantics for this guest with the given ASID.
+func (m *Memory) AttachRMP(t *rmp.Table, asid uint32) {
+	m.rmp = t
+	m.asid = asid
+	m.sevMetadataBytes += 64 // ASID bookkeeping, GHCB registration
+}
+
+// RMP returns the attached table (nil if not SNP) and the guest's ASID.
+func (m *Memory) RMP() (*rmp.Table, uint32) { return m.rmp, m.asid }
+
+// SEVMetadataBytes reports the extra per-guest bookkeeping SEV added —
+// the quantity §6.3 measures (~16 KiB per guest, dominated by the
+// pinned-page accounting recorded via NotePinned).
+func (m *Memory) SEVMetadataBytes() int { return m.sevMetadataBytes }
+
+// NotePinned records host-side pinning metadata for n bytes of guest
+// memory (KVM pins encrypted guest pages during boot, paper §6.2).
+func (m *Memory) NotePinned(n int) {
+	// Two bits of accounting per pinned 4 KiB page (refcount + pin flags)
+	// -> ~16 KiB for a 256 MiB guest, the paper's §6.3 figure.
+	m.sevMetadataBytes += 32 + n/(PageSize*4)
+}
+
+func (m *Memory) check(gpa uint64, n int) error {
+	if n < 0 || gpa+uint64(n) > m.size || gpa+uint64(n) < gpa {
+		return fmt.Errorf("%w: [%#x,+%d) of %#x", ErrOutOfRange, gpa, n, m.size)
+	}
+	return nil
+}
+
+func (m *Memory) getPage(pn uint64) *page {
+	p := m.pages[pn]
+	if p == nil {
+		p = &page{}
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// mutable returns the page's byte slice ready for writing, materializing
+// zero pages and breaking copy-on-write aliases.
+func (p *page) mutable() []byte {
+	if p.data == nil {
+		p.data = make([]byte, PageSize)
+		p.cow = false
+	} else if p.cow {
+		d := make([]byte, PageSize)
+		copy(d, p.data)
+		p.data = d
+		p.cow = false
+	}
+	return p.data
+}
+
+// zeroPage is returned when reading unbacked pages.
+var zeroPage = make([]byte, PageSize)
+
+func (p *page) readable() []byte {
+	if p == nil || p.data == nil {
+		return zeroPage
+	}
+	return p.data
+}
+
+// --- Host-side accesses (VMM / hypervisor) ---
+
+// HostWrite writes plain text into guest memory as the hypervisor. Under
+// SNP it is blocked on pages assigned to a guest. A host write to a
+// private page destroys its encrypted content (the page becomes shared
+// plain text — which the guest will detect, since SNP blocks this and
+// plain SEV guests would read garbage; we model the SNP machine).
+func (m *Memory) HostWrite(gpa uint64, data []byte) error {
+	if err := m.check(gpa, len(data)); err != nil {
+		return err
+	}
+	if m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
+			if err := m.rmp.CheckHostWrite(off); err != nil {
+				return err
+			}
+		}
+	}
+	m.write(gpa, data, false)
+	return nil
+}
+
+// HostWriteAliased is HostWrite for page-aligned bulk loads: full pages
+// alias the source slice copy-on-write instead of copying. The caller must
+// not mutate data afterwards. Used by the VMM to place kernels/initrds.
+func (m *Memory) HostWriteAliased(gpa uint64, data []byte) error {
+	if err := m.check(gpa, len(data)); err != nil {
+		return err
+	}
+	if m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
+			if err := m.rmp.CheckHostWrite(off); err != nil {
+				return err
+			}
+		}
+	}
+	m.writeAliased(gpa, data, false)
+	return nil
+}
+
+// HostRead returns n bytes as seen from the host: plain text for shared
+// pages, ciphertext for private pages.
+func (m *Memory) HostRead(gpa uint64, n int) ([]byte, error) {
+	if err := m.check(gpa, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		p := m.pages[pn]
+		if p != nil && p.encrypted {
+			ct, err := m.cipherPage(pn, p.readable())
+			if err != nil {
+				return nil, err
+			}
+			copy(out[done:], ct[off:off+chunk])
+		} else {
+			copy(out[done:], p.readable()[off:off+chunk])
+		}
+		done += chunk
+	}
+	return out, nil
+}
+
+// --- Guest-side accesses ---
+
+// GuestWrite writes from the guest. cbit selects the encrypted mapping:
+// with the C-bit set the page becomes (or stays) private; without it the
+// page is shared plain text. Under SNP, private writes require a
+// validated RMP entry, otherwise #VC is returned.
+func (m *Memory) GuestWrite(gpa uint64, data []byte, cbit bool) error {
+	if err := m.check(gpa, len(data)); err != nil {
+		return err
+	}
+	if cbit && m.key == nil {
+		return ErrNoKey
+	}
+	if cbit && m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
+			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+				return err
+			}
+		}
+	}
+	m.write(gpa, data, cbit)
+	return nil
+}
+
+// GuestRead reads from the guest through a mapping with or without the
+// C-bit. Reading a private page *without* the C-bit yields ciphertext;
+// reading a shared page *with* the C-bit yields garbage (modeled as the
+// decryption of the plain text — deterministic and definitely not the
+// original bytes). Under SNP, C-bit reads require validated pages.
+func (m *Memory) GuestRead(gpa uint64, n int, cbit bool) ([]byte, error) {
+	if err := m.check(gpa, n); err != nil {
+		return nil, err
+	}
+	if cbit && m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]byte, n)
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		p := m.pages[pn]
+		src := p.readable()
+		encrypted := p != nil && p.encrypted
+		if encrypted != cbit {
+			// Mapping attribute does not match page state: the engine
+			// applies the AES transform in the "wrong" direction and the
+			// reader sees ciphertext/garbage.
+			ct, err := m.cipherPage(pn, src)
+			if err != nil {
+				return nil, err
+			}
+			src = ct
+		}
+		copy(out[done:], src[off:off+chunk])
+		done += chunk
+	}
+	return out, nil
+}
+
+// GuestCopy copies n bytes from src to dst inside the guest, reading with
+// srcCbit and writing with dstCbit — the boot verifier's shared->private
+// component copy. Page-aligned spans alias copy-on-write.
+func (m *Memory) GuestCopy(dst, src uint64, n int, dstCbit, srcCbit bool) error {
+	if err := m.check(src, n); err != nil {
+		return err
+	}
+	if err := m.check(dst, n); err != nil {
+		return err
+	}
+	if src < dst+uint64(n) && dst < src+uint64(n) && n > 0 {
+		return fmt.Errorf("guestmem: overlapping copy [%#x,+%d) -> [%#x,+%d)", src, n, dst, n)
+	}
+	if dstCbit && m.key == nil {
+		return ErrNoKey
+	}
+	if m.rmp != nil {
+		if srcCbit {
+			for off := src &^ (PageSize - 1); off < src+uint64(n); off += PageSize {
+				if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+					return err
+				}
+			}
+		}
+		if dstCbit {
+			for off := dst &^ (PageSize - 1); off < dst+uint64(n); off += PageSize {
+				if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Fast path: page-aligned both sides and every source page's state
+	// matches the mapping (so the copy moves plain text) — alias full
+	// pages copy-on-write and fall back only for the tail.
+	if dst%PageSize == 0 && src%PageSize == 0 {
+		fullPages := uint64(n) / PageSize
+		aliasable := true
+		for i := uint64(0); i < fullPages; i++ {
+			sp := m.pages[src/PageSize+i]
+			if (sp != nil && sp.encrypted) != srcCbit {
+				aliasable = false
+				break
+			}
+		}
+		if aliasable {
+			for i := uint64(0); i < fullPages; i++ {
+				sp := m.pages[src/PageSize+i]
+				dp := m.getPage(dst/PageSize + i)
+				if sp == nil || sp.data == nil {
+					dp.data = nil
+					dp.cow = false
+				} else {
+					sp.cow = true
+					dp.data = sp.data
+					dp.cow = true
+				}
+				dp.encrypted = dstCbit
+			}
+			tail := n - int(fullPages*PageSize)
+			if tail == 0 {
+				return nil
+			}
+			data, err := m.GuestRead(src+fullPages*PageSize, tail, srcCbit)
+			if err != nil {
+				return err
+			}
+			m.write(dst+fullPages*PageSize, data, dstCbit)
+			return nil
+		}
+	}
+	// General path: read then write.
+	data, err := m.GuestRead(src, n, srcCbit)
+	if err != nil {
+		return err
+	}
+	m.write(dst, data, dstCbit)
+	return nil
+}
+
+// --- PSP-side access ---
+
+// LaunchUpdate is the memory side of LAUNCH_UPDATE_DATA: it returns the
+// current plain text of [gpa, gpa+n) for measurement and flips the pages
+// to private (encrypting them under the guest key). Under SNP the pages
+// become assigned+validated for this guest.
+func (m *Memory) LaunchUpdate(gpa uint64, n int) ([]byte, error) {
+	if err := m.check(gpa, n); err != nil {
+		return nil, err
+	}
+	if m.key == nil {
+		return nil, ErrNoKey
+	}
+	pt := make([]byte, n)
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		p := m.getPage(pn)
+		copy(pt[done:], p.readable()[off:off+chunk])
+		p.encrypted = true
+		if m.rmp != nil {
+			m.rmp.AssignValidated(pn*PageSize, m.asid)
+		}
+		done += chunk
+	}
+	return pt, nil
+}
+
+// --- internals ---
+
+func (m *Memory) write(gpa uint64, data []byte, encrypted bool) {
+	for done := 0; done < len(data); {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > len(data)-done {
+			chunk = len(data) - done
+		}
+		p := m.getPage(pn)
+		copy(p.mutable()[off:], data[done:done+chunk])
+		p.encrypted = encrypted
+		done += chunk
+	}
+}
+
+// writeAliased is write with zero-copy full-page aliasing.
+func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool) {
+	done := 0
+	for done < len(data) {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > len(data)-done {
+			chunk = len(data) - done
+		}
+		p := m.getPage(pn)
+		if off == 0 && chunk == PageSize {
+			p.data = data[done : done+PageSize : done+PageSize]
+			p.cow = true
+		} else {
+			copy(p.mutable()[off:], data[done:done+chunk])
+		}
+		p.encrypted = encrypted
+		done += chunk
+	}
+}
+
+// cipherPage produces the AES-CTR transform of a page's plain text under
+// the guest key, tweaked by the page's physical address.
+func (m *Memory) cipherPage(pn uint64, pt []byte) ([]byte, error) {
+	if m.key == nil {
+		return nil, ErrNoKey
+	}
+	block, err := aes.NewCipher(m.key)
+	if err != nil {
+		return nil, err
+	}
+	var iv [16]byte
+	binary.LittleEndian.PutUint32(iv[0:], m.asid)
+	binary.LittleEndian.PutUint64(iv[8:], pn) // physical-address tweak
+	ct := make([]byte, PageSize)
+	cipher.NewCTR(block, iv[:]).XORKeyStream(ct, pt)
+	return ct, nil
+}
+
+// Stats summarizes backing-store usage.
+type Stats struct {
+	ResidentPages int // pages with any backing
+	AliasedPages  int // pages sharing bytes copy-on-write
+	PrivatePages  int // pages in the encrypted state
+}
+
+// Stats returns current backing-store statistics.
+func (m *Memory) Stats() Stats {
+	var s Stats
+	for _, p := range m.pages {
+		if p.data != nil || p.encrypted {
+			s.ResidentPages++
+		}
+		if p.cow {
+			s.AliasedPages++
+		}
+		if p.encrypted {
+			s.PrivatePages++
+		}
+	}
+	return s
+}
+
+// GuestWriteAliased is GuestWrite for page-aligned bulk loads from an
+// immutable buffer: full pages alias the source copy-on-write. The guest
+// Linux model uses it to place kernel segments, so concurrent guests
+// booting the same kernel share backing store (their *ciphertext* still
+// differs per guest — it is derived from the key and address on host
+// reads).
+func (m *Memory) GuestWriteAliased(gpa uint64, data []byte, cbit bool) error {
+	if err := m.check(gpa, len(data)); err != nil {
+		return err
+	}
+	if cbit && m.key == nil {
+		return ErrNoKey
+	}
+	if cbit && m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
+			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+				return err
+			}
+		}
+	}
+	m.writeAliased(gpa, data, cbit)
+	return nil
+}
+
+// Resident reports whether the page containing gpa has any backing.
+func (m *Memory) Resident(gpa uint64) bool {
+	p := m.pages[gpa/PageSize]
+	return p != nil && (p.data != nil || p.encrypted)
+}
+
+// IsPrivate reports whether the page containing gpa is encrypted.
+func (m *Memory) IsPrivate(gpa uint64) bool {
+	p := m.pages[gpa/PageSize]
+	return p != nil && p.encrypted
+}
+
+// HostRestoreCiphertext replays captured ciphertext into a private page —
+// the snapshot-restore path. The stored plain text becomes whatever the
+// *target* guest's key decrypts the ciphertext to: restoring under the
+// original key at the original address reproduces the original bytes;
+// any other key (or address) yields garbage, which is the paper's §7.1
+// obstacle to SEV warm start. Under SNP the page comes back assigned and
+// validated (the guest's post-restore pvalidate pass is charged by the
+// caller).
+func (m *Memory) HostRestoreCiphertext(gpa uint64, ct []byte) error {
+	if gpa%PageSize != 0 || len(ct) != PageSize {
+		return fmt.Errorf("guestmem: ciphertext restore must be page-granular")
+	}
+	if err := m.check(gpa, len(ct)); err != nil {
+		return err
+	}
+	if m.key == nil {
+		return ErrNoKey
+	}
+	pn := gpa / PageSize
+	pt, err := m.cipherPage(pn, ct) // CTR transform is its own inverse
+	if err != nil {
+		return err
+	}
+	p := m.getPage(pn)
+	p.data = pt
+	p.cow = false
+	p.encrypted = true
+	if m.rmp != nil {
+		m.rmp.AssignValidated(gpa, m.asid)
+	}
+	return nil
+}
+
+// Key returns a copy of the installed encryption key (used by the PSP's
+// shared-key launch path). Nil if no key is installed.
+func (m *Memory) Key() []byte {
+	if m.key == nil {
+		return nil
+	}
+	return append([]byte(nil), m.key...)
+}
+
+// ShareRange converts [gpa, gpa+n) to shared state — the guest's
+// page-state-change request for DMA-visible memory (virtio rings, swiotlb
+// bounce buffers). Under SNP the pages return to hypervisor ownership so
+// the device can write them; their contents become host-visible plain
+// text, which is why drivers only bounce non-secret data through them.
+func (m *Memory) ShareRange(gpa uint64, n int) error {
+	if err := m.check(gpa, n); err != nil {
+		return err
+	}
+	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+		p := m.getPage(off / PageSize)
+		p.encrypted = false
+		if m.rmp != nil {
+			m.rmp.Reclaim(off)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package kvm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+func TestPvalidatePageSizeFollowsTHP(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, costmodel.Unit(), 1)
+	if !h.THP {
+		t.Fatal("THP must default on (paper §6.1 runs with huge pages)")
+	}
+	if h.PvalidatePageSize() != 2<<20 {
+		t.Fatalf("THP page size %d", h.PvalidatePageSize())
+	}
+	h.THP = false
+	if h.PvalidatePageSize() != 4096 {
+		t.Fatalf("non-THP page size %d", h.PvalidatePageSize())
+	}
+}
+
+func TestDebugEventCostsVCExitOnlyForES(t *testing.T) {
+	model := costmodel.Unit()
+	for _, tc := range []struct {
+		level sev.Level
+		cost  time.Duration
+	}{
+		{sev.None, 0},
+		{sev.SEV, 0},
+		{sev.ES, model.VCExit},
+		{sev.SNP, model.VCExit},
+	} {
+		eng := sim.NewEngine()
+		h := NewHost(eng, model, 1)
+		var elapsed time.Duration
+		eng.Go("vcpu", func(p *sim.Proc) {
+			m := h.NewMachine(p, 1<<20, tc.level)
+			start := p.Now()
+			m.DebugEvent(p, sev.EvGuestEntry)
+			elapsed = p.Now().Sub(start)
+		})
+		eng.Run()
+		if elapsed != tc.cost {
+			t.Errorf("%v: debug event cost %v, want %v", tc.level, elapsed, tc.cost)
+		}
+	}
+}
+
+func TestDebugEventStampsTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, costmodel.Unit(), 1)
+	eng.Go("vcpu", func(p *sim.Proc) {
+		m := h.NewMachine(p, 1<<20, sev.None)
+		p.Sleep(5 * time.Millisecond)
+		m.DebugEvent(p, sev.EvKernelEntry)
+		at, ok := m.Timeline.EventAt(sev.EvKernelEntry)
+		if !ok || at != sim.Time(5*time.Millisecond) {
+			t.Errorf("event at %v, ok=%v", at, ok)
+		}
+	})
+	eng.Run()
+}
+
+func TestPrepSEVHostChargesPSP(t *testing.T) {
+	model := costmodel.Unit()
+	eng := sim.NewEngine()
+	h := NewHost(eng, model, 1)
+	before := h.PSP.Resource().BusyTime()
+	eng.Go("vmm", func(p *sim.Proc) {
+		m := h.NewMachine(p, 1<<20, sev.SNP)
+		m.PrepSEVHost(p)
+	})
+	eng.Run()
+	if got := h.PSP.Resource().BusyTime() - before; got != model.PSPGuestInit {
+		t.Fatalf("PSP busy for %v during prep, want %v", got, model.PSPGuestInit)
+	}
+}
+
+func TestStartLaunchAttachesRMPOnlyForSNP(t *testing.T) {
+	for _, level := range []sev.Level{sev.SEV, sev.ES, sev.SNP} {
+		eng := sim.NewEngine()
+		h := NewHost(eng, costmodel.Unit(), 1)
+		eng.Go("vmm", func(p *sim.Proc) {
+			m := h.NewMachine(p, 1<<20, level)
+			pol := sev.DefaultPolicy()
+			if level < sev.ES {
+				pol.ESRequired = false
+			}
+			if err := m.StartLaunch(p, pol); err != nil {
+				t.Error(err)
+				return
+			}
+			if m.Launch == nil {
+				t.Error("no launch context")
+			}
+			table, _ := m.Mem.RMP()
+			if level.HasRMP() && table == nil {
+				t.Errorf("%v: no RMP attached", level)
+			}
+			if !level.HasRMP() && table != nil {
+				t.Errorf("%v: RMP attached without SNP", level)
+			}
+		})
+		eng.Run()
+	}
+}
+
+func TestMachinesGetDistinctRMPs(t *testing.T) {
+	// The RMP is indexed by system-physical address; two guests' pages
+	// never collide. Modeled as one table per guest.
+	eng := sim.NewEngine()
+	h := NewHost(eng, costmodel.Unit(), 1)
+	eng.Go("vmm", func(p *sim.Proc) {
+		m1 := h.NewMachine(p, 1<<20, sev.SNP)
+		m2 := h.NewMachine(p, 1<<20, sev.SNP)
+		if err := m1.StartLaunch(p, sev.DefaultPolicy()); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := m2.StartLaunch(p, sev.DefaultPolicy()); err != nil {
+			t.Error(err)
+			return
+		}
+		if m1.RMP == m2.RMP {
+			t.Error("two guests share an RMP table slice")
+		}
+		// Guest 1 taking ownership of its gpa 0x1000 must not block host
+		// writes to guest 2's gpa 0x1000.
+		m1.RMP.AssignValidated(0x1000, m1.Launch.ASID())
+		if err := m2.Mem.HostWrite(0x1000, []byte("fine")); err != nil {
+			t.Errorf("cross-guest RMP interference: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestTimelineZeroIsVMMExec(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, costmodel.Unit(), 1)
+	eng.Go("late", func(p *sim.Proc) {
+		p.Sleep(100 * time.Millisecond)
+		m := h.NewMachine(p, 1<<20, sev.None)
+		if m.Timeline.Start != sim.Time(100*time.Millisecond) {
+			t.Errorf("timeline starts at %v", m.Timeline.Start)
+		}
+	})
+	eng.Run()
+}

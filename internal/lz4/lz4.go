@@ -1,0 +1,284 @@
+// Package lz4 is a from-scratch implementation of the LZ4 block format
+// (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md), plus a
+// small framed container used to store compressed kernel payloads inside
+// bzImage files.
+//
+// SEVeriFast's central tradeoff is between measurement cost (per compressed
+// byte) and decompression cost (per uncompressed byte), so the reproduction
+// needs a real codec with realistic ratios: the synthetic kernels in
+// internal/kernelgen are tuned against this compressor to reproduce the
+// paper's Fig. 8 bzImage sizes.
+//
+// Only the Go standard library is used.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	minMatch     = 4  // smallest encodable match
+	lastLiterals = 5  // spec: last 5 bytes must be literals
+	mfLimit      = 12 // spec: no match may start within 12 bytes of the end
+	maxOffset    = 65535
+
+	hashLog   = 16
+	hashShift = 32 - hashLog
+	hashMul   = 2654435761 // Knuth's multiplicative hash constant
+)
+
+// Errors returned by the decoders.
+var (
+	ErrCorrupt  = errors.New("lz4: corrupt input")
+	ErrDstSmall = errors.New("lz4: destination buffer too small")
+)
+
+func hash4(u uint32) uint32 { return (u * hashMul) >> hashShift }
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// CompressBlock compresses src using the LZ4 block format and returns the
+// compressed block. The output is self-delimiting only in combination with
+// the uncompressed size, which the caller must convey separately (the frame
+// helpers below do so).
+//
+// Incompressible input grows by at most len(src)/255 + 16 bytes.
+func CompressBlock(src []byte) []byte {
+	dst := make([]byte, 0, len(src)+len(src)/255+16)
+	if len(src) == 0 {
+		// A zero-length block is a single empty-literal token.
+		return append(dst, 0)
+	}
+	if len(src) < mfLimit+1 {
+		return appendLiterals(dst, src)
+	}
+
+	var table [1 << hashLog]int32
+	for i := range table {
+		table[i] = -1
+	}
+
+	anchor := 0
+	s := 0
+	limit := len(src) - mfLimit
+	matchLimit := len(src) - lastLiterals
+
+	for s < limit {
+		// Find a match candidate via the hash table.
+		h := hash4(load32(src, s))
+		ref := int(table[h])
+		table[h] = int32(s)
+		if ref < 0 || s-ref > maxOffset || load32(src, ref) != load32(src, s) {
+			s++
+			continue
+		}
+
+		// Extend the match backwards over bytes we already emitted as
+		// pending literals.
+		for s > anchor && ref > 0 && src[s-1] == src[ref-1] {
+			s--
+			ref--
+		}
+
+		// Extend forwards, but never into the last-literals region.
+		matchLen := minMatch
+		for s+matchLen < matchLimit && src[s+matchLen] == src[ref+matchLen] {
+			matchLen++
+		}
+
+		dst = appendSequence(dst, src[anchor:s], s-ref, matchLen)
+		s += matchLen
+		anchor = s
+
+		// Prime the table with a position inside the match so long runs
+		// keep finding themselves.
+		if s < limit {
+			table[hash4(load32(src, s-2))] = int32(s - 2)
+		}
+	}
+
+	return appendLiterals(dst, src[anchor:])
+}
+
+// appendSequence emits one LZ4 sequence: token, literal run, offset, match
+// length extension.
+func appendSequence(dst []byte, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlCode := matchLen - minMatch
+
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlCode >= 15 {
+		token |= 15
+	} else {
+		token |= byte(mlCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mlCode >= 15 {
+		dst = appendLenExt(dst, mlCode-15)
+	}
+	return dst
+}
+
+// appendLiterals emits the final literals-only sequence.
+func appendLiterals(dst []byte, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = appendLenExt(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+// appendLenExt writes the 255-run length extension encoding of n.
+func appendLenExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// DecompressBlock decompresses an LZ4 block into a buffer of exactly
+// dstSize bytes and returns it. It validates offsets and lengths and never
+// reads or writes out of bounds.
+func DecompressBlock(src []byte, dstSize int) ([]byte, error) {
+	if dstSize < 0 {
+		return nil, fmt.Errorf("%w: negative size", ErrCorrupt)
+	}
+	dst := make([]byte, dstSize)
+	d := 0
+	s := 0
+
+	for s < len(src) {
+		token := src[s]
+		s++
+
+		// Literal run.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			n, ns, err := readLenExt(src, s)
+			if err != nil {
+				return nil, err
+			}
+			litLen += n
+			s = ns
+		}
+		if litLen > 0 {
+			if s+litLen > len(src) || d+litLen > len(dst) {
+				return nil, fmt.Errorf("%w: literal run overruns buffer", ErrCorrupt)
+			}
+			copy(dst[d:], src[s:s+litLen])
+			s += litLen
+			d += litLen
+		}
+		if s == len(src) {
+			break // final literals-only sequence
+		}
+
+		// Match.
+		if s+2 > len(src) {
+			return nil, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if offset == 0 || offset > d {
+			return nil, fmt.Errorf("%w: offset %d at output position %d", ErrCorrupt, offset, d)
+		}
+		matchLen := int(token&15) + minMatch
+		if token&15 == 15 {
+			n, ns, err := readLenExt(src, s)
+			if err != nil {
+				return nil, err
+			}
+			matchLen += n
+			s = ns
+		}
+		if d+matchLen > len(dst) {
+			return nil, fmt.Errorf("%w: match overruns output (%d+%d > %d)", ErrCorrupt, d, matchLen, len(dst))
+		}
+		// Byte-by-byte copy: matches may overlap their own output (RLE).
+		ref := d - offset
+		for i := 0; i < matchLen; i++ {
+			dst[d+i] = dst[ref+i]
+		}
+		d += matchLen
+	}
+
+	if d != dstSize {
+		return nil, fmt.Errorf("%w: decoded %d bytes, expected %d", ErrCorrupt, d, dstSize)
+	}
+	return dst, nil
+}
+
+func readLenExt(src []byte, s int) (n, next int, err error) {
+	for {
+		if s >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+		}
+		b := src[s]
+		s++
+		n += int(b)
+		if b != 255 {
+			return n, s, nil
+		}
+	}
+}
+
+// Frame format: magic, uncompressed size (LE u64), block. Used to embed
+// compressed payloads in bzImage files where the loader needs to size the
+// output buffer before decompressing.
+var frameMagic = []byte{'S', 'V', 'L', 'Z', '4', 1}
+
+// Compress wraps CompressBlock in a frame carrying the uncompressed size.
+func Compress(src []byte) []byte {
+	block := CompressBlock(src)
+	out := make([]byte, 0, len(frameMagic)+8+len(block))
+	out = append(out, frameMagic...)
+	var sz [8]byte
+	binary.LittleEndian.PutUint64(sz[:], uint64(len(src)))
+	out = append(out, sz[:]...)
+	return append(out, block...)
+}
+
+// Decompress unwraps a frame produced by Compress.
+func Decompress(src []byte) ([]byte, error) {
+	block, size, err := FrameInfo(src)
+	if err != nil {
+		return nil, err
+	}
+	return DecompressBlock(block, size)
+}
+
+// FrameInfo validates a frame header and returns the contained block and
+// the uncompressed size without decompressing.
+func FrameInfo(src []byte) (block []byte, uncompressedSize int, err error) {
+	if len(src) < len(frameMagic)+8 {
+		return nil, 0, fmt.Errorf("%w: short frame", ErrCorrupt)
+	}
+	for i, m := range frameMagic {
+		if src[i] != m {
+			return nil, 0, fmt.Errorf("%w: bad frame magic", ErrCorrupt)
+		}
+	}
+	size := binary.LittleEndian.Uint64(src[len(frameMagic):])
+	if size > 1<<40 {
+		return nil, 0, fmt.Errorf("%w: implausible uncompressed size %d", ErrCorrupt, size)
+	}
+	return src[len(frameMagic)+8:], int(size), nil
+}

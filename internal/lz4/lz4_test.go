@@ -1,0 +1,313 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	block := CompressBlock(src)
+	got, err := DecompressBlock(block, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v (src len %d, block len %d)", err, len(src), len(block))
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: src %d bytes, got %d bytes", len(src), len(got))
+	}
+	return block
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripTiny(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		src := bytes.Repeat([]byte{'x'}, n)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src)
+}
+
+func TestCompressibleTextShrinks(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
+	block := roundTrip(t, src)
+	if len(block) >= len(src)/4 {
+		t.Fatalf("repetitive text compressed to %d/%d bytes; expected < 25%%", len(block), len(src))
+	}
+}
+
+func TestRunLengthEncodesOverlappingMatch(t *testing.T) {
+	// A long run of one byte exercises the overlapping-match (offset 1)
+	// copy in the decoder.
+	src := bytes.Repeat([]byte{0xAB}, 100000)
+	block := roundTrip(t, src)
+	if len(block) > 500 {
+		t.Fatalf("100k run compressed to %d bytes; RLE should be tiny", len(block))
+	}
+}
+
+func TestIncompressibleRandomBoundedExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]byte, 1<<20)
+	rng.Read(src)
+	block := roundTrip(t, src)
+	maxExpansion := len(src) + len(src)/255 + 16
+	if len(block) > maxExpansion {
+		t.Fatalf("incompressible input expanded to %d bytes, bound %d", len(block), maxExpansion)
+	}
+}
+
+func TestRoundTripMixedContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var src []byte
+	for i := 0; i < 200; i++ {
+		switch i % 3 {
+		case 0:
+			chunk := make([]byte, rng.Intn(400))
+			rng.Read(chunk)
+			src = append(src, chunk...)
+		case 1:
+			src = append(src, bytes.Repeat([]byte{byte(i)}, rng.Intn(400))...)
+		case 2:
+			src = append(src, []byte("push rbp; mov rbp, rsp; sub rsp, 0x20; ")...)
+		}
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripSizeSweep(t *testing.T) {
+	// Boundary sizes around the compressor's mfLimit/lastLiterals cutoffs.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 4, 5, 11, 12, 13, 14, 15, 16, 17, 63, 64, 65, 255, 256, 4095, 4096, 4097} {
+		src := make([]byte, n)
+		rng.Read(src)
+		roundTrip(t, src)
+		// Also a compressible variant of the same length.
+		for i := range src {
+			src[i] = byte(i % 7)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestQuickRoundTripArbitrary(t *testing.T) {
+	f := func(src []byte) bool {
+		block := CompressBlock(src)
+		got, err := DecompressBlock(block, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripCompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := make([]byte, int(n)*4)
+		// Low-entropy content: bytes drawn from a small alphabet with runs.
+		for i := 0; i < len(src); {
+			b := byte(r.Intn(8))
+			run := 1 + r.Intn(20)
+			for j := 0; j < run && i < len(src); j++ {
+				src[i] = b
+				i++
+			}
+		}
+		block := CompressBlock(src)
+		got, err := DecompressBlock(block, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressRejectsBadOffset(t *testing.T) {
+	// token: 1 literal, match len 4; literal 'A'; offset 9 with only 1 byte
+	// of output so far.
+	bad := []byte{0x10, 'A', 9, 0}
+	if _, err := DecompressBlock(bad, 10); err == nil {
+		t.Fatal("offset beyond output start accepted")
+	}
+}
+
+func TestDecompressRejectsZeroOffset(t *testing.T) {
+	bad := []byte{0x10, 'A', 0, 0}
+	if _, err := DecompressBlock(bad, 10); err == nil {
+		t.Fatal("zero offset accepted")
+	}
+}
+
+func TestDecompressRejectsTruncatedLiterals(t *testing.T) {
+	bad := []byte{0xF0, 10} // promises 25 literals, provides none
+	if _, err := DecompressBlock(bad, 100); err == nil {
+		t.Fatal("truncated literals accepted")
+	}
+}
+
+func TestDecompressRejectsTruncatedOffset(t *testing.T) {
+	bad := []byte{0x14, 'A', 5} // 1 literal then match, but only 1 offset byte
+	if _, err := DecompressBlock(bad, 100); err == nil {
+		t.Fatal("truncated offset accepted")
+	}
+}
+
+func TestDecompressRejectsOutputOverrun(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd1234"), 100)
+	block := CompressBlock(src)
+	if _, err := DecompressBlock(block, len(src)-1); err == nil {
+		t.Fatal("undersized destination accepted")
+	}
+}
+
+func TestDecompressRejectsShortOutput(t *testing.T) {
+	src := []byte("hello world")
+	block := CompressBlock(src)
+	if _, err := DecompressBlock(block, len(src)+1); err == nil {
+		t.Fatal("oversized destination accepted (output underrun)")
+	}
+}
+
+func TestDecompressRejectsTruncatedLengthExtension(t *testing.T) {
+	bad := []byte{0xF0, 255, 255} // literal length extension never terminates
+	if _, err := DecompressBlock(bad, 2000); err == nil {
+		t.Fatal("unterminated length extension accepted")
+	}
+}
+
+func TestDecompressArbitraryGarbageNeverPanics(t *testing.T) {
+	f := func(junk []byte, size uint16) bool {
+		_, _ = DecompressBlock(junk, int(size)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	src := []byte(strings.Repeat("kernel code segment ", 1000))
+	frame := Compress(src)
+	got, err := Decompress(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("frame round trip mismatch")
+	}
+}
+
+func TestFrameInfo(t *testing.T) {
+	src := make([]byte, 12345)
+	frame := Compress(src)
+	block, size, err := FrameInfo(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != len(src) {
+		t.Fatalf("size = %d, want %d", size, len(src))
+	}
+	if len(block) >= len(frame) {
+		t.Fatal("block should exclude header")
+	}
+}
+
+func TestFrameRejectsBadMagic(t *testing.T) {
+	frame := Compress([]byte("data"))
+	frame[0] ^= 0xFF
+	if _, err := Decompress(frame); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFrameRejectsShort(t *testing.T) {
+	if _, err := Decompress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestFrameRejectsImplausibleSize(t *testing.T) {
+	frame := Compress([]byte("data"))
+	for i := 0; i < 8; i++ {
+		frame[len(frameMagic)+i] = 0xFF
+	}
+	if _, err := Decompress(frame); err == nil {
+		t.Fatal("implausible size accepted")
+	}
+}
+
+func TestCompressionRatioOnKernelLikeData(t *testing.T) {
+	// Kernel images mix machine code (moderately compressible), tables
+	// (highly compressible), and compressed-ish data sections. Emulate the
+	// mix and require a plausible overall ratio (2x-10x).
+	rng := rand.New(rand.NewSource(1234))
+	var src []byte
+	dict := make([][]byte, 64)
+	for i := range dict {
+		w := make([]byte, 8+rng.Intn(24))
+		rng.Read(w)
+		dict[i] = w
+	}
+	for len(src) < 4<<20 {
+		src = append(src, dict[rng.Intn(len(dict))]...)
+	}
+	block := CompressBlock(src)
+	ratio := float64(len(src)) / float64(len(block))
+	if ratio < 2 || ratio > 30 {
+		t.Fatalf("kernel-like ratio %.2f outside plausible window", ratio)
+	}
+}
+
+func BenchmarkCompress4MiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	dict := make([][]byte, 64)
+	for i := range dict {
+		w := make([]byte, 16)
+		rng.Read(w)
+		dict[i] = w
+	}
+	var src []byte
+	for len(src) < 4<<20 {
+		src = append(src, dict[rng.Intn(len(dict))]...)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompressBlock(src)
+	}
+}
+
+func BenchmarkDecompress4MiB(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	dict := make([][]byte, 64)
+	for i := range dict {
+		w := make([]byte, 16)
+		rng.Read(w)
+		dict[i] = w
+	}
+	var src []byte
+	for len(src) < 4<<20 {
+		src = append(src, dict[rng.Intn(len(dict))]...)
+	}
+	block := CompressBlock(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecompressBlock(block, len(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package lz4
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Streaming container: independent blocks of up to ChunkSize uncompressed
+// bytes, each preceded by a header of (compressedLen uint32, rawLen
+// uint32). compressedLen == rawLen signals a stored (incompressible)
+// block. A zero/zero header terminates the stream.
+//
+// The boot path uses whole-buffer blocks; the streaming form exists for
+// host-side tooling (sevf-mkkernel pipelines, snapshot shipping) and
+// matches how the real lz4 frame format chunks input.
+
+// ChunkSize is the uncompressed block granularity of the stream writer.
+const ChunkSize = 4 << 20
+
+// Writer compresses a stream block-by-block.
+type Writer struct {
+	w      io.Writer
+	buf    []byte
+	n      int
+	closed bool
+}
+
+// NewWriter returns a streaming compressor in front of w. The caller must
+// Close it to flush the final block and terminator.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, ChunkSize)}
+}
+
+// Write buffers p, emitting full blocks as they fill.
+func (zw *Writer) Write(p []byte) (int, error) {
+	if zw.closed {
+		return 0, fmt.Errorf("lz4: write after Close")
+	}
+	total := 0
+	for len(p) > 0 {
+		n := copy(zw.buf[zw.n:], p)
+		zw.n += n
+		p = p[n:]
+		total += n
+		if zw.n == len(zw.buf) {
+			if err := zw.flushBlock(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (zw *Writer) flushBlock() error {
+	if zw.n == 0 {
+		return nil
+	}
+	raw := zw.buf[:zw.n]
+	comp := CompressBlock(raw)
+	var hdr [8]byte
+	if len(comp) >= len(raw) {
+		// Store incompressible blocks raw.
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(raw)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(raw)))
+		if _, err := zw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := zw.w.Write(raw); err != nil {
+			return err
+		}
+	} else {
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(comp)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(raw)))
+		if _, err := zw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := zw.w.Write(comp); err != nil {
+			return err
+		}
+	}
+	zw.n = 0
+	return nil
+}
+
+// Close flushes the pending block and writes the stream terminator.
+func (zw *Writer) Close() error {
+	if zw.closed {
+		return nil
+	}
+	if err := zw.flushBlock(); err != nil {
+		return err
+	}
+	zw.closed = true
+	var hdr [8]byte
+	_, err := zw.w.Write(hdr[:])
+	return err
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r    io.Reader
+	cur  []byte
+	done bool
+}
+
+// NewReader returns a streaming decompressor over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read yields decompressed bytes.
+func (zr *Reader) Read(p []byte) (int, error) {
+	for len(zr.cur) == 0 {
+		if zr.done {
+			return 0, io.EOF
+		}
+		if err := zr.nextBlock(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, zr.cur)
+	zr.cur = zr.cur[n:]
+	return n, nil
+}
+
+func (zr *Reader) nextBlock() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(zr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("%w: missing stream terminator", ErrCorrupt)
+		}
+		return err
+	}
+	compLen := binary.LittleEndian.Uint32(hdr[0:])
+	rawLen := binary.LittleEndian.Uint32(hdr[4:])
+	if compLen == 0 && rawLen == 0 {
+		zr.done = true
+		return nil
+	}
+	if rawLen > ChunkSize || compLen > uint32(maxCompressedLen(int(rawLen))) {
+		return fmt.Errorf("%w: implausible block header (%d/%d)", ErrCorrupt, compLen, rawLen)
+	}
+	block := make([]byte, compLen)
+	if _, err := io.ReadFull(zr.r, block); err != nil {
+		return fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err)
+	}
+	if compLen == rawLen {
+		zr.cur = block // stored
+		return nil
+	}
+	out, err := DecompressBlock(block, int(rawLen))
+	if err != nil {
+		return err
+	}
+	zr.cur = out
+	return nil
+}
+
+// maxCompressedLen bounds CompressBlock's worst-case output.
+func maxCompressedLen(raw int) int { return raw + raw/255 + 16 }

@@ -1,0 +1,101 @@
+package lz4
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func streamRoundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := NewWriter(&buf)
+	// Write in awkward sizes to exercise block-boundary buffering.
+	for off := 0; off < len(src); {
+		n := 1 + (off*7919)%9001
+		if off+n > len(src) {
+			n = len(src) - off
+		}
+		if _, err := zw.Write(src[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(NewReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("stream round trip mismatch: %d in, %d out", len(src), len(got))
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTripCompressible(t *testing.T) {
+	src := []byte(strings.Repeat("virtqueue descriptor ring entry ", 300000)) // ~9.6 MiB, 3 blocks
+	stream := streamRoundTrip(t, src)
+	if len(stream) >= len(src)/4 {
+		t.Fatalf("stream %d bytes of %d; expected strong compression", len(stream), len(src))
+	}
+}
+
+func TestStreamRoundTripIncompressible(t *testing.T) {
+	src := make([]byte, 5<<20)
+	rand.New(rand.NewSource(3)).Read(src)
+	stream := streamRoundTrip(t, src)
+	// Stored blocks: overhead is just headers.
+	if len(stream) > len(src)+1024 {
+		t.Fatalf("incompressible stream expanded to %d of %d", len(stream), len(src))
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	streamRoundTrip(t, nil)
+}
+
+func TestStreamExactBlockMultiple(t *testing.T) {
+	src := bytes.Repeat([]byte{7}, 2*ChunkSize)
+	streamRoundTrip(t, src)
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	zw := NewWriter(io.Discard)
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write([]byte("late")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+}
+
+func TestStreamRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	zw := NewWriter(&buf)
+	if _, err := zw.Write(bytes.Repeat([]byte("data"), 10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 9, len(full) / 2, len(full) - 4} {
+		if _, err := io.ReadAll(NewReader(bytes.NewReader(full[:cut]))); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestStreamRejectsImplausibleHeader(t *testing.T) {
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := io.ReadAll(NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/sev"
+)
+
+func sampleConfig() Config {
+	return Config{
+		Verifier: kernelgen.GenBinary(1, 13*1024),
+		Hashes:   HashComponents([]byte("kernel"), []byte("initrd"), "console=ttyS0"),
+		Cmdline:  "console=ttyS0",
+		VCPUs:    1,
+		MemSize:  256 << 20,
+		Level:    sev.SNP,
+		Policy:   sev.DefaultPolicy(),
+	}
+}
+
+func TestHashFileRoundTrip(t *testing.T) {
+	h := HashComponents([]byte("k"), []byte("i"), "c")
+	var buf bytes.Buffer
+	if err := WriteHashFile(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHashFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatal("hash file round trip mismatch")
+	}
+}
+
+func TestParseHashFileRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"kernel xyz\ninitrd abc\n",
+		"kernel deadbeef\n", // wrong length digest
+		"mystery 0000000000000000000000000000000000000000000000000000000000000000\n",
+		"kernel 0000000000000000000000000000000000000000000000000000000000000000 extra\n",
+		"", // missing entries
+	}
+	for _, c := range cases {
+		if _, err := ParseHashFile(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestParseHashFileAllowsComments(t *testing.T) {
+	h := HashComponents([]byte("k"), []byte("i"), "c")
+	var buf bytes.Buffer
+	buf.WriteString("# generated out of band\n\n")
+	if err := WriteHashFile(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHashFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPageRoundTrip(t *testing.T) {
+	h := HashComponents([]byte("kernel bytes"), []byte("initrd bytes"), "cmdline")
+	page := h.HashPage()
+	if len(page) != 4096 {
+		t.Fatalf("hash page %d bytes", len(page))
+	}
+	got, err := ParseHashPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatal("hash page round trip mismatch")
+	}
+}
+
+func TestParseHashPageRejectsJunk(t *testing.T) {
+	if _, err := ParseHashPage(make([]byte, 4096)); err == nil {
+		t.Fatal("zero page accepted as hash page")
+	}
+	if _, err := ParseHashPage([]byte("short")); err == nil {
+		t.Fatal("short page accepted")
+	}
+}
+
+func TestPlanRegions(t *testing.T) {
+	regions, err := Plan(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range regions {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"verifier", "hashes", "boot_params", "cmdline", "mptable", "vmsa"} {
+		if !names[want] {
+			t.Errorf("plan missing region %q", want)
+		}
+	}
+	if names["pagetables"] {
+		t.Error("default plan must NOT pre-encrypt page tables (Fig. 7: verifier generates them)")
+	}
+}
+
+func TestPlanAblationPreEncryptsPageTables(t *testing.T) {
+	cfg := sampleConfig()
+	cfg.PreEncryptPageTables = true
+	regions, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regions {
+		if r.Name == "pagetables" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ablation flag did not add page tables to the plan")
+	}
+}
+
+func TestPlanSizeNearPaperRootOfTrust(t *testing.T) {
+	// SEVeriFast's root of trust: ~13 KiB verifier + hash page + zero page
+	// + cmdline + mptable + VMSA — a couple dozen KiB, the basis of its
+	// ~8 ms pre-encryption (vs. >256 ms for 1 MiB OVMF).
+	regions, err := Plan(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := PreEncryptedBytes(regions)
+	if total < 13*1024 || total > 64*1024 {
+		t.Fatalf("pre-encrypted bytes = %d, want tens of KiB", total)
+	}
+}
+
+func TestPlanNoVMSAForBaseSEV(t *testing.T) {
+	cfg := sampleConfig()
+	cfg.Level = sev.SEV
+	cfg.Policy = sev.Policy{NoDebug: true}
+	regions, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		if r.Name == "vmsa" {
+			t.Fatal("base SEV must not measure a VMSA")
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cfg := sampleConfig()
+	cfg.Verifier = nil
+	if _, err := Plan(cfg); err == nil {
+		t.Fatal("empty verifier accepted")
+	}
+	cfg = sampleConfig()
+	cfg.VCPUs = 0
+	if _, err := Plan(cfg); err == nil {
+		t.Fatal("zero vCPUs accepted")
+	}
+	cfg = sampleConfig()
+	cfg.Cmdline = strings.Repeat("x", 5000)
+	if _, err := Plan(cfg); err == nil {
+		t.Fatal("oversized cmdline accepted")
+	}
+}
+
+func TestExpectedDigestDeterministic(t *testing.T) {
+	a, err := ExpectedDigest(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExpectedDigest(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("expected digest not deterministic")
+	}
+}
+
+func TestExpectedDigestSensitivity(t *testing.T) {
+	base, _ := ExpectedDigest(sampleConfig())
+
+	mutate := func(f func(*Config)) [32]byte {
+		cfg := sampleConfig()
+		f(&cfg)
+		d, err := ExpectedDigest(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if mutate(func(c *Config) { c.Verifier = kernelgen.GenBinary(2, 13*1024) }) == base {
+		t.Fatal("digest ignores verifier bytes")
+	}
+	if mutate(func(c *Config) { c.Hashes.Kernel[0] ^= 1 }) == base {
+		t.Fatal("digest ignores kernel hash")
+	}
+	if mutate(func(c *Config) { c.Cmdline = "console=ttyS0 quiet" }) == base {
+		t.Fatal("digest ignores cmdline")
+	}
+	if mutate(func(c *Config) { c.VCPUs = 2 }) == base {
+		t.Fatal("digest ignores vCPU count (mptable)")
+	}
+	if mutate(func(c *Config) { c.Policy.NoDebug = false }) == base {
+		t.Fatal("digest ignores policy")
+	}
+}
+
+func TestVMSADeterministicAndEntryDependent(t *testing.T) {
+	a := VMSAPage(GPAVerifier)
+	b := VMSAPage(GPAVerifier)
+	if !bytes.Equal(a, b) {
+		t.Fatal("VMSA page not deterministic")
+	}
+	if bytes.Equal(a, VMSAPage(0x200000)) {
+		t.Fatal("VMSA ignores entry point")
+	}
+	if len(a) != 4096 {
+		t.Fatalf("VMSA page %d bytes", len(a))
+	}
+}
+
+func TestLayoutNoOverlaps(t *testing.T) {
+	regions, err := Plan(sampleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		name   string
+		lo, hi uint64
+	}
+	var spans []span
+	for _, r := range regions {
+		spans = append(spans, span{r.Name, r.GPA, r.GPA + uint64(len(r.Data))})
+	}
+	// Also the kernel load region for the biggest kernel, and the staging
+	// areas, within a 256 MiB guest.
+	spans = append(spans,
+		span{"kernel", GPAKernelLoad, GPAKernelLoad + 61<<20}, // largest vmlinux
+		span{"stageA", GPAStageA, GPAStageA + 61<<20},         // largest staged image
+		span{"stageB", GPAStageB, GPAStageB + 17<<20},
+		span{"initrd", GPAInitrd, GPAInitrd + 16<<20 + 1<<16},
+		span{"bztarget", GPABzTarget, GPABzTarget + 15<<20},
+		span{"scratch", GPAScratch, GPAScratch + 64<<10},
+	)
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Errorf("layout overlap: %s [%#x,%#x) vs %s [%#x,%#x)", a.name, a.lo, a.hi, b.name, b.lo, b.hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package mptable generates and parses the Intel MultiProcessor
+// Specification tables a microVM guest uses to discover its CPU topology.
+// Firecracker injects one of these; under SEVeriFast it is pre-encrypted
+// because the structure (284 bytes + 20 per CPU, Fig. 7) is smaller than
+// the ~4 KiB of code needed to generate it in the boot verifier.
+package mptable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	floatingSize = 16
+	headerSize   = 44
+
+	entryProcessor = 0
+	entryBus       = 1
+	entryIOAPIC    = 2
+	entryIOIntr    = 3
+
+	processorEntrySize = 20
+	busEntrySize       = 8
+	ioapicEntrySize    = 8
+	intrEntrySize      = 8
+
+	// busCount/intrCount are chosen to match the paper's Fig. 7 baseline:
+	// 16 (floating) + 44 (header) + 2*8 (buses) + 8 (ioapic) + 25*8
+	// (interrupt routing) = 284 bytes, plus 20 per processor.
+	busCount  = 2
+	intrCount = 25
+)
+
+// BaseSize is the table size with zero CPUs (Fig. 7's 284 bytes).
+const BaseSize = floatingSize + headerSize + busCount*busEntrySize + ioapicEntrySize + intrCount*intrEntrySize
+
+// PerCPUSize is the per-processor increment (Fig. 7's 20 bytes).
+const PerCPUSize = processorEntrySize
+
+// GeneratorCodeSize is the verifier code size needed to build the table in
+// the guest instead (Fig. 7's ~4 KiB), which is why SEVeriFast
+// pre-encrypts the table rather than generating it.
+const GeneratorCodeSize = 4096
+
+// ErrCorrupt reports a malformed table.
+var ErrCorrupt = errors.New("mptable: corrupt table")
+
+// Size returns the full table size for the given CPU count.
+func Size(cpus int) int { return BaseSize + cpus*PerCPUSize }
+
+// Build generates the table for the given CPU count, placed at base (the
+// floating pointer's physical address field must be correct).
+func Build(cpus int, base uint32) []byte {
+	out := make([]byte, Size(cpus))
+	le := binary.LittleEndian
+
+	// Floating pointer structure: "_MP_", points at the config table.
+	copy(out[0:], "_MP_")
+	le.PutUint32(out[4:], base+floatingSize) // physical address of config table
+	out[8] = 1                               // length in 16-byte units
+	out[9] = 4                               // spec revision 1.4
+	// out[10] is the checksum, fixed up below.
+
+	// Config table header: "PCMP".
+	cfg := out[floatingSize:]
+	copy(cfg[0:], "PCMP")
+	entryCount := cpus + busCount + 1 + intrCount
+	tableLen := headerSize + cpus*processorEntrySize + busCount*busEntrySize +
+		ioapicEntrySize + intrCount*intrEntrySize
+	le.PutUint16(cfg[4:], uint16(tableLen))
+	cfg[6] = 4 // spec revision
+	// cfg[7] is the checksum, fixed up below.
+	copy(cfg[8:], "SEVRFAST")      // OEM id (8 bytes)
+	copy(cfg[16:], "MICROVM     ") // product id (12 bytes)
+	le.PutUint16(cfg[34:], uint16(entryCount))
+	le.PutUint32(cfg[36:], 0xFEE00000) // local APIC address
+
+	off := headerSize
+	for cpu := 0; cpu < cpus; cpu++ {
+		e := cfg[off:]
+		e[0] = entryProcessor
+		e[1] = byte(cpu) // local APIC id
+		e[2] = 0x14      // local APIC version
+		flags := byte(1) // enabled
+		if cpu == 0 {
+			flags |= 2 // bootstrap processor
+		}
+		e[3] = flags
+		le.PutUint32(e[4:], 0x800F12) // CPU signature: family 17h
+		le.PutUint32(e[8:], 0x1FB8B)  // feature flags
+		off += processorEntrySize
+	}
+	for b := 0; b < busCount; b++ {
+		e := cfg[off:]
+		e[0] = entryBus
+		e[1] = byte(b)
+		if b == 0 {
+			copy(e[2:], "ISA   ")
+		} else {
+			copy(e[2:], "MMIO  ")
+		}
+		off += busEntrySize
+	}
+	{
+		e := cfg[off:]
+		e[0] = entryIOAPIC
+		e[1] = byte(cpus) // ioapic id after cpu apic ids
+		e[2] = 0x11       // version
+		e[3] = 1          // enabled
+		le.PutUint32(e[4:], 0xFEC00000)
+		off += ioapicEntrySize
+	}
+	for irq := 0; irq < intrCount; irq++ {
+		e := cfg[off:]
+		e[0] = entryIOIntr
+		e[1] = 0 // INT
+		le.PutUint16(e[2:], 0)
+		e[4] = 0         // source bus
+		e[5] = byte(irq) // source IRQ
+		e[6] = byte(cpus)
+		e[7] = byte(irq)
+		off += intrEntrySize
+	}
+
+	// Checksums: both structures must sum to zero mod 256.
+	out[10] = checksumFix(out[:floatingSize], 10)
+	cfg[7] = checksumFix(cfg[:tableLen], 7)
+	return out
+}
+
+func checksumFix(b []byte, at int) byte {
+	var sum byte
+	for i, v := range b {
+		if i != at {
+			sum += v
+		}
+	}
+	return -sum
+}
+
+// Info summarizes a parsed table.
+type Info struct {
+	CPUs       int
+	Buses      int
+	IOAPICs    int
+	Interrupts int
+}
+
+// Parse validates both checksums and walks the entries.
+func Parse(b []byte) (*Info, error) {
+	if len(b) < floatingSize+headerSize {
+		return nil, fmt.Errorf("%w: %d bytes too short", ErrCorrupt, len(b))
+	}
+	if string(b[0:4]) != "_MP_" {
+		return nil, fmt.Errorf("%w: missing _MP_ signature", ErrCorrupt)
+	}
+	if sum := byteSum(b[:floatingSize]); sum != 0 {
+		return nil, fmt.Errorf("%w: floating pointer checksum %#x", ErrCorrupt, sum)
+	}
+	cfg := b[floatingSize:]
+	if string(cfg[0:4]) != "PCMP" {
+		return nil, fmt.Errorf("%w: missing PCMP signature", ErrCorrupt)
+	}
+	tableLen := int(binary.LittleEndian.Uint16(cfg[4:]))
+	if tableLen > len(cfg) {
+		return nil, fmt.Errorf("%w: table length %d overruns buffer", ErrCorrupt, tableLen)
+	}
+	if sum := byteSum(cfg[:tableLen]); sum != 0 {
+		return nil, fmt.Errorf("%w: config table checksum %#x", ErrCorrupt, sum)
+	}
+	entryCount := int(binary.LittleEndian.Uint16(cfg[34:]))
+	info := &Info{}
+	off := headerSize
+	for i := 0; i < entryCount; i++ {
+		if off >= tableLen {
+			return nil, fmt.Errorf("%w: entry %d beyond table", ErrCorrupt, i)
+		}
+		switch cfg[off] {
+		case entryProcessor:
+			info.CPUs++
+			off += processorEntrySize
+		case entryBus:
+			info.Buses++
+			off += busEntrySize
+		case entryIOAPIC:
+			info.IOAPICs++
+			off += ioapicEntrySize
+		case entryIOIntr:
+			info.Interrupts++
+			off += intrEntrySize
+		default:
+			return nil, fmt.Errorf("%w: unknown entry type %d", ErrCorrupt, cfg[off])
+		}
+	}
+	return info, nil
+}
+
+func byteSum(b []byte) byte {
+	var sum byte
+	for _, v := range b {
+		sum += v
+	}
+	return sum
+}

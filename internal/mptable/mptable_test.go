@@ -1,0 +1,92 @@
+package mptable
+
+import "testing"
+
+func TestSizeMatchesFig7(t *testing.T) {
+	// Fig. 7: mptable is 284 bytes + 20 per CPU.
+	if BaseSize != 284 {
+		t.Fatalf("BaseSize = %d, want 284", BaseSize)
+	}
+	if PerCPUSize != 20 {
+		t.Fatalf("PerCPUSize = %d, want 20", PerCPUSize)
+	}
+	if Size(1) != 304 {
+		t.Fatalf("Size(1) = %d, want 304 (paper: 304 bytes for 1 vCPU)", Size(1))
+	}
+	if Size(4) != 284+80 {
+		t.Fatalf("Size(4) = %d", Size(4))
+	}
+}
+
+func TestBuildLenMatchesSize(t *testing.T) {
+	for cpus := 1; cpus <= 8; cpus++ {
+		if got := len(Build(cpus, 0x9FC00)); got != Size(cpus) {
+			t.Fatalf("cpus=%d: len %d, want %d", cpus, got, Size(cpus))
+		}
+	}
+}
+
+func TestParseCountsEntries(t *testing.T) {
+	info, err := Parse(Build(4, 0x9FC00))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CPUs != 4 {
+		t.Fatalf("CPUs = %d, want 4", info.CPUs)
+	}
+	if info.Buses != 2 || info.IOAPICs != 1 || info.Interrupts != 25 {
+		t.Fatalf("entries = %+v", info)
+	}
+}
+
+func TestChecksumsValid(t *testing.T) {
+	b := Build(1, 0x9FC00)
+	if sum := byteSum(b[:floatingSize]); sum != 0 {
+		t.Fatalf("floating pointer checksum = %#x", sum)
+	}
+	tableLen := Size(1) - floatingSize
+	if sum := byteSum(b[floatingSize : floatingSize+tableLen]); sum != 0 {
+		t.Fatalf("config table checksum = %#x", sum)
+	}
+}
+
+func TestParseDetectsCorruption(t *testing.T) {
+	b := Build(2, 0x9FC00)
+	// Any single-byte flip inside either structure must be caught by a
+	// checksum or signature check.
+	for _, idx := range []int{0, 5, 10, 20, 50, 100, len(b) - 1} {
+		c := append([]byte(nil), b...)
+		c[idx] ^= 0xFF
+		if _, err := Parse(c); err == nil {
+			t.Fatalf("flip at %d undetected", idx)
+		}
+	}
+}
+
+func TestParseRejectsShort(t *testing.T) {
+	if _, err := Parse(make([]byte, 30)); err == nil {
+		t.Fatal("short table accepted")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a, b := Build(1, 0x9FC00), Build(1, 0x9FC00)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mptable not deterministic; it is pre-encrypted and measured")
+		}
+	}
+}
+
+func TestBSPFlag(t *testing.T) {
+	b := Build(2, 0x9FC00)
+	cfg := b[floatingSize:]
+	first := cfg[headerSize:]
+	second := cfg[headerSize+processorEntrySize:]
+	if first[3]&2 == 0 {
+		t.Fatal("CPU 0 missing bootstrap-processor flag")
+	}
+	if second[3]&2 != 0 {
+		t.Fatal("CPU 1 wrongly marked bootstrap processor")
+	}
+}

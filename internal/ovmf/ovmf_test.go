@@ -1,0 +1,111 @@
+package ovmf
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/sev"
+)
+
+func TestVolumeSizeIsPaperMinimum(t *testing.T) {
+	if CodeSize != 1<<20 {
+		t.Fatalf("OVMF code %d bytes; paper §3.1 says the smallest build is 1 MiB", CodeSize)
+	}
+	if len(Volume(1)) != CodeSize {
+		t.Fatal("volume size mismatch")
+	}
+	if len(VarStore(1)) != VarStoreSize {
+		t.Fatal("varstore size mismatch")
+	}
+}
+
+func TestVolumeDeterministic(t *testing.T) {
+	if !bytes.Equal(Volume(1), Volume(1)) {
+		t.Fatal("OVMF volume not deterministic; it is measured")
+	}
+	if bytes.Equal(Volume(1), Volume(2)) {
+		t.Fatal("different seeds gave the same volume")
+	}
+}
+
+func TestPlanRegionsSNP(t *testing.T) {
+	h := measure.HashComponents([]byte("k"), []byte("i"), "c")
+	regions := PlanRegions(1, sev.SNP, h)
+	names := map[string]int{}
+	total := 0
+	for _, r := range regions {
+		names[r.Name] = len(r.Data)
+		total += len(r.Data)
+	}
+	for _, want := range []string{"ovmf-code", "ovmf-vars", "hashes", "secrets", "cpuid", "vmsa"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("plan missing %q", want)
+		}
+	}
+	// >1.1 MiB pre-encrypted: the whole Fig. 10 story.
+	if total < (1<<20)+(128<<10) {
+		t.Fatalf("plan only measures %d bytes", total)
+	}
+}
+
+func TestPlanRegionsBaseSEVOmitsSNPPages(t *testing.T) {
+	h := measure.HashComponents([]byte("k"), []byte("i"), "c")
+	pol := map[string]bool{}
+	for _, r := range PlanRegions(1, sev.SEV, h) {
+		pol[r.Name] = true
+	}
+	if pol["secrets"] || pol["cpuid"] {
+		t.Fatal("base SEV must not measure SNP secrets/cpuid pages")
+	}
+	if pol["vmsa"] {
+		t.Fatal("base SEV must not measure a VMSA")
+	}
+	for _, r := range PlanRegions(1, sev.ES, h) {
+		pol[r.Name+"|es"] = true
+	}
+	if !pol["vmsa|es"] {
+		t.Fatal("SEV-ES must measure the VMSA")
+	}
+}
+
+func TestPlanRegionsDoNotOverlap(t *testing.T) {
+	h := measure.HashComponents([]byte("k"), []byte("i"), "c")
+	regions := PlanRegions(1, sev.SNP, h)
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			aEnd := a.GPA + uint64(len(a.Data))
+			bEnd := b.GPA + uint64(len(b.Data))
+			if a.GPA < bEnd && b.GPA < aEnd {
+				t.Errorf("overlap: %s vs %s", a.Name, b.Name)
+			}
+		}
+	}
+	// The firmware must fit in a 256 MiB guest.
+	for _, r := range regions {
+		if r.GPA+uint64(len(r.Data)) > 256<<20 {
+			t.Errorf("%s beyond guest memory", r.Name)
+		}
+	}
+}
+
+func TestHashPageMatchesSEVeriFastFormat(t *testing.T) {
+	// OVMF's measured direct boot uses the same hash-page layout the
+	// SEVeriFast verifier parses.
+	h := measure.HashComponents([]byte("kernel"), []byte("initrd"), "cmd")
+	for _, r := range PlanRegions(1, sev.SNP, h) {
+		if r.Name != "hashes" {
+			continue
+		}
+		got, err := measure.ParseHashPage(r.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatal("hash page round trip mismatch")
+		}
+		return
+	}
+	t.Fatal("no hashes region")
+}

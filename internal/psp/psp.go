@@ -1,0 +1,361 @@
+// Package psp models the AMD Platform Security Processor: the low-power
+// ARM core that owns SEV key management, launch measurement, and
+// attestation-report signing (paper §2.2, §2.4).
+//
+// Two properties of the real device carry the paper's results and are
+// modeled faithfully:
+//
+//  1. Launch commands really do the work: LAUNCH_UPDATE_DATA hashes the
+//     region into a SHA-256 digest chain *and* encrypts it in guest memory
+//     under a per-guest AES key; reports are really signed (ECDSA P-384
+//     standing in for the chip-unique VCEK) and verifiable offline.
+//  2. The PSP is a single core shared by every guest on the host: all
+//     command latencies are charged on one capacity-1 sim.Resource, which
+//     serializes concurrent launches (the Fig. 12 bottleneck).
+//
+// The command state machine enforces the SEV API ordering: updates are
+// only legal between LAUNCH_START and LAUNCH_FINISH, and reports are only
+// issued for finished guests.
+package psp
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"crypto/sha512"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/guestmem"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Errors returned by the command interface.
+var (
+	ErrState  = errors.New("psp: command illegal in current guest state")
+	ErrPolicy = errors.New("psp: policy violation")
+)
+
+// State is a guest context's launch state.
+type State int
+
+// Launch states, in order.
+const (
+	StateLaunching State = iota // LAUNCH_START done; updates allowed
+	StateRunning                // LAUNCH_FINISH done; updates rejected
+	StateDead                   // decommissioned
+)
+
+// PSP is the platform security processor. One instance exists per host;
+// all guests on the host share it.
+type PSP struct {
+	model costmodel.Model
+	res   *sim.Resource
+	rng   *rand.Rand
+
+	signKey  *ecdsa.PrivateKey
+	chain    *Chain
+	arkPub   *ecdsa.PublicKey
+	nextASID uint32
+
+	// CommandCount tallies completed commands, for utilization reporting.
+	CommandCount uint64
+}
+
+// New creates a PSP with a deterministic identity derived from seed.
+func New(model costmodel.Model, seed int64) *PSP {
+	rng := rand.New(rand.NewSource(seed))
+	key := genKey(rng)
+	chain, arkPub := buildChain(rng, key)
+	return &PSP{
+		model:    model,
+		res:      sim.NewResource("psp", 1),
+		rng:      rng,
+		signKey:  key,
+		chain:    chain,
+		arkPub:   arkPub,
+		nextASID: 1,
+	}
+}
+
+// Resource exposes the PSP's single service slot (for utilization stats).
+func (p *PSP) Resource() *sim.Resource { return p.res }
+
+// VerificationKey returns the public half of the signing key — what AMD
+// publishes as the VCEK certificate chain. Guest owners verify reports
+// against it.
+func (p *PSP) VerificationKey() *ecdsa.PublicKey { return &p.signKey.PublicKey }
+
+// GuestContext is one guest's launch context on the PSP.
+type GuestContext struct {
+	psp    *PSP
+	mem    *guestmem.Memory
+	level  sev.Level
+	policy sev.Policy
+	asid   uint32
+	state  State
+
+	digest      [32]byte // running launch digest
+	updates     int
+	bytesPreEnc int
+}
+
+// LaunchStart allocates an ASID, derives a fresh memory-encryption key,
+// installs it in the guest's memory controller slot, and opens the launch
+// context (Fig. 1, step 1).
+func (p *PSP) LaunchStart(proc *sim.Proc, mem *guestmem.Memory, level sev.Level, policy sev.Policy) (*GuestContext, error) {
+	if !level.Encrypted() {
+		return nil, fmt.Errorf("%w: LAUNCH_START for non-SEV guest", ErrState)
+	}
+	if policy.ESRequired && level < sev.ES {
+		return nil, fmt.Errorf("%w: policy requires SEV-ES, guest level %v", ErrPolicy, level)
+	}
+	p.run(proc, p.model.PSPLaunchStart)
+
+	key := make([]byte, 16)
+	p.rng.Read(key)
+	asid := p.nextASID
+	p.nextASID++
+	mem.SetKey(key, asid)
+	ctx := &GuestContext{
+		psp:    p,
+		mem:    mem,
+		level:  level,
+		policy: policy,
+		asid:   asid,
+		state:  StateLaunching,
+	}
+	ctx.digest = InitialDigest(policy, level)
+	return ctx, nil
+}
+
+// InitialDigest seeds the launch digest chain with the guest policy and
+// feature level, so a host that launches with a weakened policy produces a
+// different measurement. The guest owner's expected-digest tool
+// (internal/measure) starts from the same value.
+func InitialDigest(policy sev.Policy, level sev.Level) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("SEV-LAUNCH-START"))
+	var pol [8]byte
+	binary.LittleEndian.PutUint64(pol[:], policy.Encode())
+	h.Write(pol[:])
+	h.Write([]byte{byte(level)})
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// run executes one command body of duration d on the shared PSP core.
+// proc may be nil for untimed unit tests.
+func (p *PSP) run(proc *sim.Proc, d time.Duration) {
+	p.CommandCount++
+	if proc == nil {
+		return
+	}
+	p.res.Use(proc, d)
+}
+
+// ASID returns the guest's address-space identifier.
+func (ctx *GuestContext) ASID() uint32 { return ctx.asid }
+
+// State returns the context's launch state.
+func (ctx *GuestContext) State() State { return ctx.state }
+
+// Digest returns the current launch digest.
+func (ctx *GuestContext) Digest() [32]byte { return ctx.digest }
+
+// PreEncryptedBytes reports how many bytes LAUNCH_UPDATE_DATA has
+// processed (the quantity Fig. 4 sweeps).
+func (ctx *GuestContext) PreEncryptedBytes() int { return ctx.bytesPreEnc }
+
+// LaunchUpdateData measures and encrypts [gpa, gpa+n): the region's plain
+// text is hashed into the launch digest, then the pages flip to private
+// under the guest key (Fig. 1 step 2; pre-encryption throughout the
+// paper). Under SNP the pages come out assigned+validated.
+func (ctx *GuestContext) LaunchUpdateData(proc *sim.Proc, gpa uint64, n int, pt sev.PageType) error {
+	if ctx.state != StateLaunching {
+		return fmt.Errorf("%w: LAUNCH_UPDATE_DATA in state %d", ErrState, ctx.state)
+	}
+	ctx.psp.run(proc, ctx.psp.model.PreEncrypt(n))
+	plain, err := ctx.mem.LaunchUpdate(gpa, n)
+	if err != nil {
+		return err
+	}
+	ctx.digest = ExtendDigest(ctx.digest, pt, gpa, plain)
+	ctx.updates++
+	ctx.bytesPreEnc += n
+	return nil
+}
+
+// LaunchUpdateVMSA measures and protects the vCPU register state (one
+// 4 KiB VMSA page) for SEV-ES and SNP guests.
+func (ctx *GuestContext) LaunchUpdateVMSA(proc *sim.Proc, gpa uint64) error {
+	if ctx.level < sev.ES {
+		return fmt.Errorf("%w: VMSA update for level %v", ErrState, ctx.level)
+	}
+	return ctx.LaunchUpdateData(proc, gpa, guestmem.PageSize, sev.PageVMSA)
+}
+
+// LaunchFinish seals the launch context: the digest becomes final and
+// further updates are rejected (Fig. 1 step 3) — the property that stops
+// the host from measuring extra state after attestation.
+func (ctx *GuestContext) LaunchFinish(proc *sim.Proc) ([32]byte, error) {
+	if ctx.state != StateLaunching {
+		return [32]byte{}, fmt.Errorf("%w: LAUNCH_FINISH in state %d", ErrState, ctx.state)
+	}
+	ctx.psp.run(proc, ctx.psp.model.PSPLaunchFinish)
+	ctx.state = StateRunning
+	return ctx.digest, nil
+}
+
+// Decommission releases the context (guest teardown).
+func (ctx *GuestContext) Decommission() { ctx.state = StateDead }
+
+// ExtendDigest appends one measured region to a launch digest:
+// digest' = SHA256(digest ‖ type ‖ gpa ‖ len ‖ SHA256(data)), the shape of
+// the SNP ABI's page-info chaining. internal/measure recomputes the same
+// chain host-side; the two must agree bit for bit.
+func ExtendDigest(digest [32]byte, pt sev.PageType, gpa uint64, data []byte) [32]byte {
+	content := sha256.Sum256(data)
+	h := sha256.New()
+	h.Write(digest[:])
+	h.Write([]byte{byte(pt)})
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[0:], gpa)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(len(data)))
+	h.Write(meta[:])
+	h.Write(content[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Report is the attestation report the PSP places in guest memory
+// (Fig. 1 steps 5-6). Serialized with Marshal for signing and transport.
+type Report struct {
+	Version     uint32
+	Policy      uint64
+	Level       sev.Level
+	ASID        uint32
+	Measurement [32]byte
+	ReportData  [64]byte // guest-chosen (holds the guest's public key hash)
+	SigR, SigS  *big.Int
+}
+
+// reportBody serializes the signed portion.
+func (r *Report) reportBody() []byte {
+	out := make([]byte, 4+8+1+4+32+64)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], r.Version)
+	le.PutUint64(out[4:], r.Policy)
+	out[12] = byte(r.Level)
+	le.PutUint32(out[13:], r.ASID)
+	copy(out[17:], r.Measurement[:])
+	copy(out[49:], r.ReportData[:])
+	return out
+}
+
+// Marshal serializes the full report including the signature.
+func (r *Report) Marshal() []byte {
+	body := r.reportBody()
+	sig := make([]byte, 96) // two 48-byte big-endian field elements
+	r.SigR.FillBytes(sig[:48])
+	r.SigS.FillBytes(sig[48:])
+	return append(body, sig...)
+}
+
+// UnmarshalReport parses Marshal's output.
+func UnmarshalReport(b []byte) (*Report, error) {
+	const bodyLen = 4 + 8 + 1 + 4 + 32 + 64
+	if len(b) != bodyLen+96 {
+		return nil, fmt.Errorf("psp: report length %d, want %d", len(b), bodyLen+96)
+	}
+	le := binary.LittleEndian
+	r := &Report{
+		Version: le.Uint32(b[0:]),
+		Policy:  le.Uint64(b[4:]),
+		Level:   sev.Level(b[12]),
+		ASID:    le.Uint32(b[13:]),
+	}
+	copy(r.Measurement[:], b[17:])
+	copy(r.ReportData[:], b[49:])
+	r.SigR = new(big.Int).SetBytes(b[bodyLen : bodyLen+48])
+	r.SigS = new(big.Int).SetBytes(b[bodyLen+48:])
+	return r, nil
+}
+
+// BuildReport generates and signs an attestation report for a finished
+// guest. reportData is chosen by the guest (it binds the guest's ephemeral
+// public key to the report).
+func (ctx *GuestContext) BuildReport(proc *sim.Proc, reportData [64]byte) (*Report, error) {
+	if ctx.state != StateRunning {
+		return nil, fmt.Errorf("%w: report for guest in state %d", ErrState, ctx.state)
+	}
+	ctx.psp.run(proc, ctx.psp.model.PSPReportGen)
+	r := &Report{
+		Version:     2,
+		Policy:      ctx.policy.Encode(),
+		Level:       ctx.level,
+		ASID:        ctx.asid,
+		Measurement: ctx.digest,
+		ReportData:  reportData,
+	}
+	sum := sha512.Sum384(r.reportBody())
+	sigR, sigS, err := ecdsa.Sign(ctx.psp.rng, ctx.psp.signKey, sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("psp: signing report: %v", err)
+	}
+	r.SigR, r.SigS = sigR, sigS
+	return r, nil
+}
+
+// VerifyReport checks a report's signature against the platform
+// verification key. It does NOT check the measurement — that is the guest
+// owner's job (internal/attest).
+func VerifyReport(pub *ecdsa.PublicKey, r *Report) error {
+	if r.SigR == nil || r.SigS == nil {
+		return errors.New("psp: report is unsigned")
+	}
+	sum := sha512.Sum384(r.reportBody())
+	if !ecdsa.Verify(pub, sum[:], r.SigR, r.SigS) {
+		return errors.New("psp: report signature invalid")
+	}
+	return nil
+}
+
+// LaunchStartShared opens a launch context that reuses donor's memory
+// encryption key and ASID — the paper's §6.2 near-term idea for easing
+// the PSP bottleneck and enabling warm start. Both guests' policies must
+// permit key sharing; the relaxed policy is reflected in the measurement
+// and the attestation report, so guest owners see the weakened trust
+// model. The command is cheaper than LAUNCH_START because no key is
+// derived.
+func (p *PSP) LaunchStartShared(proc *sim.Proc, mem *guestmem.Memory, donor *GuestContext, level sev.Level, policy sev.Policy) (*GuestContext, error) {
+	if !level.Encrypted() {
+		return nil, fmt.Errorf("%w: shared-key launch for non-SEV guest", ErrState)
+	}
+	if policy.NoKeySharing || donor.policy.NoKeySharing {
+		return nil, fmt.Errorf("%w: key sharing forbidden by policy", ErrPolicy)
+	}
+	if policy.ESRequired && level < sev.ES {
+		return nil, fmt.Errorf("%w: policy requires SEV-ES, guest level %v", ErrPolicy, level)
+	}
+	p.run(proc, p.model.PSPLaunchStart/2)
+
+	mem.SetKey(donor.mem.Key(), donor.asid)
+	ctx := &GuestContext{
+		psp:    p,
+		mem:    mem,
+		level:  level,
+		policy: policy,
+		asid:   donor.asid, // shared key == shared ASID slot
+		state:  StateLaunching,
+	}
+	ctx.digest = InitialDigest(policy, level)
+	return ctx, nil
+}

@@ -1,0 +1,374 @@
+package psp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/guestmem"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+func newGuest(t *testing.T, p *PSP) (*guestmem.Memory, *GuestContext) {
+	t.Helper()
+	mem := guestmem.New(16 << 20)
+	ctx, err := p.LaunchStart(nil, mem, sev.SNP, sev.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, ctx
+}
+
+func TestLaunchFlow(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	mem, ctx := newGuest(t, p)
+	if ctx.State() != StateLaunching {
+		t.Fatal("fresh context not in launching state")
+	}
+	component := bytes.Repeat([]byte("verifier"), 1024)
+	if err := mem.HostWrite(0x1000, component); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchUpdateData(nil, 0x1000, len(component), sev.PageNormal); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := ctx.LaunchFinish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest == ([32]byte{}) {
+		t.Fatal("zero digest")
+	}
+	if ctx.State() != StateRunning {
+		t.Fatal("context not running after finish")
+	}
+}
+
+func TestUpdateAfterFinishRejected(t *testing.T) {
+	// §2.4: LAUNCH_FINISH prevents further LAUNCH_UPDATE_DATA.
+	p := New(costmodel.Unit(), 1)
+	mem, ctx := newGuest(t, p)
+	if _, err := ctx.LaunchFinish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.HostWrite(0x1000, []byte("late injection")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchUpdateData(nil, 0x1000, 14, sev.PageNormal); !errors.Is(err, ErrState) {
+		t.Fatalf("post-finish update: err = %v, want ErrState", err)
+	}
+}
+
+func TestDoubleFinishRejected(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	_, ctx := newGuest(t, p)
+	if _, err := ctx.LaunchFinish(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.LaunchFinish(nil); !errors.Is(err, ErrState) {
+		t.Fatalf("double finish: err = %v, want ErrState", err)
+	}
+}
+
+func TestLaunchStartRejectsNonSEV(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	if _, err := p.LaunchStart(nil, guestmem.New(1<<20), sev.None, sev.Policy{}); err == nil {
+		t.Fatal("LAUNCH_START accepted for non-SEV guest")
+	}
+}
+
+func TestPolicyESRequiredEnforced(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	pol := sev.Policy{ESRequired: true}
+	if _, err := p.LaunchStart(nil, guestmem.New(1<<20), sev.SEV, pol); !errors.Is(err, ErrPolicy) {
+		t.Fatalf("ES-required policy with base SEV: err = %v, want ErrPolicy", err)
+	}
+}
+
+func TestDigestDependsOnContent(t *testing.T) {
+	run := func(content []byte) [32]byte {
+		p := New(costmodel.Unit(), 1)
+		mem, ctx := newGuest(t, p)
+		if err := mem.HostWrite(0x1000, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchUpdateData(nil, 0x1000, len(content), sev.PageNormal); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := ctx.LaunchFinish(nil)
+		return d
+	}
+	a := run([]byte("genuine boot verifier code"))
+	b := run([]byte("tampered boot verifier cod3"))
+	if a == b {
+		t.Fatal("different contents produced identical launch digests")
+	}
+}
+
+func TestDigestDependsOnAddressAndPolicy(t *testing.T) {
+	content := []byte("boot verifier")
+	launch := func(gpa uint64, pol sev.Policy) [32]byte {
+		p := New(costmodel.Unit(), 1)
+		mem := guestmem.New(16 << 20)
+		ctx, err := p.LaunchStart(nil, mem, sev.SNP, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.HostWrite(gpa, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchUpdateData(nil, gpa, len(content), sev.PageNormal); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := ctx.LaunchFinish(nil)
+		return d
+	}
+	base := launch(0x1000, sev.DefaultPolicy())
+	if launch(0x2000, sev.DefaultPolicy()) == base {
+		t.Fatal("digest ignores load address")
+	}
+	weak := sev.DefaultPolicy()
+	weak.NoDebug = false
+	if launch(0x1000, weak) == base {
+		t.Fatal("digest ignores policy; a weakened launch must be detectable")
+	}
+}
+
+func TestDigestDeterministicAcrossPlatforms(t *testing.T) {
+	// The guest owner computes the expected digest on their own machine:
+	// it must not depend on the PSP instance or its keys.
+	content := []byte("boot verifier")
+	launch := func(seed int64) [32]byte {
+		p := New(costmodel.Unit(), seed)
+		mem, ctx := newGuest(t, p)
+		if err := mem.HostWrite(0x1000, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchUpdateData(nil, 0x1000, len(content), sev.PageNormal); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := ctx.LaunchFinish(nil)
+		return d
+	}
+	if launch(1) != launch(999) {
+		t.Fatal("launch digest depends on platform seed")
+	}
+}
+
+func TestVMSAUpdateRequiresES(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	mem := guestmem.New(1 << 20)
+	pol := sev.Policy{}
+	ctx, err := p.LaunchStart(nil, mem, sev.SEV, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchUpdateVMSA(nil, 0x3000); !errors.Is(err, ErrState) {
+		t.Fatalf("VMSA update on base SEV: err = %v, want ErrState", err)
+	}
+}
+
+func TestReportSignatureVerifies(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	_, ctx := newGuest(t, p)
+	if _, err := ctx.LaunchFinish(nil); err != nil {
+		t.Fatal(err)
+	}
+	var rd [64]byte
+	copy(rd[:], "guest ephemeral pubkey hash")
+	rep, err := ctx.BuildReport(nil, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(p.VerificationKey(), rep); err != nil {
+		t.Fatal(err)
+	}
+	// Tampering with any field breaks the signature.
+	rep.Measurement[0] ^= 1
+	if err := VerifyReport(p.VerificationKey(), rep); err == nil {
+		t.Fatal("tampered measurement passed verification")
+	}
+	rep.Measurement[0] ^= 1
+	rep.ReportData[5] ^= 1
+	if err := VerifyReport(p.VerificationKey(), rep); err == nil {
+		t.Fatal("tampered report data passed verification")
+	}
+}
+
+func TestReportRejectedBeforeFinish(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	_, ctx := newGuest(t, p)
+	if _, err := ctx.BuildReport(nil, [64]byte{}); !errors.Is(err, ErrState) {
+		t.Fatalf("pre-finish report: err = %v, want ErrState", err)
+	}
+}
+
+func TestReportWrongPlatformKeyFails(t *testing.T) {
+	p1 := New(costmodel.Unit(), 1)
+	p2 := New(costmodel.Unit(), 2)
+	_, ctx := newGuest(t, p1)
+	if _, err := ctx.LaunchFinish(nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctx.BuildReport(nil, [64]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(p2.VerificationKey(), rep); err == nil {
+		t.Fatal("report verified against the wrong platform key")
+	}
+}
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	_, ctx := newGuest(t, p)
+	if _, err := ctx.LaunchFinish(nil); err != nil {
+		t.Fatal(err)
+	}
+	var rd [64]byte
+	rd[0] = 0xAB
+	rep, err := ctx.BuildReport(nil, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReport(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measurement != rep.Measurement || got.ReportData != rep.ReportData ||
+		got.Policy != rep.Policy || got.Level != rep.Level || got.ASID != rep.ASID {
+		t.Fatal("report fields lost in marshal round trip")
+	}
+	if err := VerifyReport(p.VerificationKey(), got); err != nil {
+		t.Fatalf("unmarshaled report signature invalid: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsWrongLength(t *testing.T) {
+	if _, err := UnmarshalReport(make([]byte, 50)); err == nil {
+		t.Fatal("short report accepted")
+	}
+}
+
+func TestASIDsAreUnique(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	seen := map[uint32]bool{}
+	for i := 0; i < 10; i++ {
+		_, ctx := newGuest(t, p)
+		if seen[ctx.ASID()] {
+			t.Fatalf("ASID %d reused", ctx.ASID())
+		}
+		seen[ctx.ASID()] = true
+	}
+}
+
+func TestGuestKeysDiffer(t *testing.T) {
+	p := New(costmodel.Unit(), 1)
+	content := bytes.Repeat([]byte("same page"), 400)
+	cts := make([][]byte, 2)
+	for i := range cts {
+		mem, ctx := newGuest(t, p)
+		if err := mem.HostWrite(0x1000, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchUpdateData(nil, 0x1000, len(content), sev.PageNormal); err != nil {
+			t.Fatal(err)
+		}
+		ct, err := mem.HostRead(0x1000, len(content))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	if bytes.Equal(cts[0], cts[1]) {
+		t.Fatal("two guests share ciphertext: keys not unique per guest")
+	}
+}
+
+func TestPreEncryptionTimeChargedOnPSP(t *testing.T) {
+	model := costmodel.Unit() // 1 ns/byte + 1 ms per command
+	p := New(model, 1)
+	eng := sim.NewEngine()
+	var elapsed time.Duration
+	eng.Go("launch", func(proc *sim.Proc) {
+		mem := guestmem.New(16 << 20)
+		ctx, err := p.LaunchStart(proc, mem, sev.SNP, sev.DefaultPolicy())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		data := make([]byte, 1_000_000)
+		if err := mem.HostWrite(0x1000, data); err != nil {
+			t.Error(err)
+			return
+		}
+		start := proc.Now()
+		if err := ctx.LaunchUpdateData(proc, 0x1000, len(data), sev.PageNormal); err != nil {
+			t.Error(err)
+			return
+		}
+		elapsed = proc.Now().Sub(start)
+	})
+	eng.Run()
+	want := model.PreEncrypt(1_000_000) // 1 ms + 1 ms
+	if elapsed != want {
+		t.Fatalf("pre-encryption took %v of virtual time, want %v", elapsed, want)
+	}
+}
+
+func TestConcurrentLaunchesSerializeOnPSP(t *testing.T) {
+	// The Fig. 12 mechanism: N concurrent LAUNCH_UPDATEs through one PSP
+	// finish at strictly increasing times with a constant stride.
+	model := costmodel.Unit()
+	p := New(model, 1)
+	eng := sim.NewEngine()
+	var finish []sim.Time
+	const n = 5
+	for i := 0; i < n; i++ {
+		eng.Go("vm", func(proc *sim.Proc) {
+			mem := guestmem.New(16 << 20)
+			ctx, err := p.LaunchStart(proc, mem, sev.SNP, sev.DefaultPolicy())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			data := make([]byte, 500_000)
+			if err := mem.HostWrite(0x1000, data); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ctx.LaunchUpdateData(proc, 0x1000, len(data), sev.PageNormal); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ctx.LaunchFinish(proc); err != nil {
+				t.Error(err)
+				return
+			}
+			finish = append(finish, proc.Now())
+		})
+	}
+	eng.Run()
+	if len(finish) != n {
+		t.Fatalf("%d finishes", len(finish))
+	}
+	// Commands from different guests interleave on the PSP FIFO, but the
+	// total work is strictly serialized: the last guest finishes exactly
+	// when all n guests' worth of PSP time has elapsed, and no two guests
+	// finish together.
+	perVM := model.PSPLaunchStart + model.PreEncrypt(500_000) + model.PSPLaunchFinish
+	if last := finish[n-1]; last != sim.Time(int64(perVM)*n) {
+		t.Fatalf("last finish %v, want %v (full serialization)", last, time.Duration(perVM.Nanoseconds()*n))
+	}
+	for i := 1; i < n; i++ {
+		if finish[i] <= finish[i-1] {
+			t.Fatalf("finishes not strictly increasing: %v", finish)
+		}
+	}
+	if finish[0] <= sim.Time(perVM) {
+		t.Fatalf("vm 0 finished at %v, faster than its own PSP work %v despite contention", finish[0], perVM)
+	}
+}

@@ -1,0 +1,199 @@
+// Package qemu models the mainstream QEMU/OVMF flow for booting SEV
+// guests (paper §2.5): full OVMF pre-encryption, UEFI Platform
+// Initialization, and measured direct boot added to bypass GRUB. It is
+// the baseline SEVeriFast is evaluated against in Figs. 9 and 10.
+package qemu
+
+import (
+	"fmt"
+
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/linux"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/ovmf"
+	"github.com/severifast/severifast/internal/psp"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/trace"
+	"github.com/severifast/severifast/internal/verifier"
+	"github.com/severifast/severifast/internal/virtio"
+
+	"github.com/severifast/severifast/internal/firecracker"
+)
+
+// Attestor mirrors firecracker.Attestor.
+type Attestor interface {
+	Attest(proc *sim.Proc, m *kvm.Machine) error
+}
+
+// Config describes one QEMU/OVMF SEV boot.
+type Config struct {
+	Preset    kernelgen.Preset
+	Artifacts *kernelgen.Artifacts
+	Initrd    []byte
+	Cmdline   string
+	VCPUs     int
+	MemSize   uint64
+	Level     sev.Level
+	OVMFSeed  int64
+	Attestor  Attestor
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cmdline == "" {
+		c.Cmdline = c.Preset.Cmdline
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 1
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 256 << 20
+	}
+	if c.OVMFSeed == 0 {
+		c.OVMFSeed = 1
+	}
+}
+
+// Result is one completed QEMU boot.
+type Result struct {
+	Timeline     *trace.Timeline
+	Breakdown    trace.Breakdown
+	Report       *linux.BootReport
+	Machine      *kvm.Machine
+	LaunchDigest [32]byte
+}
+
+// Boot runs one QEMU/OVMF SEV boot to init (plus attestation when
+// configured) on the calling simulation process.
+func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Artifacts == nil {
+		return nil, fmt.Errorf("qemu: no kernel artifacts")
+	}
+	if !cfg.Level.Encrypted() {
+		return nil, fmt.Errorf("qemu: this flow models SEV boots; use firecracker's stock path for %v", cfg.Level)
+	}
+	model := host.Model
+
+	m := host.NewMachine(proc, cfg.MemSize, cfg.Level)
+	attachDevices(m, cfg.Preset)
+	proc.Sleep(model.QEMUProcessStart)
+
+	// QEMU's measured direct boot hashes components at launch, on the
+	// critical path (no out-of-band hash file).
+	kernelImage := cfg.Artifacts.BzImageLZ4
+	hashes := measure.HashComponents(kernelImage, cfg.Initrd, cfg.Cmdline)
+	proc.Sleep(model.Hash(len(kernelImage)) + model.Hash(len(cfg.Initrd)))
+
+	// Stage components via fw_cfg (shared memory), plus the plain-text
+	// boot structures OVMF consumes to build boot_params.
+	if err := m.Mem.HostWriteAliased(measure.GPAStageA, kernelImage); err != nil {
+		return nil, err
+	}
+	proc.Sleep(model.VMMLoad(len(kernelImage)))
+	if len(cfg.Initrd) > 0 {
+		if err := m.Mem.HostWriteAliased(measure.GPAStageB, cfg.Initrd); err != nil {
+			return nil, err
+		}
+		proc.Sleep(model.VMMLoad(len(cfg.Initrd)))
+	}
+	// The cmdline travels over fw_cfg too: staged shared, verified in the
+	// guest against the pre-encrypted hash page.
+	cmdlineStage := uint64(measure.GPAStageB) + uint64(len(cfg.Initrd)+4096)&^4095
+	if err := m.Mem.HostWrite(cmdlineStage, []byte(cfg.Cmdline)); err != nil {
+		return nil, err
+	}
+	proc.Sleep(model.VMMSetupMisc)
+
+	m.PrepSEVHost(proc)
+
+	// Pre-encryption: the whole firmware volume + varstore + hash page
+	// (+ SNP pages + VMSA) — Fig. 10's ~288 ms column.
+	policy := launchPolicy(cfg.Level)
+	m.Timeline.Begin("preenc", proc.Now())
+	if err := m.StartLaunch(proc, policy); err != nil {
+		return nil, err
+	}
+	for _, r := range ovmf.PlanRegions(cfg.OVMFSeed, cfg.Level, hashes) {
+		if err := m.Mem.HostWrite(r.GPA, r.Data); err != nil {
+			return nil, fmt.Errorf("qemu: placing %s: %w", r.Name, err)
+		}
+		if err := m.Launch.LaunchUpdateData(proc, r.GPA, len(r.Data), r.Type); err != nil {
+			return nil, fmt.Errorf("qemu: measuring %s: %w", r.Name, err)
+		}
+	}
+	digest, err := m.Launch.LaunchFinish(proc)
+	if err != nil {
+		return nil, err
+	}
+	m.Timeline.End("preenc", proc.Now())
+
+	// Enter the guest at the OVMF reset vector.
+	m.DebugEvent(proc, sev.EvGuestEntry)
+	in := verifier.Inputs{
+		Kind:                verifier.KindBzImage,
+		StageGPA:            measure.GPAStageA,
+		KernelSize:          len(kernelImage),
+		KernelDstGPA:        measure.GPABzTarget,
+		InitrdStageGPA:      measure.GPAStageB,
+		InitrdSize:          len(cfg.Initrd),
+		InitrdDstGPA:        measure.GPAInitrd,
+		ScratchGPA:          measure.GPAScratch,
+		CmdlineStageGPA:     cmdlineStage,
+		CmdlineSize:         len(cfg.Cmdline),
+		GenerateBootStructs: true,
+		VCPUs:               cfg.VCPUs,
+	}
+	handoff, err := ovmf.Run(proc, m, in)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := linux.Boot(proc, m, handoff, cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Attestor != nil && cfg.Preset.Networking {
+		m.DebugEvent(proc, sev.EvAttestStart)
+		if err := cfg.Attestor.Attest(proc, m); err != nil {
+			return nil, fmt.Errorf("qemu: attestation: %w", err)
+		}
+		m.DebugEvent(proc, sev.EvAttestDone)
+	}
+	res := &Result{
+		Timeline:     m.Timeline,
+		Report:       rep,
+		Machine:      m,
+		LaunchDigest: digest,
+	}
+	res.Breakdown = m.Timeline.Breakdown()
+	return res, nil
+}
+
+// ExpectedDigest is the guest owner's digest tool for the QEMU flow.
+func ExpectedDigest(seed int64, level sev.Level, hashes measure.ComponentHashes) [32]byte {
+	d := psp.InitialDigest(launchPolicy(level), level)
+	for _, r := range ovmf.PlanRegions(seed, level, hashes) {
+		d = psp.ExtendDigest(d, r.Type, r.GPA, r.Data)
+	}
+	return d
+}
+
+func launchPolicy(level sev.Level) sev.Policy {
+	p := sev.DefaultPolicy()
+	if level < sev.ES {
+		p.ESRequired = false
+	}
+	return p
+}
+
+// attachDevices mirrors the firecracker monitor's device set.
+func attachDevices(m *kvm.Machine, preset kernelgen.Preset) {
+	m.Devices = append(m.Devices,
+		virtio.NewDevice(virtio.IDBlk, virtio.FeatBlkFlush, &virtio.BlkBackend{Image: firecracker.RootfsImage()}))
+	if preset.Networking {
+		m.Devices = append(m.Devices,
+			virtio.NewDevice(virtio.IDNet, virtio.FeatNetMac, virtio.NetBackend{}))
+	}
+}

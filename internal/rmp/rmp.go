@@ -1,0 +1,191 @@
+// Package rmp models the SEV-SNP Reverse Map Table: the system-wide,
+// hardware-enforced structure that records which guest owns each physical
+// page and whether the guest has validated it (paper §2.2).
+//
+// The table is consulted on host writes (an assigned page may not be
+// written by the hypervisor), on guest private accesses (an unvalidated
+// page raises #VC), and by the pvalidate instruction (the only way to set
+// the validated bit, and only from inside the guest).
+package rmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the RMP granularity.
+const PageSize = 4096
+
+// Errors reported by RMP checks. ErrVC corresponds to the #VC exception
+// delivered to the guest; ErrHostWrite corresponds to the hardware
+// blocking a host write to an assigned page.
+var (
+	ErrVC        = errors.New("rmp: #VC — guest access to unvalidated private page")
+	ErrHostWrite = errors.New("rmp: host write to guest-assigned page blocked")
+	ErrOwner     = errors.New("rmp: page assigned to a different guest")
+	ErrDouble    = errors.New("rmp: pvalidate of already-validated page")
+)
+
+// Entry is one RMP record.
+type Entry struct {
+	ASID      uint32 // owning guest; 0 = hypervisor-owned
+	Assigned  bool   // page belongs to a guest
+	Validated bool   // guest has executed pvalidate
+}
+
+// Table is the reverse map table. One table exists per machine; guests are
+// distinguished by ASID.
+type Table struct {
+	entries map[uint64]Entry // keyed by page frame number
+
+	// Validations counts successful pvalidate operations, for cost
+	// accounting and the huge-page ablation.
+	Validations uint64
+}
+
+// New returns an empty table (all pages hypervisor-owned).
+func New() *Table {
+	return &Table{entries: make(map[uint64]Entry)}
+}
+
+func pfn(gpa uint64) uint64 { return gpa / PageSize }
+
+// Lookup returns the entry covering gpa.
+func (t *Table) Lookup(gpa uint64) Entry { return t.entries[pfn(gpa)] }
+
+// Assign marks the page containing gpa as owned by asid, clearing the
+// validated bit (hardware does this whenever ownership or mapping
+// changes). Used by SNP_LAUNCH_UPDATE and by KVM when donating pages.
+func (t *Table) Assign(gpa uint64, asid uint32) {
+	t.entries[pfn(gpa)] = Entry{ASID: asid, Assigned: true}
+}
+
+// AssignValidated assigns and validates in one step — the state
+// SNP_LAUNCH_UPDATE leaves pre-encrypted launch pages in, so the guest can
+// execute from its root of trust without a pvalidate round.
+func (t *Table) AssignValidated(gpa uint64, asid uint32) {
+	t.entries[pfn(gpa)] = Entry{ASID: asid, Assigned: true, Validated: true}
+}
+
+// Pvalidate sets the validated bit for the page containing gpa. It fails
+// if the page is not assigned to asid (the guest cannot validate pages it
+// does not own) and if the page is already validated (the double-validate
+// check that defends against remap/replay games).
+func (t *Table) Pvalidate(gpa uint64, asid uint32) error {
+	e := t.entries[pfn(gpa)]
+	if !e.Assigned || e.ASID != asid {
+		return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(gpa))
+	}
+	if e.Validated {
+		return fmt.Errorf("%w: pfn %#x", ErrDouble, pfn(gpa))
+	}
+	e.Validated = true
+	t.entries[pfn(gpa)] = e
+	t.Validations++
+	return nil
+}
+
+// PvalidateRange validates [gpa, gpa+n) in pageSize steps, modeling
+// validation with either 4 KiB or 2 MiB granularity. The RMP itself is
+// tracked at 4 KiB granularity; a 2 MiB pvalidate validates 512 entries
+// with a single instruction (one Validations tick).
+func (t *Table) PvalidateRange(gpa uint64, n int, pageSize int, asid uint32) error {
+	if pageSize <= 0 {
+		pageSize = PageSize
+	}
+	for off := uint64(0); off < uint64(n); off += uint64(pageSize) {
+		base := gpa + off
+		for sub := uint64(0); sub < uint64(pageSize) && base+sub < gpa+uint64(n); sub += PageSize {
+			e := t.entries[pfn(base+sub)]
+			if !e.Assigned || e.ASID != asid {
+				return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(base+sub))
+			}
+			if e.Validated {
+				return fmt.Errorf("%w: pfn %#x", ErrDouble, pfn(base+sub))
+			}
+			e.Validated = true
+			t.entries[pfn(base+sub)] = e
+		}
+		t.Validations++
+	}
+	return nil
+}
+
+// CheckGuestAccess verifies a guest private-memory access to the page
+// containing gpa: the page must be assigned to this guest and validated,
+// otherwise the hardware raises #VC.
+func (t *Table) CheckGuestAccess(gpa uint64, asid uint32) error {
+	e := t.entries[pfn(gpa)]
+	if !e.Assigned || e.ASID != asid || !e.Validated {
+		return fmt.Errorf("%w: gpa %#x", ErrVC, gpa)
+	}
+	return nil
+}
+
+// CheckHostWrite verifies a hypervisor write to the page containing gpa:
+// assigned pages are write-protected from the host.
+func (t *Table) CheckHostWrite(gpa uint64) error {
+	e := t.entries[pfn(gpa)]
+	if e.Assigned {
+		return fmt.Errorf("%w: gpa %#x (asid %d)", ErrHostWrite, gpa, e.ASID)
+	}
+	return nil
+}
+
+// Remap models the hypervisor changing the mapping backing gpa: hardware
+// clears the validated bit, so the guest's next access raises #VC
+// (paper §2.2). Ownership is retained.
+func (t *Table) Remap(gpa uint64) {
+	e := t.entries[pfn(gpa)]
+	e.Validated = false
+	t.entries[pfn(gpa)] = e
+}
+
+// Reclaim returns the page to hypervisor ownership (guest teardown).
+func (t *Table) Reclaim(gpa uint64) {
+	delete(t.entries, pfn(gpa))
+}
+
+// AssignedPages returns how many pages are currently assigned to asid.
+func (t *Table) AssignedPages(asid uint32) int {
+	n := 0
+	for _, e := range t.entries {
+		if e.Assigned && e.ASID == asid {
+			n++
+		}
+	}
+	return n
+}
+
+// PvalidateRangeSkipValidated takes guest ownership of [gpa, gpa+n): for
+// every page it models the page-state-change request (hypervisor assigns
+// the page to the guest) followed by pvalidate. Pages the PSP already
+// assigned-and-validated during launch are skipped — the behaviour of a
+// guest whose kernel tracks pre-validated ranges (the paper's
+// snp-lazy-pvalidate guest patches). Pages owned by a *different* guest
+// fail with ErrOwner. One Validations tick is counted per pageSize block
+// that did any work (a 2 MiB pvalidate is one instruction).
+func (t *Table) PvalidateRangeSkipValidated(gpa uint64, n int, pageSize int, asid uint32) error {
+	if pageSize <= 0 {
+		pageSize = PageSize
+	}
+	for off := uint64(0); off < uint64(n); off += uint64(pageSize) {
+		base := gpa + off
+		did := false
+		for sub := uint64(0); sub < uint64(pageSize) && base+sub < gpa+uint64(n); sub += PageSize {
+			e := t.entries[pfn(base+sub)]
+			if e.Assigned && e.ASID != asid {
+				return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(base+sub))
+			}
+			if e.Assigned && e.Validated {
+				continue
+			}
+			t.entries[pfn(base+sub)] = Entry{ASID: asid, Assigned: true, Validated: true}
+			did = true
+		}
+		if did {
+			t.Validations++
+		}
+	}
+	return nil
+}

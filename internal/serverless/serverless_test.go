@@ -1,0 +1,135 @@
+package serverless
+
+import (
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+func runPlatform(t *testing.T, mode Mode, keepAlive time.Duration, w Workload) *Stats {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	stats, err := Run(eng, host, Config{
+		Mode:      mode,
+		Preset:    kernelgen.Lupine(),
+		InitrdLen: 1 << 20,
+		KeepAlive: keepAlive,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func sparseWorkload() Workload {
+	// Arrivals far apart: every request misses the keep-alive window.
+	return Workload{
+		Invocations:      8,
+		MeanInterarrival: 30 * time.Second,
+		ExecTime:         100 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+func denseWorkload() Workload {
+	// Arrivals bunched: most requests hit the pool.
+	return Workload{
+		Invocations:      30,
+		MeanInterarrival: 50 * time.Millisecond,
+		ExecTime:         20 * time.Millisecond,
+		Seed:             2,
+	}
+}
+
+func TestSparseTrafficIsAllCold(t *testing.T) {
+	stats := runPlatform(t, ModeSEVCold, time.Millisecond, sparseWorkload())
+	if stats.ColdStarts != stats.Invocations {
+		t.Fatalf("%d cold of %d; sparse arrivals must all miss the pool",
+			stats.ColdStarts, stats.Invocations)
+	}
+	if stats.ColdFraction() != 1.0 {
+		t.Fatalf("cold fraction %.2f", stats.ColdFraction())
+	}
+}
+
+func TestDenseTrafficHitsPool(t *testing.T) {
+	stats := runPlatform(t, ModeSEVCold, 10*time.Second, denseWorkload())
+	if stats.PoolHits == 0 {
+		t.Fatal("dense arrivals never hit the keep-alive pool")
+	}
+	if stats.ColdFraction() > 0.7 {
+		t.Fatalf("cold fraction %.2f too high for dense traffic", stats.ColdFraction())
+	}
+}
+
+func TestKeepAliveZeroDisablesPool(t *testing.T) {
+	stats := runPlatform(t, ModeSEVCold, 0, denseWorkload())
+	if stats.PoolHits != 0 {
+		t.Fatalf("pool hits %d with zero keep-alive", stats.PoolHits)
+	}
+}
+
+func TestSEVColdSlowerThanPlain(t *testing.T) {
+	w := sparseWorkload()
+	plain := runPlatform(t, ModePlain, time.Second, w)
+	sevc := runPlatform(t, ModeSEVCold, time.Second, w)
+	if sevc.StartupOnly.Mean() <= plain.StartupOnly.Mean() {
+		t.Fatalf("SEV cold startup %v not slower than plain %v",
+			sevc.StartupOnly.Mean(), plain.StartupOnly.Mean())
+	}
+}
+
+func TestWarmPoolCutsSEVStartup(t *testing.T) {
+	// §7's promise: shared-key snapshot restore beats cold boot for pool
+	// misses.
+	w := sparseWorkload()
+	cold := runPlatform(t, ModeSEVCold, time.Second, w)
+	warm := runPlatform(t, ModeSEVWarm, time.Second, w)
+	if warm.StartupOnly.Mean() >= cold.StartupOnly.Mean() {
+		t.Fatalf("warm pool startup %v not below cold %v",
+			warm.StartupOnly.Mean(), cold.StartupOnly.Mean())
+	}
+	if warm.ColdStarts != 0 {
+		t.Fatalf("%d cold starts despite the snapshot pool", warm.ColdStarts)
+	}
+}
+
+func TestLatencyIncludesExecution(t *testing.T) {
+	w := sparseWorkload()
+	stats := runPlatform(t, ModePlain, time.Second, w)
+	if stats.Latency.Mean() < stats.StartupOnly.Mean()+w.ExecTime {
+		t.Fatal("latency does not include execution time")
+	}
+}
+
+func TestStatsComplete(t *testing.T) {
+	w := denseWorkload()
+	stats := runPlatform(t, ModeSEVCold, 10*time.Second, w)
+	if len(stats.Latency) != w.Invocations || len(stats.StartupOnly) != w.Invocations {
+		t.Fatalf("latency samples %d/%d of %d invocations",
+			len(stats.Latency), len(stats.StartupOnly), w.Invocations)
+	}
+	if stats.ColdStarts+stats.WarmStarts != w.Invocations {
+		t.Fatalf("cold %d + warm %d != %d", stats.ColdStarts, stats.WarmStarts, w.Invocations)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	w := denseWorkload()
+	a := runPlatform(t, ModeSEVCold, 10*time.Second, w)
+	b := runPlatform(t, ModeSEVCold, 10*time.Second, w)
+	if a.ColdStarts != b.ColdStarts || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatal("platform run not deterministic")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModePlain.String() != "plain" || ModeSEVCold.String() != "sev-cold" || ModeSEVWarm.String() != "sev-warm" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,96 @@
+package sev
+
+import "testing"
+
+func TestLevelOrdering(t *testing.T) {
+	if !(None < SEV && SEV < ES && ES < SNP) {
+		t.Fatal("levels must be ordered none < sev < es < snp")
+	}
+	if None.Encrypted() {
+		t.Fatal("none is not encrypted")
+	}
+	for _, l := range []Level{SEV, ES, SNP} {
+		if !l.Encrypted() {
+			t.Fatalf("%v should be encrypted", l)
+		}
+	}
+	if SEV.HasRMP() || ES.HasRMP() {
+		t.Fatal("only SNP has an RMP")
+	}
+	if !SNP.HasRMP() {
+		t.Fatal("SNP must have an RMP")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	cases := map[Level]string{None: "none", SEV: "sev", ES: "sev-es", SNP: "sev-snp"}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Level
+	}{
+		{"none", None}, {"", None}, {"sev", SEV}, {"es", ES},
+		{"sev-es", ES}, {"snp", SNP}, {"sev-snp", SNP},
+	} {
+		got, err := ParseLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseLevel("tdx"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	p := Policy{NoDebug: true, ESRequired: true, MinABIMajor: 1, MinABIMinor: 51, SMTProhibited: true}
+	got := DecodePolicy(p.Encode())
+	if got != p {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+}
+
+func TestPolicyEncodingDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, p := range []Policy{
+		{}, {NoDebug: true}, {NoKeySharing: true}, {ESRequired: true},
+		{SingleSocket: true}, {SMTProhibited: true}, {MinABIMajor: 1}, {MinABIMinor: 1},
+	} {
+		v := p.Encode()
+		if seen[v] {
+			t.Fatalf("policy %+v collides at %#x", p, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.NoDebug || !p.NoKeySharing || !p.ESRequired {
+		t.Fatal("default policy must forbid debug and key sharing and require ES")
+	}
+}
+
+func TestTimingEventMSRRoundTrip(t *testing.T) {
+	for e := EvGuestEntry; e <= EvFirmwareBDS; e++ {
+		got, ok := EventFromMSR(e.MSRValue())
+		if !ok || got != e {
+			t.Fatalf("event %d: round trip gave %d, %v", e, got, ok)
+		}
+	}
+}
+
+func TestEventFromMSRRejectsOtherWrites(t *testing.T) {
+	for _, v := range []uint64{0, 0xdeadbeef, GHCBTimingEventBase ^ 0x100} {
+		if _, ok := EventFromMSR(v); ok {
+			t.Fatalf("non-timing MSR value %#x decoded as event", v)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import "time"
+
+// Resource is a FIFO server with a fixed number of service slots. It models
+// contended hardware: the SEVeriFast reproduction uses a capacity-1 Resource
+// for the Platform Security Processor, which serializes launch commands
+// across all concurrently booting guests (the paper's Fig. 12 bottleneck).
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+	queue    []*Proc
+
+	// Accounting, for experiments that want utilization numbers.
+	busy      time.Duration // total slot-busy time accumulated
+	lastStamp Time
+	served    uint64
+	maxQueue  int
+}
+
+// NewResource returns a resource with the given number of service slots.
+// Capacity must be at least 1.
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Served returns the number of completed service periods.
+func (r *Resource) Served() uint64 { return r.served }
+
+// MaxQueue returns the maximum number of processes ever waiting.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// BusyTime returns total accumulated slot-busy virtual time.
+func (r *Resource) BusyTime() time.Duration { return r.busy }
+
+// Acquire blocks p until a slot is free, in FIFO order. The caller must
+// pair it with Release.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.take(p.eng)
+		return
+	}
+	r.queue = append(r.queue, p)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	p.waitParked()
+	// Woken by Release, which already accounted the slot to us.
+}
+
+// account folds slot-busy time accumulated since the last state change into
+// the busy integral. Call before every change to inUse.
+func (r *Resource) account(e *Engine) {
+	r.busy += time.Duration(r.inUse) * e.now.Sub(r.lastStamp)
+	r.lastStamp = e.now
+}
+
+func (r *Resource) take(e *Engine) {
+	r.account(e)
+	r.inUse++
+}
+
+// Release frees a slot and hands it to the longest-waiting process, if any.
+func (r *Resource) Release(e *Engine) {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.account(e)
+	r.inUse--
+	r.served++
+	if len(r.queue) > 0 && r.inUse < r.capacity {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.take(e)
+		e.At(e.now, func() { next.step() })
+	}
+}
+
+// Use acquires a slot, holds it for d of virtual time, and releases it.
+// This is the common "submit one command to the device" pattern.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p.eng)
+}

@@ -1,0 +1,279 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The SEVeriFast reproduction separates *what happens* from *how long it
+// takes*: data transformations (hashing, encryption, decompression, memory
+// writes) are executed for real on real bytes, while durations are charged
+// against a virtual clock owned by an Engine. The engine advances time by
+// dispatching events in (time, sequence) order, so a run is reproducible
+// bit-for-bit regardless of host scheduling.
+//
+// Model code is written as straight-line process functions (see Engine.Go)
+// that sleep on the virtual clock and queue on shared resources. Exactly one
+// process runs at a time; the engine and the running process hand control
+// back and forth over unbuffered channels, so there is no data race between
+// processes even though they share model state.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It deliberately mirrors time.Duration's resolution so cost
+// models can be written with time.Duration literals.
+type Time int64
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	procs int // live (started, unfinished) processes
+
+	panicked interface{} // first panic captured from a process
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (or at
+// the present instant) fires the event at the current time, after already-
+// queued events for that time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Run dispatches events until the queue is empty. It panics if a process
+// panicked, propagating the original panic value, or if processes remain
+// parked with no event that could ever wake them (a deadlock in the model).
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fire()
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with an empty event queue", e.procs))
+	}
+}
+
+// Proc is the handle a process function uses to interact with virtual time.
+// A Proc is only valid inside the process function it was passed to.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // engine -> process: run
+	yield  chan struct{} // process -> engine: parked or done
+	done   bool
+}
+
+// Name returns the process name given to Engine.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go starts fn as a simulation process at the current virtual time.
+//
+// The process body runs on its own goroutine but never concurrently with
+// the engine or with any other process: control transfers are strict
+// rendezvous. fn may freely read and write model state shared with other
+// processes.
+func (e *Engine) Go(name string, fn func(p *Proc)) {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.panicked == nil {
+					e.panicked = r
+				}
+			}
+			p.done = true
+			e.procs--
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	// First activation happens via the event queue so that processes
+	// started at the same instant run in start order.
+	e.At(e.now, func() { p.step() })
+}
+
+// step transfers control to the process and waits for it to park or finish.
+// It must only be called from engine context (inside an event callback).
+func (p *Proc) step() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the process until some event calls step again. It must only
+// be called from process context.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d of virtual time. Negative durations are
+// treated as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.At(p.eng.now.Add(d), func() { p.step() })
+	p.park()
+}
+
+// Yield reschedules the process at the current instant, letting other
+// events and processes queued for this time run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait parks the process until wake is called (from engine or another
+// process's context via an event). It returns the virtual time at wakeup.
+func (p *Proc) waitParked() Time {
+	p.park()
+	return p.eng.now
+}
+
+// Signal is a one-shot broadcast synchronization point: processes Wait on
+// it; Fire releases all current and future waiters.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters at the current virtual time. Firing twice is a
+// no-op.
+func (s *Signal) Fire(e *Engine) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		w := w
+		e.At(e.now, func() { w.step() })
+	}
+	s.waiters = nil
+}
+
+// Wait blocks p until the signal fires. If it already fired, Wait returns
+// immediately without yielding.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.waitParked()
+}
+
+// Join waits for n processes to call Done, like a sync.WaitGroup in virtual
+// time.
+type Join struct {
+	remaining int
+	sig       *Signal
+}
+
+// NewJoin returns a Join waiting for n completions.
+func NewJoin(n int) *Join {
+	j := &Join{remaining: n, sig: NewSignal()}
+	return j
+}
+
+// Done records one completion; the n-th completion releases waiters.
+func (j *Join) Done(e *Engine) {
+	if j.remaining <= 0 {
+		panic("sim: Join.Done called more times than NewJoin count")
+	}
+	j.remaining--
+	if j.remaining == 0 {
+		j.sig.Fire(e)
+	}
+}
+
+// Wait blocks p until all completions have been recorded.
+func (j *Join) Wait(p *Proc) { j.sig.Wait(p) }

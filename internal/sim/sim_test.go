@@ -1,0 +1,419 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.After(5*time.Millisecond, func() { fired = e.Now() })
+	e.Run()
+	if fired != Time(5*time.Millisecond) {
+		t.Fatalf("fired at %v, want 5ms", fired)
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("final clock %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(time.Second, func() {
+		e.At(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != Time(time.Second) {
+		t.Fatalf("past event fired at %v, want 1s", at)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var marks []Time
+	e.Go("p", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(10 * time.Millisecond)
+		marks = append(marks, p.Now())
+		p.Sleep(20 * time.Millisecond)
+		marks = append(marks, p.Now())
+	})
+	e.Run()
+	want := []Time{0, Time(10 * time.Millisecond), Time(30 * time.Millisecond)}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(2 * time.Millisecond)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(1 * time.Millisecond)
+		order = append(order, "b1")
+		p.Sleep(2 * time.Millisecond)
+		order = append(order, "b3")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "b1", "a2", "b3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Go("boom", func(p *Proc) { panic("boom!") })
+	defer func() {
+		r := recover()
+		if r != "boom!" {
+			t.Fatalf("recovered %v, want boom!", r)
+		}
+	}()
+	e.Run()
+	t.Fatal("Run returned without panicking")
+}
+
+func TestResourceSerializesCapacityOne(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("psp", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if r.Served() != 3 {
+		t.Fatalf("Served = %d, want 3", r.Served())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("dev", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			r.Use(p, time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO by arrival", order)
+		}
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("dev", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	// Pairs complete together: 10ms, 10ms, 20ms, 20ms.
+	want := []Time{Time(10 * time.Millisecond), Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(20 * time.Millisecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("dev", 1)
+	for i := 0; i < 3; i++ {
+		e.Go("p", func(p *Proc) { r.Use(p, 5*time.Millisecond) })
+	}
+	e.Run()
+	if r.BusyTime() != 15*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 15ms", r.BusyTime())
+	}
+}
+
+func TestResourceMaxQueue(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("dev", 1)
+	for i := 0; i < 4; i++ {
+		e.Go("p", func(p *Proc) { r.Use(p, time.Millisecond) })
+	}
+	e.Run()
+	if r.MaxQueue() != 3 {
+		t.Fatalf("MaxQueue = %d, want 3", r.MaxQueue())
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource("dev", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of idle resource did not panic")
+		}
+	}()
+	r.Release(e)
+}
+
+func TestSignalReleasesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal()
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			s.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		s.Fire(e)
+	})
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != Time(7*time.Millisecond) {
+			t.Fatalf("waiter woke at %v, want 7ms", w)
+		}
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal()
+	e.Go("p", func(p *Proc) {
+		s.Fire(e)
+		before := p.Now()
+		s.Wait(p)
+		if p.Now() != before {
+			t.Error("Wait after Fire advanced time")
+		}
+	})
+	e.Run()
+}
+
+func TestJoinWaitsForAll(t *testing.T) {
+	e := NewEngine()
+	j := NewJoin(3)
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Millisecond
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			j.Done(e)
+		})
+	}
+	e.Go("waiter", func(p *Proc) {
+		j.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != Time(3*time.Millisecond) {
+		t.Fatalf("join released at %v, want 3ms", doneAt)
+	}
+}
+
+func TestJoinTooManyDonePanics(t *testing.T) {
+	e := NewEngine()
+	j := NewJoin(1)
+	j.Done(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extra Done did not panic")
+		}
+	}()
+	j.Done(e)
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal()
+	e.Go("stuck", func(p *Proc) { s.Wait(p) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewResource("psp", 1)
+		var finish []Time
+		for i := 0; i < 20; i++ {
+			d := time.Duration(i%5+1) * time.Millisecond
+			e.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				r.Use(p, 2*time.Millisecond)
+				finish = append(finish, p.Now())
+			})
+		}
+		e.Run()
+		return finish
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeStringAndArithmetic(t *testing.T) {
+	tm := Time(0).Add(1500 * time.Millisecond)
+	if tm.Duration() != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", tm.Duration())
+	}
+	if tm.Sub(Time(500*time.Millisecond)) != time.Second {
+		t.Fatalf("Sub wrong")
+	}
+	if tm.String() != "1.5s" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}
+
+func TestYieldRunsOthersFirst(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a-before")
+		p.Yield()
+		order = append(order, "a-after")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	want := []string{"a-before", "b", "a-after"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineReusableAcrossRuns(t *testing.T) {
+	// Hosts boot guests serially by scheduling more work after Run drains
+	// (the public API relies on this).
+	e := NewEngine()
+	var order []int
+	e.Go("first", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, 1)
+	})
+	e.Run()
+	e.Go("second", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		order = append(order, 2)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// The clock keeps advancing monotonically across runs.
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestNestedProcessSpawn(t *testing.T) {
+	e := NewEngine()
+	var done []string
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		p.Engine().Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			done = append(done, "child@"+c.Now().String())
+		})
+		done = append(done, "parent@"+p.Now().String())
+	})
+	e.Run()
+	if len(done) != 2 || done[0] != "parent@1ms" || done[1] != "child@2ms" {
+		t.Fatalf("done = %v", done)
+	}
+}

@@ -1,0 +1,272 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/guestmem"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// run executes fn on a fresh engine+host process.
+func run(t *testing.T, fn func(p *sim.Proc, h *kvm.Host)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	eng.Go("test", func(p *sim.Proc) { fn(p, host) })
+	eng.Run()
+}
+
+// payload is the guest state we snapshot: deterministic bytes across a
+// few pages.
+func payload(tag byte) []byte {
+	b := make([]byte, 8*guestmem.PageSize)
+	for i := range b {
+		b[i] = byte(i) ^ tag
+	}
+	return b
+}
+
+func TestPlainSnapshotRestoreRoundTrip(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		src := h.NewMachine(p, 1<<20, sev.None)
+		data := payload(0)
+		if err := src.Mem.HostWrite(0x10000, data); err != nil {
+			t.Fatal(err)
+		}
+		img, err := Capture(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := h.NewMachine(p, 1<<20, sev.None)
+		if err := Restore(p, dst, img); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.Mem.GuestRead(0x10000, len(data), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("plain warm start lost guest state")
+		}
+	})
+}
+
+// sevGuest launches an SNP machine with key-sharing-permissive policy and
+// writes private payload pages.
+func sevGuest(t *testing.T, p *sim.Proc, h *kvm.Host, data []byte) *kvm.Machine {
+	t.Helper()
+	m := h.NewMachine(p, 1<<20, sev.SNP)
+	pol := sev.DefaultPolicy()
+	pol.NoKeySharing = false // warm-start experiments need sharing
+	if err := m.StartLaunch(p, pol); err != nil {
+		t.Fatal(err)
+	}
+	table, asid := m.Mem.RMP()
+	if err := table.PvalidateRangeSkipValidated(0, int(m.Mem.Size()), 2<<20, asid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.GuestWrite(0x10000, data, true); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSEVSnapshotIsCiphertext(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(1)
+		src := sevGuest(t, p, h, data)
+		img, err := Capture(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !img.SEV {
+			t.Fatal("image not marked SEV")
+		}
+		pn := uint64(0x10000) / guestmem.PageSize
+		if !img.Private[pn] {
+			t.Fatal("payload page not marked private")
+		}
+		if bytes.Equal(img.Pages[pn], data[:guestmem.PageSize]) {
+			t.Fatal("snapshot leaked plain text of an SEV guest")
+		}
+	})
+}
+
+func TestSEVRestoreIntoFreshKeyYieldsGarbage(t *testing.T) {
+	// The paper's core warm-start obstacle: the host cannot rehydrate an
+	// SEV guest into a new launch context.
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(2)
+		src := sevGuest(t, p, h, data)
+		img, err := Capture(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := sevGuest(t, p, h, payload(3)) // fresh key, different ASID
+		if err := Restore(p, dst, img); err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64][]byte{0x10000: data[:64]}
+		err = Verify(src, dst, []uint64{0x10000}, want)
+		if !errors.Is(err, ErrEncrypted) {
+			t.Fatalf("cross-key restore verified: %v", err)
+		}
+	})
+}
+
+func TestSEVRestoreUnderSharedKeyWorks(t *testing.T) {
+	// §6.2's near-term idea: share the encryption key. Restore then
+	// reproduces the guest's state — at the cost of a policy the guest
+	// owner can see.
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(4)
+		src := sevGuest(t, p, h, data)
+		img, err := Capture(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dst := h.NewMachine(p, 1<<20, sev.SNP)
+		pol := sev.DefaultPolicy()
+		pol.NoKeySharing = false
+		ctx, err := h.PSP.LaunchStartShared(p, dst.Mem, src.Launch, sev.SNP, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst.Launch = ctx
+		if err := Restore(p, dst, img); err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64][]byte{0x10000: data[:64]}
+		if err := Verify(src, dst, []uint64{0x10000}, want); err != nil {
+			t.Fatalf("shared-key restore failed verification: %v", err)
+		}
+	})
+}
+
+func TestSharedKeyLaunchRequiresPermissivePolicy(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		src := h.NewMachine(p, 1<<20, sev.SNP)
+		strict := sev.DefaultPolicy() // NoKeySharing = true
+		if err := src.StartLaunch(p, strict); err != nil {
+			t.Fatal(err)
+		}
+		dst := h.NewMachine(p, 1<<20, sev.SNP)
+		pol := strict
+		pol.NoKeySharing = false
+		if _, err := h.PSP.LaunchStartShared(p, dst.Mem, src.Launch, sev.SNP, pol); err == nil {
+			t.Fatal("shared key granted against the donor's NoKeySharing policy")
+		}
+	})
+}
+
+func TestSharedKeyVisibleInMeasurement(t *testing.T) {
+	// The weakened trust model is not silent: the relaxed policy changes
+	// the launch digest and the attestation report.
+	strict := sev.DefaultPolicy()
+	relaxed := strict
+	relaxed.NoKeySharing = false
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		a := h.NewMachine(p, 1<<20, sev.SNP)
+		if err := a.StartLaunch(p, strict); err != nil {
+			t.Fatal(err)
+		}
+		b := h.NewMachine(p, 1<<20, sev.SNP)
+		if err := b.StartLaunch(p, relaxed); err != nil {
+			t.Fatal(err)
+		}
+		da, _ := a.Launch.LaunchFinish(p)
+		db, _ := b.Launch.LaunchFinish(p)
+		if da == db {
+			t.Fatal("key-sharing policy is invisible in the measurement")
+		}
+	})
+}
+
+func TestDedupPlainGuestsShareAlmostEverything(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(5)
+		var images []*Image
+		for i := 0; i < 3; i++ {
+			m := h.NewMachine(p, 1<<20, sev.None)
+			if err := m.Mem.HostWrite(0x10000, data); err != nil {
+				t.Fatal(err)
+			}
+			img, err := Capture(p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			images = append(images, img)
+		}
+		stats := Dedup(images...)
+		if stats.SharedFraction() < 0.6 {
+			t.Fatalf("plain guests shared only %.2f of pages", stats.SharedFraction())
+		}
+	})
+}
+
+func TestDedupSEVGuestsShareNothing(t *testing.T) {
+	// §7.1: "pages with identical contents at different physical addresses
+	// will have different ciphertext" — and across guests too. Dedup gets
+	// zero traction.
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(6)
+		var images []*Image
+		for i := 0; i < 3; i++ {
+			m := sevGuest(t, p, h, data)
+			img, err := Capture(p, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			images = append(images, img)
+		}
+		stats := Dedup(images...)
+		if stats.PrivateSharedFraction() > 0.001 {
+			t.Fatalf("SEV guests shared %.3f of private pages; ciphertext must not dedup", stats.PrivateSharedFraction())
+		}
+		if stats.PrivatePages == 0 {
+			t.Fatal("no private pages captured")
+		}
+	})
+}
+
+func TestRestoreRejectsSizeMismatch(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		src := h.NewMachine(p, 1<<20, sev.None)
+		img, err := Capture(p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := h.NewMachine(p, 2<<20, sev.None)
+		if err := Restore(p, dst, img); !errors.Is(err, ErrSize) {
+			t.Fatalf("size mismatch accepted: %v", err)
+		}
+	})
+}
+
+func TestWarmStartCostSEVIncludesRevalidation(t *testing.T) {
+	run(t, func(p *sim.Proc, h *kvm.Host) {
+		data := payload(7)
+		plain := h.NewMachine(p, 1<<20, sev.None)
+		if err := plain.Mem.HostWrite(0x10000, data); err != nil {
+			t.Fatal(err)
+		}
+		plainImg, err := Capture(p, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := sevGuest(t, p, h, data)
+		encImg, err := Capture(p, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if WarmStartCost(enc, encImg) <= WarmStartCost(plain, plainImg) {
+			t.Fatal("SEV warm start must pay re-validation on top of page replay")
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/severifast/severifast/internal/sev"
+	simtime "github.com/severifast/severifast/internal/sim"
+)
+
+// eventLabels names the boot stages for rendering.
+var eventLabels = map[sev.TimingEvent]string{
+	sev.EvGuestEntry:     "guest entry",
+	sev.EvVerifierStart:  "verifier start",
+	sev.EvVerifierDone:   "verifier done",
+	sev.EvBootstrapStart: "bootstrap start",
+	sev.EvKernelEntry:    "kernel entry",
+	sev.EvInitExec:       "init exec",
+	sev.EvAttestStart:    "attest start",
+	sev.EvAttestDone:     "attest done",
+	sev.EvFirmwareSEC:    "fw SEC",
+	sev.EvFirmwarePEI:    "fw PEI",
+	sev.EvFirmwareDXE:    "fw DXE",
+	sev.EvFirmwareBDS:    "fw BDS",
+}
+
+// RenderTimeline draws the boot as an ASCII Gantt chart: one row per
+// stage, bars proportional to duration, suitable for terminal output
+// (sevf-boot -timeline).
+func (t *Timeline) RenderTimeline(width int) string {
+	if width < 40 {
+		width = 72
+	}
+	type stage struct {
+		name       string
+		start, end time.Duration
+	}
+	var stages []stage
+	events := append([]Event(nil), t.events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	if len(events) == 0 {
+		return "(no events recorded)\n"
+	}
+
+	rel := func(at simtime.Time) time.Duration { return at.Sub(t.Start) }
+	// VMM stage: timeline start to guest entry.
+	if ge, ok := t.EventAt(sev.EvGuestEntry); ok {
+		stages = append(stages, stage{"vmm", 0, rel(ge)})
+	}
+	// Each consecutive pair of guest events becomes a stage.
+	for i := 0; i+1 < len(events); i++ {
+		name := eventLabels[events[i].Ev]
+		if name == "" {
+			name = fmt.Sprintf("ev%d", events[i].Ev)
+		}
+		s := rel(events[i].At)
+		e := rel(events[i+1].At)
+		if e > s {
+			stages = append(stages, stage{name + " →", s, e})
+		}
+	}
+	total := rel(events[len(events)-1].At)
+	if total <= 0 {
+		return "(empty timeline)\n"
+	}
+
+	nameW := 0
+	for _, s := range stages {
+		if len(s.name) > nameW {
+			nameW = len(s.name)
+		}
+	}
+	barW := width - nameW - 14
+	if barW < 10 {
+		barW = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "boot timeline (total %v)\n", total.Round(10*time.Microsecond))
+	for _, s := range stages {
+		startCol := int(int64(barW) * int64(s.start) / int64(total))
+		endCol := int(int64(barW) * int64(s.end) / int64(total))
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("█", endCol-startCol)
+		fmt.Fprintf(&sb, "%-*s |%-*s| %v\n", nameW, s.name, barW, bar,
+			(s.end - s.start).Round(10*time.Microsecond))
+	}
+	return sb.String()
+}
+
+// RenderCDF draws an empirical CDF as ASCII, one row per quantile step.
+func RenderCDF(title string, s Series, width int) string {
+	if len(s) == 0 {
+		return title + ": (no samples)\n"
+	}
+	if width < 30 {
+		width = 60
+	}
+	points := s.CDF()
+	lo := points[0].Value
+	hi := points[len(points)-1].Value
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, p50=%v, p99=%v)\n", title, len(s),
+		s.Percentile(50).Round(10*time.Microsecond), s.Percentile(99).Round(10*time.Microsecond))
+	for _, q := range []float64{10, 25, 50, 75, 90, 99, 100} {
+		v := s.Percentile(q)
+		col := int(int64(width) * int64(v-lo) / int64(span))
+		if col > width {
+			col = width
+		}
+		fmt.Fprintf(&sb, "p%-3.0f |%s▌ %v\n", q, strings.Repeat("─", col), v.Round(10*time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+// Package trace records boot timelines the way the paper measures them
+// (§6.1 Testing Methodology): guest stages emit timing events through the
+// debug-port device / GHCB MSR writes, the VMM stamps them with the
+// (virtual) clock, and the breakdown splits total boot time into the four
+// parts reported in Fig. 11 — VMM, Boot Verification, Bootstrap Loader,
+// and Linux Boot — plus pre-encryption and attestation spans.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Event is one stamped timing event.
+type Event struct {
+	At sim.Time
+	Ev sev.TimingEvent
+}
+
+// Timeline collects events and named spans for one boot.
+type Timeline struct {
+	Start  sim.Time
+	events []Event
+	spans  map[string]time.Duration
+	open   map[string]sim.Time
+}
+
+// New returns a timeline whose zero point is the VMM exec time.
+func New(start sim.Time) *Timeline {
+	return &Timeline{
+		Start: start,
+		spans: make(map[string]time.Duration),
+		open:  make(map[string]sim.Time),
+	}
+}
+
+// Record stamps a guest timing event (a debug-port write).
+func (t *Timeline) Record(at sim.Time, ev sev.TimingEvent) {
+	t.events = append(t.events, Event{At: at, Ev: ev})
+}
+
+// EventAt returns the stamp of the first occurrence of ev.
+func (t *Timeline) EventAt(ev sev.TimingEvent) (sim.Time, bool) {
+	for _, e := range t.events {
+		if e.Ev == ev {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// Begin opens a named host-side span (e.g. "preenc").
+func (t *Timeline) Begin(name string, at sim.Time) { t.open[name] = at }
+
+// End closes a named span, accumulating its duration.
+func (t *Timeline) End(name string, at sim.Time) {
+	start, ok := t.open[name]
+	if !ok {
+		panic("trace: End of unopened span " + name)
+	}
+	delete(t.open, name)
+	t.spans[name] += at.Sub(start)
+}
+
+// Span returns the accumulated duration of a named span.
+func (t *Timeline) Span(name string) time.Duration { return t.spans[name] }
+
+// Breakdown is the paper's Fig. 11 decomposition plus the Fig. 10 columns.
+type Breakdown struct {
+	VMM              time.Duration // exec to guest entry (includes pre-encryption)
+	PreEncryption    time.Duration // subset of VMM: LAUNCH_* commands
+	BootVerification time.Duration // boot verifier / firmware run time
+	Firmware         time.Duration // OVMF phases (QEMU flow only)
+	BootstrapLoader  time.Duration // bzImage decompress+load stage
+	LinuxBoot        time.Duration // kernel entry to init
+	Total            time.Duration // exec to init
+	Attestation      time.Duration // report round trip (after init)
+	TotalWithAttest  time.Duration
+}
+
+// Breakdown derives the decomposition from the recorded events.
+func (t *Timeline) Breakdown() Breakdown {
+	var b Breakdown
+	rel := func(ev sev.TimingEvent) (time.Duration, bool) {
+		at, ok := t.EventAt(ev)
+		if !ok {
+			return 0, false
+		}
+		return at.Sub(t.Start), true
+	}
+	entry, hasEntry := rel(sev.EvGuestEntry)
+	if hasEntry {
+		b.VMM = entry
+	}
+	b.PreEncryption = t.Span("preenc")
+	if vs, ok := rel(sev.EvVerifierStart); ok {
+		if vd, ok2 := rel(sev.EvVerifierDone); ok2 {
+			b.BootVerification = vd - vs
+		}
+	}
+	if s, ok := rel(sev.EvFirmwareSEC); ok {
+		// Firmware span: SEC start to verifier start (the verifier is the
+		// last firmware stage in the QEMU/OVMF flow).
+		if vd, ok2 := rel(sev.EvVerifierDone); ok2 {
+			b.Firmware = vd - s
+		}
+	}
+	if bs, ok := rel(sev.EvBootstrapStart); ok {
+		if ke, ok2 := rel(sev.EvKernelEntry); ok2 {
+			b.BootstrapLoader = ke - bs
+		}
+	}
+	if ke, ok := rel(sev.EvKernelEntry); ok {
+		if ie, ok2 := rel(sev.EvInitExec); ok2 {
+			b.LinuxBoot = ie - ke
+		}
+	}
+	if ie, ok := rel(sev.EvInitExec); ok {
+		b.Total = ie
+		b.TotalWithAttest = ie
+	}
+	if as, ok := rel(sev.EvAttestStart); ok {
+		if ad, ok2 := rel(sev.EvAttestDone); ok2 {
+			b.Attestation = ad - as
+			if ad > b.TotalWithAttest {
+				b.TotalWithAttest = ad
+			}
+		}
+	}
+	return b
+}
+
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "VMM %v (preenc %v)", b.VMM.Round(10*time.Microsecond), b.PreEncryption.Round(10*time.Microsecond))
+	if b.Firmware > 0 {
+		fmt.Fprintf(&sb, " | firmware %v", b.Firmware.Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(&sb, " | verify %v | bootstrap %v | linux %v | total %v",
+		b.BootVerification.Round(10*time.Microsecond),
+		b.BootstrapLoader.Round(10*time.Microsecond),
+		b.LinuxBoot.Round(10*time.Microsecond),
+		b.Total.Round(10*time.Microsecond))
+	if b.Attestation > 0 {
+		fmt.Fprintf(&sb, " | attest %v (end-to-end %v)",
+			b.Attestation.Round(10*time.Microsecond),
+			b.TotalWithAttest.Round(10*time.Microsecond))
+	}
+	return sb.String()
+}
+
+// --- statistics over repeated boots ---
+
+// Series is a set of durations from repeated runs.
+type Series []time.Duration
+
+// Mean returns the arithmetic mean.
+func (s Series) Mean() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	return sum / time.Duration(len(s))
+}
+
+// Stddev returns the population standard deviation.
+func (s Series) Stddev() time.Duration {
+	if len(s) < 2 {
+		return 0
+	}
+	m := float64(s.Mean())
+	var acc float64
+	for _, d := range s {
+		diff := float64(d) - m
+		acc += diff * diff
+	}
+	return time.Duration(math.Sqrt(acc / float64(len(s))))
+}
+
+// Percentile returns the p-th percentile (0-100) using nearest-rank.
+func (s Series) Percentile(p float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	sorted := append(Series(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// CDFPoint is one (x, F(x)) sample.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// CDF returns the empirical distribution, one point per sample.
+func (s Series) CDF() []CDFPoint {
+	sorted := append(Series(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// RenderAs draws this series' empirical CDF as ASCII with the given title.
+func (s Series) RenderAs(title string) string { return RenderCDF(title, s, 60) }

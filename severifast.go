@@ -1,0 +1,612 @@
+// Package severifast is a full-system reproduction of "SEVeriFast:
+// Minimizing the root of trust for fast startup of SEV microVMs"
+// (ASPLOS 2024).
+//
+// It models the complete AMD SEV-SNP boot path — PSP launch commands and
+// measurement chain, RMP integrity protection, guest memory encryption,
+// the SEVeriFast boot verifier, measured direct boot, bzImage/vmlinux
+// loading, guest Linux init, and remote attestation — with every data
+// transformation executed for real (SHA-256 measurement, AES page
+// encryption, LZ4 decompression, ELF loading, report signing) and every
+// duration charged to a deterministic virtual clock calibrated against
+// the paper's published numbers.
+//
+// The package offers a small facade over the internal machinery:
+//
+//	res, err := severifast.Boot(severifast.Config{
+//	    Kernel: severifast.KernelAWS,
+//	    Level:  severifast.LevelSNP,
+//	    Scheme: severifast.SchemeSEVeriFast,
+//	    Attest: true,
+//	})
+//
+// Everything the paper's evaluation sweeps — boot scheme, SEV level,
+// kernel configuration, compression codec, hashing strategy, huge pages —
+// is a Config field. See DESIGN.md for the reproduction methodology and
+// EXPERIMENTS.md for paper-vs-measured results.
+package severifast
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"github.com/severifast/severifast/internal/attest"
+	"github.com/severifast/severifast/internal/bzimage"
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/qemu"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/snapshot"
+	"github.com/severifast/severifast/internal/trace"
+	"github.com/severifast/severifast/internal/verifier"
+)
+
+// Kernel selects a guest kernel configuration (paper Fig. 8).
+type Kernel string
+
+// The paper's three kernel configurations.
+const (
+	KernelLupine Kernel = "lupine" // 23M vmlinux, no networking
+	KernelAWS    Kernel = "aws"    // 43M vmlinux, Firecracker's microVM config
+	KernelUbuntu Kernel = "ubuntu" // 61M vmlinux, distribution-generic
+)
+
+// Level selects the SEV feature generation.
+type Level string
+
+// SEV levels.
+const (
+	LevelNone Level = "none"
+	LevelSEV  Level = "sev"
+	LevelES   Level = "sev-es"
+	LevelSNP  Level = "sev-snp"
+)
+
+// Scheme selects the boot flow.
+type Scheme string
+
+// Boot flows.
+const (
+	// SchemeStock is unmodified Firecracker direct boot (non-confidential).
+	SchemeStock Scheme = "stock"
+	// SchemeSEVeriFast is the paper's design: minimal boot verifier,
+	// out-of-band hashes, LZ4 bzImage via measured direct boot.
+	SchemeSEVeriFast Scheme = "severifast"
+	// SchemeSEVeriFastVmlinux boots an uncompressed kernel through the
+	// optimized fw_cfg streaming protocol (paper §5).
+	SchemeSEVeriFastVmlinux Scheme = "severifast-vmlinux"
+	// SchemeQEMUOVMF is the mainstream QEMU + OVMF reference flow.
+	SchemeQEMUOVMF Scheme = "qemu-ovmf"
+)
+
+// Config describes one microVM boot.
+type Config struct {
+	Kernel Kernel // default KernelAWS
+	Level  Level  // default LevelSNP (LevelNone for SchemeStock)
+	Scheme Scheme // default SchemeSEVeriFast
+
+	VCPUs     int // default 1
+	MemMiB    int // default 256
+	InitrdMiB int // default 16 (the paper's attestation initrd)
+
+	// Compression selects the bzImage codec for SchemeSEVeriFast
+	// ("lz4" default, "gzip" for the Fig. 5 comparison).
+	Compression string
+
+	// InBandHashing disables the §4.3 out-of-band hash file, putting
+	// component hashing back on the critical path.
+	InBandHashing bool
+
+	// PreEncryptPageTables flips the Fig. 7 decision for page tables.
+	PreEncryptPageTables bool
+
+	// DisableTHP validates guest memory with 4 KiB pvalidate operations
+	// instead of 2 MiB (paper §6.1).
+	DisableTHP bool
+
+	// AllowKeySharing relaxes the launch policy so this guest's key can
+	// be shared with warm-started clones (paper §6.2/§7). Visible in the
+	// measurement and the attestation report.
+	AllowKeySharing bool
+
+	// Attest runs remote attestation against an in-process guest owner
+	// primed with this configuration's expected digest. Ignored for
+	// kernels without networking (Lupine).
+	Attest bool
+
+	// VerifierSeed selects the boot verifier build (changing it models a
+	// different — possibly malicious — verifier binary).
+	VerifierSeed int64
+
+	// Seed fixes the host identity (PSP keys) and jitter; zero means 1.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Kernel == "" {
+		c.Kernel = KernelAWS
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemeSEVeriFast
+	}
+	if c.Level == "" {
+		if c.Scheme == SchemeStock {
+			c.Level = LevelNone
+		} else {
+			c.Level = LevelSNP
+		}
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 1
+	}
+	if c.MemMiB == 0 {
+		c.MemMiB = 256
+	}
+	if c.InitrdMiB == 0 {
+		c.InitrdMiB = 16
+	}
+	if c.Compression == "" {
+		c.Compression = "lz4"
+	}
+	if c.VerifierSeed == 0 {
+		c.VerifierSeed = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	switch c.Scheme {
+	case SchemeStock, SchemeSEVeriFast, SchemeSEVeriFastVmlinux, SchemeQEMUOVMF:
+	default:
+		return fmt.Errorf("severifast: unknown scheme %q", c.Scheme)
+	}
+	return nil
+}
+
+// Result reports one completed boot.
+type Result struct {
+	// Phase durations in virtual time (the paper's Fig. 11 decomposition).
+	Total            time.Duration
+	VMM              time.Duration
+	PreEncryption    time.Duration
+	Firmware         time.Duration // QEMU/OVMF flow only
+	BootVerification time.Duration
+	BootstrapLoader  time.Duration
+	LinuxBoot        time.Duration
+	Attestation      time.Duration
+	TotalWithAttest  time.Duration
+
+	// LaunchDigest is the PSP's final measurement (zero for non-SEV).
+	LaunchDigest [32]byte
+
+	// Guest-observed facts.
+	CPUs        int
+	KernelEntry uint64
+	InitrdOK    bool
+
+	// SEVMetadataBytes is the per-guest bookkeeping SEV added (§6.3).
+	SEVMetadataBytes int
+
+	machine  *kvm.Machine
+	host     *Host
+	timeline *trace.Timeline
+}
+
+// RenderTimeline draws the boot as an ASCII Gantt chart.
+func (r *Result) RenderTimeline(width int) string {
+	if r.timeline == nil {
+		return "(no timeline)\n"
+	}
+	return r.timeline.RenderTimeline(width)
+}
+
+// Host is one virtual physical machine: a single PSP shared by every
+// guest booted on it. Boots on the same Host contend exactly as the
+// paper's Fig. 12 describes.
+type Host struct {
+	eng   *sim.Engine
+	inner *kvm.Host
+	seed  int64
+}
+
+// NewHost creates a host with the calibrated default cost model.
+func NewHost() *Host { return NewHostSeed(1) }
+
+// NewHostSeed creates a host with a deterministic identity.
+func NewHostSeed(seed int64) *Host {
+	eng := sim.NewEngine()
+	return &Host{eng: eng, inner: kvm.NewHost(eng, costmodel.Default(), seed), seed: seed}
+}
+
+// PlatformKey returns the PSP's report-verification key (the VCEK stand-in
+// a guest owner verifies attestation reports against).
+func (h *Host) PlatformKey() *ecdsa.PublicKey { return h.inner.PSP.VerificationKey() }
+
+// Boot runs one microVM boot to completion on this host.
+func (h *Host) Boot(cfg Config) (*Result, error) {
+	results, err := h.BootConcurrent(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// BootConcurrent launches n identical guests simultaneously, sharing this
+// host's PSP. With SEV enabled, launches serialize on the PSP and mean
+// boot time grows linearly with n (paper Fig. 12).
+func (h *Host) BootConcurrent(cfg Config, n int) ([]*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("severifast: n must be >= 1")
+	}
+	preset, err := kernelgen.PresetByName(string(cfg.Kernel))
+	if err != nil {
+		return nil, err
+	}
+	level, err := sev.ParseLevel(string(cfg.Level))
+	if err != nil {
+		return nil, err
+	}
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return nil, err
+	}
+	initrd := kernelgen.BuildInitrd(cfg.Seed, cfg.InitrdMiB<<20)
+	h.inner.THP = !cfg.DisableTHP
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.eng.Go(fmt.Sprintf("vm-%d", i), func(p *sim.Proc) {
+			results[i], errs[i] = h.bootOne(p, cfg, preset, level, art, initrd)
+		})
+	}
+	h.eng.Run()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return results, nil
+}
+
+func (h *Host) bootOne(p *sim.Proc, cfg Config, preset kernelgen.Preset, level sev.Level, art *kernelgen.Artifacts, initrd []byte) (*Result, error) {
+	if cfg.Scheme == SchemeQEMUOVMF {
+		qcfg := qemu.Config{
+			Preset:    preset,
+			Artifacts: art,
+			Initrd:    initrd,
+			VCPUs:     cfg.VCPUs,
+			MemSize:   uint64(cfg.MemMiB) << 20,
+			Level:     level,
+		}
+		if cfg.Attest {
+			qcfg.Attestor = h.qemuAttestor(cfg, preset, art, initrd)
+		}
+		res, err := qemu.Boot(p, h.inner, qcfg)
+		if err != nil {
+			return nil, err
+		}
+		return h.qemuResult(res), nil
+	}
+
+	fcfg := firecracker.Config{
+		Preset:               preset,
+		Artifacts:            art,
+		Initrd:               initrd,
+		VCPUs:                cfg.VCPUs,
+		MemSize:              uint64(cfg.MemMiB) << 20,
+		Level:                level,
+		Codec:                bzimage.Codec(cfg.Compression),
+		PreEncryptPageTables: cfg.PreEncryptPageTables,
+		VerifierSeed:         cfg.VerifierSeed,
+		AllowKeySharing:      cfg.AllowKeySharing,
+	}
+	switch cfg.Scheme {
+	case SchemeStock:
+		fcfg.Scheme = firecracker.SchemeStock
+	case SchemeSEVeriFast:
+		fcfg.Scheme = firecracker.SchemeSEVeriFastBz
+	case SchemeSEVeriFastVmlinux:
+		fcfg.Scheme = firecracker.SchemeSEVeriFastVmlinux
+	}
+	if level.Encrypted() && !cfg.InBandHashing {
+		hashes := h.componentHashes(cfg, preset, art, initrd)
+		fcfg.Hashes = &hashes
+	}
+	if cfg.Attest && level.Encrypted() {
+		fcfg.Attestor = h.fcAttestor(cfg, preset, art, initrd)
+	}
+	res, err := firecracker.Boot(p, h.inner, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.fcResult(res), nil
+}
+
+func (h *Host) componentHashes(cfg Config, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte) measure.ComponentHashes {
+	kernel := art.BzImageLZ4
+	switch {
+	case cfg.Scheme == SchemeSEVeriFastVmlinux:
+		kernel = art.VMLinux
+	case cfg.Compression == "gzip":
+		kernel = art.BzImageGzip
+	}
+	return measure.HashComponents(kernel, initrd, preset.Cmdline)
+}
+
+func (h *Host) fcAttestor(cfg Config, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte) firecracker.Attestor {
+	digest, err := expectedDigest(cfg, preset, art, initrd)
+	if err != nil {
+		return nil
+	}
+	secret := []byte("secret-" + preset.Name)
+	owner := attest.NewOwner(h.PlatformKey(), secret, rand.New(rand.NewSource(h.seed^0xA77)))
+	owner.Allow(digest)
+	if cfg.AllowKeySharing {
+		// The owner knowingly accepts the relaxed policy: key sharing is a
+		// deliberate trade-off they opted into, not a silent downgrade.
+		pol := sev.DefaultPolicy()
+		pol.NoKeySharing = false
+		owner.RequirePolicy(pol)
+	}
+	return &attest.InProcess{Owner: owner, AgentSeed: h.seed, WantSecret: secret}
+}
+
+func (h *Host) qemuAttestor(cfg Config, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte) qemu.Attestor {
+	hashes := measure.HashComponents(art.BzImageLZ4, initrd, preset.Cmdline)
+	level, _ := sev.ParseLevel(string(cfg.Level))
+	secret := []byte("secret-" + preset.Name)
+	owner := attest.NewOwner(h.PlatformKey(), secret, rand.New(rand.NewSource(h.seed^0xA77)))
+	owner.Allow(qemu.ExpectedDigest(1, level, hashes))
+	return &attest.InProcess{Owner: owner, AgentSeed: h.seed, WantSecret: secret}
+}
+
+func (h *Host) fcResult(res *firecracker.Result) *Result {
+	b := res.Breakdown
+	out := &Result{
+		Total:            b.Total,
+		VMM:              b.VMM,
+		PreEncryption:    b.PreEncryption,
+		Firmware:         b.Firmware,
+		BootVerification: b.BootVerification,
+		BootstrapLoader:  b.BootstrapLoader,
+		LinuxBoot:        b.LinuxBoot,
+		Attestation:      b.Attestation,
+		TotalWithAttest:  b.TotalWithAttest,
+		LaunchDigest:     res.LaunchDigest,
+		CPUs:             res.Report.CPUs,
+		KernelEntry:      res.Report.Entry,
+		InitrdOK:         res.Report.InitrdOK,
+		SEVMetadataBytes: res.Machine.Mem.SEVMetadataBytes(),
+		machine:          res.Machine,
+		host:             h,
+		timeline:         res.Timeline,
+	}
+	return out
+}
+
+func (h *Host) qemuResult(res *qemu.Result) *Result {
+	b := res.Breakdown
+	return &Result{
+		Total:            b.Total,
+		VMM:              b.VMM,
+		PreEncryption:    b.PreEncryption,
+		Firmware:         b.Firmware,
+		BootVerification: b.BootVerification,
+		BootstrapLoader:  b.BootstrapLoader,
+		LinuxBoot:        b.LinuxBoot,
+		Attestation:      b.Attestation,
+		TotalWithAttest:  b.TotalWithAttest,
+		LaunchDigest:     res.LaunchDigest,
+		CPUs:             res.Report.CPUs,
+		KernelEntry:      res.Report.Entry,
+		InitrdOK:         res.Report.InitrdOK,
+		SEVMetadataBytes: res.Machine.Mem.SEVMetadataBytes(),
+		machine:          res.Machine,
+		host:             h,
+		timeline:         res.Timeline,
+	}
+}
+
+// Boot runs one boot on a fresh host (the common single-VM entry point).
+func Boot(cfg Config) (*Result, error) {
+	return NewHostSeed(cfgSeed(cfg)).Boot(cfg)
+}
+
+func cfgSeed(cfg Config) int64 {
+	if cfg.Seed != 0 {
+		return cfg.Seed
+	}
+	return 1
+}
+
+// ExpectedLaunchDigest computes, host-side, the launch digest a correct
+// launch of cfg must produce — the paper's §4.2 tool. A guest owner
+// compares it against the measurement in the attestation report.
+func ExpectedLaunchDigest(cfg Config) ([32]byte, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return [32]byte{}, err
+	}
+	preset, err := kernelgen.PresetByName(string(cfg.Kernel))
+	if err != nil {
+		return [32]byte{}, err
+	}
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	initrd := kernelgen.BuildInitrd(cfg.Seed, cfg.InitrdMiB<<20)
+	level, err := sev.ParseLevel(string(cfg.Level))
+	if err != nil {
+		return [32]byte{}, err
+	}
+	if cfg.Scheme == SchemeQEMUOVMF {
+		hashes := measure.HashComponents(art.BzImageLZ4, initrd, preset.Cmdline)
+		return qemu.ExpectedDigest(1, level, hashes), nil
+	}
+	return expectedDigest(cfg, preset, art, initrd)
+}
+
+func expectedDigest(cfg Config, preset kernelgen.Preset, art *kernelgen.Artifacts, initrd []byte) ([32]byte, error) {
+	level, err := sev.ParseLevel(string(cfg.Level))
+	if err != nil {
+		return [32]byte{}, err
+	}
+	kernel := art.BzImageLZ4
+	switch {
+	case cfg.Scheme == SchemeSEVeriFastVmlinux:
+		kernel = art.VMLinux
+	case cfg.Compression == "gzip":
+		kernel = art.BzImageGzip
+	}
+	pol := sev.DefaultPolicy()
+	if level < sev.ES {
+		pol.ESRequired = false
+	}
+	if cfg.AllowKeySharing {
+		pol.NoKeySharing = false
+	}
+	return measure.ExpectedDigest(measure.Config{
+		Verifier:             verifier.Image(cfg.VerifierSeed),
+		Hashes:               measure.HashComponents(kernel, initrd, preset.Cmdline),
+		Cmdline:              preset.Cmdline,
+		VCPUs:                cfg.VCPUs,
+		MemSize:              uint64(cfg.MemMiB) << 20,
+		Level:                level,
+		Policy:               pol,
+		PreEncryptPageTables: cfg.PreEncryptPageTables,
+	})
+}
+
+// GuestOwner is the remote-attestation service a tenant runs: it verifies
+// reports against a host's platform key and releases a secret to guests
+// whose measurement it expects.
+type GuestOwner struct {
+	inner *attest.Owner
+}
+
+// NewGuestOwner creates an owner trusting the given host's PSP and
+// releasing secret after successful attestation.
+func NewGuestOwner(h *Host, secret []byte) *GuestOwner {
+	return &GuestOwner{inner: attest.NewOwner(h.PlatformKey(), secret, rand.New(rand.NewSource(h.seed^0x0EEE)))}
+}
+
+// AllowConfig whitelists the launch digest a correct boot of cfg produces.
+func (o *GuestOwner) AllowConfig(cfg Config) error {
+	d, err := ExpectedLaunchDigest(cfg)
+	if err != nil {
+		return err
+	}
+	o.inner.Allow(d)
+	return nil
+}
+
+// AllowDigest whitelists an explicit digest.
+func (o *GuestOwner) AllowDigest(d [32]byte) { o.inner.Allow(d) }
+
+// Handler exposes the owner over HTTP (POST /attest), as in the paper's
+// nginx attestation server.
+func (o *GuestOwner) Handler() http.Handler { return o.inner.Handler() }
+
+// AttestOverHTTP performs the guest side of remote attestation for a
+// booted SEV guest against a guest-owner service at baseURL, returning the
+// released secret. This is the Fig. 1 step 5-8 round trip over a real
+// socket.
+func (r *Result) AttestOverHTTP(baseURL string) ([]byte, error) {
+	if r.machine == nil || r.machine.Launch == nil {
+		return nil, fmt.Errorf("severifast: guest has no SEV launch context")
+	}
+	agent := attest.NewAgentSeeded(r.host.seed + int64(r.machine.Launch.ASID()))
+	report, err := r.machine.Launch.BuildReport(nil, agent.ReportData())
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := attest.Client(baseURL, report.Marshal(), agent.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	return agent.Unwrap(bundle)
+}
+
+// Snapshot is a host-taken memory image of a booted guest, used for the
+// §7 warm-start experiments. For SEV guests it holds ciphertext.
+type Snapshot struct {
+	img   *snapshot.Image
+	donor *kvm.Machine
+}
+
+// Snapshot captures a booted guest's memory from the host side.
+func (h *Host) Snapshot(r *Result) (*Snapshot, error) {
+	if r.machine == nil {
+		return nil, fmt.Errorf("severifast: result carries no machine")
+	}
+	var img *snapshot.Image
+	var err error
+	h.eng.Go("snapshot", func(p *sim.Proc) {
+		img, err = snapshot.Capture(p, r.machine)
+	})
+	h.eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{img: img, donor: r.machine}, nil
+}
+
+// WarmBoot starts a new guest from a snapshot instead of cold-booting.
+//
+// For non-SEV snapshots this is a plain restore. For SEV snapshots the
+// new guest must share the donor's encryption key (the donor must have
+// been booted with AllowKeySharing; the paper's §6.2 trade-off), pay the
+// host-side page replay, and re-validate its memory — but it skips
+// pre-encryption, measured direct boot, decompression, and kernel init
+// entirely. Total on the returned Result is the restore latency.
+func (h *Host) WarmBoot(s *Snapshot) (*Result, error) {
+	var res *Result
+	var bootErr error
+	h.eng.Go("warmboot", func(p *sim.Proc) {
+		start := p.Now()
+		m := h.inner.NewMachine(p, s.img.Size, s.donor.Level)
+		if s.donor.Level.Encrypted() {
+			m.PrepSEVHost(p)
+			pol := sev.DefaultPolicy()
+			pol.NoKeySharing = false
+			if s.donor.Level < sev.ES {
+				pol.ESRequired = false
+			}
+			ctx, err := h.inner.PSP.LaunchStartShared(p, m.Mem, s.donor.Launch, s.donor.Level, pol)
+			if err != nil {
+				bootErr = err
+				return
+			}
+			m.Launch = ctx
+		}
+		if err := snapshot.Restore(p, m, s.img); err != nil {
+			bootErr = err
+			return
+		}
+		if s.donor.Level.Encrypted() {
+			// The restored guest re-validates its memory before resuming.
+			p.Sleep(h.inner.Model.Pvalidate(len(s.img.Pages)*4096, h.inner.PvalidatePageSize()))
+		}
+		res = &Result{
+			Total:   p.Now().Sub(start),
+			machine: m,
+			host:    h,
+		}
+	})
+	h.eng.Run()
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	return res, nil
+}
