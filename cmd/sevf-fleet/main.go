@@ -1,0 +1,134 @@
+// sevf-fleet drives a synthetic open-loop arrival workload through the
+// fleet orchestrator and prints a fleet report: boots per tier, cache
+// effect, queue behaviour, and virtual-time latency distributions.
+//
+//	sevf-fleet                                   # defaults: 64 boots, 8 workers
+//	sevf-fleet -workers 16 -arrivals 256 -warm   # warm pool on
+//	sevf-fleet -queue 8 -mean 1ms                # overload with backpressure
+//	sevf-fleet -fault-rate 0.2 -retries 3        # transient PSP faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sevf-fleet", flag.ContinueOnError)
+	var (
+		workers   = fs.Int("workers", 8, "boot worker pool size")
+		arrivals  = fs.Int("arrivals", 64, "total boot requests")
+		mean      = fs.Duration("mean", 5*time.Millisecond, "mean inter-arrival gap (Poisson)")
+		exec      = fs.Duration("exec", 10*time.Millisecond, "function execution time per request")
+		queue     = fs.Int("queue", 0, "bounded queue depth (0 = unbounded)")
+		tenants   = fs.Int("tenants", 4, "number of tenants sharing the fleet")
+		preset    = fs.String("preset", "lupine", "kernel preset: lupine, aws, ubuntu")
+		initrdLen = fs.Int("initrd", 2<<20, "initrd size in bytes")
+		warm      = fs.Bool("warm", false, "enable the warm shared-key snapshot tier")
+		faultRate = fs.Float64("fault-rate", 0, "per-attempt transient fault probability")
+		faultSite = fs.String("fault-site", "psp", "fault site: psp, verifier")
+		retries   = fs.Int("retries", 3, "retry budget per request on injected faults")
+		backoff   = fs.Duration("backoff", time.Millisecond, "base retry backoff (exponential)")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		width     = fs.Int("width", 60, "CDF chart width (0 disables charts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p kernelgen.Preset
+	switch strings.ToLower(*preset) {
+	case "lupine":
+		p = kernelgen.Lupine()
+	case "aws":
+		p = kernelgen.AWS()
+	case "ubuntu":
+		p = kernelgen.Ubuntu()
+	default:
+		return fmt.Errorf("unknown preset %q (want lupine, aws, or ubuntu)", *preset)
+	}
+	var site fleet.FaultSite
+	switch strings.ToLower(*faultSite) {
+	case "psp":
+		site = fleet.FaultPSP
+	case "verifier":
+		site = fleet.FaultVerifier
+	default:
+		return fmt.Errorf("unknown fault site %q (want psp or verifier)", *faultSite)
+	}
+	if *arrivals <= 0 {
+		return fmt.Errorf("arrivals must be positive")
+	}
+	if *workers <= 0 {
+		return fmt.Errorf("workers must be positive")
+	}
+	if *tenants <= 0 {
+		return fmt.Errorf("tenants must be positive")
+	}
+
+	cfg := fleet.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		EnableWarm: *warm,
+		Retry:      fleet.RetryPolicy{Max: *retries, Backoff: *backoff},
+	}
+	if *faultRate > 0 {
+		cfg.Faults = &fleet.FaultPlan{Rate: *faultRate, Seed: *seed, Site: site}
+	}
+
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), *seed)
+	o := fleet.New(eng, host, cfg)
+	img, err := o.RegisterImage(p.Name, p, kernelgen.BuildInitrd(*seed, *initrdLen))
+	if err != nil {
+		return err
+	}
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	w := fleet.Workload{
+		Arrivals:         *arrivals,
+		MeanInterarrival: *mean,
+		ExecTime:         *exec,
+		Tenants:          names,
+		Images:           []*fleet.Image{img},
+		Seed:             *seed,
+	}
+	if err := w.Run(eng, o); err != nil {
+		return err
+	}
+	eng.Run()
+	if err := o.Err(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "sevf-fleet: %s, %d workers, %d arrivals (mean gap %v), %d tenants",
+		p.Name, cfg.Workers, *arrivals, *mean, *tenants)
+	if *warm {
+		fmt.Fprint(out, ", warm pool")
+	}
+	if cfg.Faults != nil {
+		fmt.Fprintf(out, ", faults %s@%.2f", site, *faultRate)
+	}
+	fmt.Fprintf(out, "\nvirtual makespan %v\n\n", eng.Now())
+	fmt.Fprint(out, o.Metrics().Report(o.CacheStats(), *width))
+	return nil
+}

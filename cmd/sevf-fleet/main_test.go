@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsSmall(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-arrivals", "12", "-workers", "4", "-mean", "1ms", "-exec", "1ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"sevf-fleet: lupine, 4 workers, 12 arrivals",
+		"virtual makespan",
+		"12 submitted, 12 served",
+		"cache: 11 hits, 1 misses",
+		"1 plans",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWarmAndFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-arrivals", "8", "-workers", "2", "-warm",
+		"-fault-rate", "0.3", "-retries", "6", "-mean", "2ms",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"warm pool", "faults psp@0.30", "faults:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBackpressureReport(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-arrivals", "24", "-workers", "1", "-queue", "2", "-mean", "10us"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rejected") {
+		t.Fatalf("report missing rejection counts:\n%s", sb.String())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	invoke := func() string {
+		var sb strings.Builder
+		if err := run([]string{"-arrivals", "10", "-workers", "2", "-seed", "7"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := invoke(), invoke(); a != b {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-preset", "plan9"},
+		{"-fault-site", "dimm"},
+		{"-arrivals", "0"},
+		{"-tenants", "0"},
+		{"-workers", "0"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -213,6 +213,14 @@ func DecompressPayload(payload []byte) ([]byte, error) {
 		copy(out, data)
 		return out, nil
 	case CodecLZ4:
+		// An LZ4 sequence emits at most ~255 output bytes per input byte
+		// (run-length extension), so a container whose declared size
+		// exceeds that bound is hostile; reject it before DecompressBlock
+		// allocates the declared size.
+		if usize > 256*len(data)+64 {
+			return nil, fmt.Errorf("%w: declared size %d impossible for %d compressed bytes",
+				ErrBadPayload, usize, len(data))
+		}
 		out, err := lz4.DecompressBlock(data, usize)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
@@ -223,7 +231,9 @@ func DecompressPayload(payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
 		}
-		out, err := io.ReadAll(zr)
+		// Stop at usize+1 bytes so a decompression bomb cannot balloon
+		// past the declared size before the length check below.
+		out, err := io.ReadAll(io.LimitReader(zr, int64(usize)+1))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
 		}
@@ -254,7 +264,9 @@ func sniffPayload(payload []byte) (Codec, int, error) {
 		return "", 0, fmt.Errorf("%w: unknown codec byte %d", ErrBadPayload, payload[len(payloadMagic)])
 	}
 	usize := binary.LittleEndian.Uint64(payload[len(payloadMagic)+1:])
-	if usize > 1<<40 {
+	// Kernels are tens of megabytes; anything claiming a gigabyte or more
+	// is a hostile header trying to drive a huge allocation downstream.
+	if usize >= 1<<30 {
 		return "", 0, fmt.Errorf("%w: implausible uncompressed size", ErrBadPayload)
 	}
 	return codec, int(usize), nil

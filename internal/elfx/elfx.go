@@ -197,10 +197,16 @@ func FileRegions(b []byte) ([]FileRegion, error) {
 	}
 	le := binary.LittleEndian
 	phoff := le.Uint64(b[32:])
-	phentsize := int(le.Uint16(b[54:]))
-	phnum := int(le.Uint16(b[56:]))
-	end := int(phoff) + phentsize*phnum
-	if end > len(b) {
+	phentsize := uint64(le.Uint16(b[54:]))
+	phnum := uint64(le.Uint16(b[56:]))
+	// All arithmetic stays in uint64: a hostile header with phoff near
+	// 2^64 must be rejected here, not wrap through int and panic below.
+	// Each entry must hold the fields we read (up to offset 40).
+	if phnum > 0 && phentsize < 40 {
+		return nil, fmt.Errorf("%w: program header entry size %d too small", ErrNotELF, phentsize)
+	}
+	span := phentsize * phnum
+	if phoff > uint64(len(b)) || span > uint64(len(b))-phoff {
 		return nil, fmt.Errorf("%w: program headers out of range", ErrNotELF)
 	}
 	type load struct {
@@ -209,8 +215,8 @@ func FileRegions(b []byte) ([]FileRegion, error) {
 		vaddr uint64
 	}
 	var loads []load
-	for i := 0; i < phnum; i++ {
-		ph := b[int(phoff)+i*phentsize:]
+	for i := uint64(0); i < phnum; i++ {
+		ph := b[phoff+i*phentsize:]
 		if le.Uint32(ph[0:]) != PTLoad {
 			continue
 		}
@@ -223,14 +229,15 @@ func FileRegions(b []byte) ([]FileRegion, error) {
 	// Loads must be in increasing, non-overlapping file order (true for
 	// images from Build and for real vmlinux files).
 	for i := 1; i < len(loads); i++ {
-		if loads[i].off < loads[i-1].off+loads[i-1].size {
+		prevEnd := loads[i-1].off + loads[i-1].size
+		if prevEnd < loads[i-1].off || loads[i].off < prevEnd {
 			return nil, fmt.Errorf("%w: overlapping PT_LOAD file ranges", ErrNotELF)
 		}
 	}
 	var regions []FileRegion
 	cursor := uint64(0)
 	for _, l := range loads {
-		if l.off > uint64(len(b)) || l.off+l.size > uint64(len(b)) {
+		if l.off > uint64(len(b)) || l.size > uint64(len(b))-l.off {
 			return nil, fmt.Errorf("%w: PT_LOAD out of file", ErrNotELF)
 		}
 		if l.off > cursor {

@@ -79,6 +79,12 @@ type Config struct {
 	// ablation, which puts ~Hash(kernel)+Hash(initrd) on the critical path.
 	Hashes *measure.ComponentHashes
 
+	// Plan carries a precomputed launch plan (the measured-image cache in
+	// internal/fleet memoizes it per image). Nil means the VMM plans at
+	// launch time. A non-nil Plan requires Hashes: the plan embeds the
+	// hash page, so the two must come from the same measurement pass.
+	Plan []measure.Region
+
 	// PreEncryptPageTables is the Fig. 7 ablation.
 	PreEncryptPageTables bool
 
@@ -217,6 +223,9 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 	if !cfg.Level.Encrypted() {
 		return nil, fmt.Errorf("firecracker: SEVeriFast scheme requires an SEV level, got %v", cfg.Level)
 	}
+	if cfg.Plan != nil && cfg.Hashes == nil {
+		return nil, fmt.Errorf("firecracker: precomputed plan without component hashes")
+	}
 	model := host.Model
 
 	// Select the kernel image and the staging strategy.
@@ -238,19 +247,21 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 	if cfg.AllowKeySharing {
 		policy.NoKeySharing = false
 	}
-	planCfg := measure.Config{
-		Verifier:             verifier.Image(cfg.VerifierSeed),
-		Hashes:               hashes,
-		Cmdline:              cfg.Cmdline,
-		VCPUs:                cfg.VCPUs,
-		MemSize:              cfg.MemSize,
-		Level:                cfg.Level,
-		Policy:               policy,
-		PreEncryptPageTables: cfg.PreEncryptPageTables,
-	}
-	regions, err := measure.Plan(planCfg)
-	if err != nil {
-		return nil, err
+	regions := cfg.Plan
+	if regions == nil {
+		regions, err = measure.Plan(measure.Config{
+			Verifier:             verifier.Image(cfg.VerifierSeed),
+			Hashes:               hashes,
+			Cmdline:              cfg.Cmdline,
+			VCPUs:                cfg.VCPUs,
+			MemSize:              cfg.MemSize,
+			Level:                cfg.Level,
+			Policy:               policy,
+			PreEncryptPageTables: cfg.PreEncryptPageTables,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	m.PrepSEVHost(proc)
@@ -331,24 +342,36 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 }
 
 func selectKernel(cfg Config) ([]byte, verifier.KernelKind, error) {
+	var (
+		img  []byte
+		kind verifier.KernelKind
+	)
 	switch cfg.Scheme {
 	case SchemeSEVeriFastBz:
+		kind = verifier.KindBzImage
 		switch cfg.Codec {
 		case bzimage.CodecLZ4:
-			return cfg.Artifacts.BzImageLZ4, verifier.KindBzImage, nil
+			img = cfg.Artifacts.BzImageLZ4
 		case bzimage.CodecGzip:
-			return cfg.Artifacts.BzImageGzip, verifier.KindBzImage, nil
+			img = cfg.Artifacts.BzImageGzip
 		default:
-			img, err := bzimage.Build(cfg.Artifacts.VMLinux, cfg.Codec, cfg.Preset.Seed)
+			built, err := bzimage.Build(cfg.Artifacts.VMLinux, cfg.Codec, cfg.Preset.Seed)
 			if err != nil {
 				return nil, 0, err
 			}
-			return img, verifier.KindBzImage, nil
+			img = built
 		}
 	case SchemeSEVeriFastVmlinux:
-		return cfg.Artifacts.VMLinux, verifier.KindVmlinux, nil
+		img, kind = cfg.Artifacts.VMLinux, verifier.KindVmlinux
+	default:
+		return nil, 0, fmt.Errorf("firecracker: scheme %v has no SEV kernel", cfg.Scheme)
 	}
-	return nil, 0, fmt.Errorf("firecracker: scheme %v has no SEV kernel", cfg.Scheme)
+	// An artifact bundle with the selected image missing would otherwise
+	// "boot" a zero-byte kernel and fail much later inside the guest.
+	if len(img) == 0 {
+		return nil, 0, fmt.Errorf("firecracker: artifacts carry no kernel image for scheme %v", cfg.Scheme)
+	}
+	return img, kind, nil
 }
 
 // launchPolicy picks the strongest policy the level supports.
@@ -356,6 +379,18 @@ func launchPolicy(level sev.Level) sev.Policy {
 	p := sev.DefaultPolicy()
 	if level < sev.ES {
 		p.ESRequired = false
+	}
+	return p
+}
+
+// LaunchPolicy returns the policy Boot will launch with for the given
+// level and key-sharing choice. Exported so planners (internal/fleet's
+// measured-image cache, digest tools) measure against the exact policy
+// the VMM uses — the policy is folded into the launch digest.
+func LaunchPolicy(level sev.Level, allowKeySharing bool) sev.Policy {
+	p := launchPolicy(level)
+	if allowKeySharing {
+		p.NoKeySharing = false
 	}
 	return p
 }
@@ -403,9 +438,17 @@ func parseVMLinux(art *kernelgen.Artifacts) (*vmImage, error) {
 		if c.DestGPA == 0 {
 			continue
 		}
+		// BuildChunks validates ranges against the file, but keep the
+		// bound explicit here: a corrupt chunk list must surface as an
+		// error, not a slice panic in the VMM.
+		end := c.FileOff + uint64(c.Size)
+		if c.Size < 0 || end < c.FileOff || end > uint64(len(art.VMLinux)) {
+			return nil, fmt.Errorf("firecracker: chunk [%#x,+%d) outside vmlinux (%d bytes)",
+				c.FileOff, c.Size, len(art.VMLinux))
+		}
 		img.segments = append(img.segments, vmSegment{
 			vaddr: c.DestGPA,
-			data:  art.VMLinux[c.FileOff : c.FileOff+uint64(c.Size)],
+			data:  art.VMLinux[c.FileOff:end],
 		})
 	}
 	return img, nil

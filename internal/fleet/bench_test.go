@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// benchBootOne runs a single boot through a fresh single-worker fleet
+// against the given cache (priming it, or seeding a warm donor when the
+// orchestrator it registers through has EnableWarm set), and returns the
+// engine, host, and image for reuse.
+func benchSeed(b *testing.B, cache *Cache, warm bool) (*sim.Engine, *kvm.Host, *Image) {
+	b.Helper()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	o := New(eng, host, Config{Workers: 1, Cache: cache, EnableWarm: warm})
+	img, err := o.RegisterImage("fn", kernelgen.Lupine(), kernelgen.BuildInitrd(7, 1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Go("seed", func(p *sim.Proc) {
+		if err := o.Submit(p, Request{Tenant: "seed", Image: img}); err != nil {
+			b.Error(err)
+		}
+		o.Close()
+	})
+	eng.Run()
+	if err := o.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return eng, host, img
+}
+
+// benchRun boots 2*workers requests and returns the virtual makespan.
+// mode selects the tier exercised:
+//
+//	cold    fresh cache every run — every image miss pays the measurement
+//	cached  shared pre-resolved cache — cold boots skip the measurement
+//	warm    donor snapshot seeded — boots restore instead of cold-booting
+func benchRun(b *testing.B, workers int, mode string, shared *Cache) time.Duration {
+	b.Helper()
+	cfg := Config{Workers: workers}
+	var eng *sim.Engine
+	var host *kvm.Host
+	var img *Image
+	switch mode {
+	case "cold":
+		eng = sim.NewEngine()
+		host = kvm.NewHost(eng, costmodel.Default(), 1)
+		o := New(eng, host, cfg)
+		var err error
+		if img, err = o.RegisterImage("fn", kernelgen.Lupine(), kernelgen.BuildInitrd(7, 1<<20)); err != nil {
+			b.Fatal(err)
+		}
+		o.Close() // this orchestrator only registered the image
+		eng.Run()
+	case "cached":
+		cfg.Cache = shared
+		eng = sim.NewEngine()
+		host = kvm.NewHost(eng, costmodel.Default(), 1)
+		o := New(eng, host, Config{Workers: 1, Cache: shared})
+		var err error
+		if img, err = o.RegisterImage("fn", kernelgen.Lupine(), kernelgen.BuildInitrd(7, 1<<20)); err != nil {
+			b.Fatal(err)
+		}
+		o.Close()
+		eng.Run()
+	case "warm":
+		cfg.EnableWarm = true
+		// The seed run cold-boots the donor on the same engine and host,
+		// so measured boots below all take the warm tier.
+		eng, host, img = benchSeed(b, NewCache(), true)
+	}
+
+	o := New(eng, host, cfg)
+	start := eng.Now()
+	if err := (Workload{
+		Arrivals: 2 * workers,
+		Images:   []*Image{img},
+		Seed:     1,
+	}).Run(eng, o); err != nil {
+		b.Fatal(err)
+	}
+	eng.Run()
+	if err := o.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Now().Sub(start)
+}
+
+// BenchmarkFleetThroughput compares cold, cached-cold, and warm boot
+// throughput at 1, 8, and 64 workers. The reported metric is virtual
+// boots per virtual second — real-time ns/op only measures the
+// simulator's own speed.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, mode := range []string{"cold", "cached", "warm"} {
+		for _, workers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				var shared *Cache
+				if mode == "cached" {
+					// Prime once so every measured run hits the cache.
+					shared = NewCache()
+					benchSeed(b, shared, false)
+				}
+				boots := 2 * workers
+				var virtual time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					virtual += benchRun(b, workers, mode, shared)
+				}
+				b.StopTimer()
+				perSec := float64(boots*b.N) / virtual.Seconds()
+				b.ReportMetric(perSec, "vboots/vsec")
+				b.ReportMetric(virtual.Seconds()/float64(b.N)*1000, "vms/run")
+			})
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrInjected marks a transient fault planted by a FaultPlan. The
+// orchestrator retries these with exponential backoff; any other boot
+// error is treated as deterministic and fails the request immediately.
+var ErrInjected = errors.New("fleet: injected transient fault")
+
+// FaultSite names where in the boot path a fault fires.
+type FaultSite int
+
+// Fault sites.
+const (
+	// FaultPSP models a transient PSP command failure (firmware busy,
+	// SEV_RET_RESOURCE_LIMIT): the launch aborts after the LAUNCH_START
+	// cost has already been paid on the shared PSP.
+	FaultPSP FaultSite = iota
+	// FaultVerifier models a boot-verifier abort (a staging-page torn
+	// write by a racing host thread): the guest halts after entry.
+	FaultVerifier
+)
+
+func (s FaultSite) String() string {
+	switch s {
+	case FaultPSP:
+		return "psp"
+	case FaultVerifier:
+		return "verifier"
+	}
+	return fmt.Sprintf("site(%d)", int(s))
+}
+
+// FaultPlan deterministically injects transient faults into boot attempts.
+// Draws come from a seeded PRNG consulted in admission order, so a fleet
+// run with a given seed always faults the same attempts — reruns are
+// reproducible bit for bit. The zero value injects nothing.
+type FaultPlan struct {
+	// Rate is the per-attempt fault probability in [0,1).
+	Rate float64
+	// Seed fixes the draw sequence.
+	Seed int64
+	// Site selects where injected faults fire.
+	Site FaultSite
+
+	rng *rand.Rand
+}
+
+// fire reports whether the next boot attempt faults. Only simulation
+// processes call it (one at a time), so the PRNG needs no locking.
+func (f *FaultPlan) fire() bool {
+	if f == nil || f.Rate <= 0 {
+		return false
+	}
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Float64() < f.Rate
+}
+
+// RetryPolicy bounds fault retries. Backoff is exponential in virtual
+// time: attempt k (0-based) sleeps Backoff<<k before retrying.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 means a
+	// faulted request fails immediately.
+	Max int
+	// Backoff is the base delay before the first retry.
+	Backoff time.Duration
+}
+
+// delay returns the virtual-time backoff before retry attempt k (0-based).
+func (r RetryPolicy) delay(k int) time.Duration {
+	if r.Backoff <= 0 {
+		return 0
+	}
+	if k > 20 {
+		k = 20 // cap the shift; virtual time, but keep it sane
+	}
+	return r.Backoff << uint(k)
+}

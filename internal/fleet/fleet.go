@@ -1,0 +1,465 @@
+// Package fleet is a concurrent microVM boot orchestrator: requests are
+// admitted into a bounded worker pool with per-tenant fair queueing and
+// backpressure, and each boot is served through the fastest available
+// tier — a warm shared-key snapshot restore (§7), a cold boot with
+// memoized measurement artifacts (the measured-image cache), or a full
+// cold boot including the measurement pass. All scheduling, queueing, and
+// retry backoff runs in internal/sim virtual time, so fleet runs are
+// deterministic and PSP contention between concurrent launches emerges
+// from the shared host model rather than from host-OS scheduling.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/snapshot"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity.
+	ErrQueueFull = errors.New("fleet: queue full")
+	// ErrClosed reports submission after Close.
+	ErrClosed = errors.New("fleet: orchestrator closed")
+)
+
+// Config sizes the orchestrator.
+type Config struct {
+	// Workers is the boot concurrency (pool size). Defaults to 1.
+	Workers int
+	// QueueDepth bounds queued (not yet dispatched) requests across all
+	// tenants; submissions beyond it are rejected. 0 means unbounded.
+	QueueDepth int
+	// EnableWarm turns on the warm tier: after the first successful cold
+	// boot of an image the orchestrator captures a shared-key snapshot,
+	// and later boots of that image restore from it. Implies launching
+	// with a key-sharing policy, which is visible in the measurement.
+	EnableWarm bool
+	// Retry bounds recovery from injected transient faults.
+	Retry RetryPolicy
+	// Faults optionally injects transient boot faults.
+	Faults *FaultPlan
+	// Cache is the measured-image cache. Nil allocates a private one;
+	// pass a shared cache to amortize measurement across shards.
+	Cache *Cache
+
+	// Launch parameters applied to every image.
+	Level   sev.Level // defaults to sev.SNP
+	Scheme  firecracker.Scheme
+	VCPUs   int
+	MemSize uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Level == sev.None {
+		c.Level = sev.SNP
+	}
+	if c.Scheme == firecracker.SchemeStock {
+		c.Scheme = firecracker.SchemeSEVeriFastBz
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 1
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 256 << 20
+	}
+	if c.Cache == nil {
+		c.Cache = NewCache()
+	}
+}
+
+// Image is a registered function image: the artifacts plus the memoized
+// content address. Registration does the host-side hash pass once; every
+// subsequent boot reuses the key.
+type Image struct {
+	Name string
+
+	preset kernelgen.Preset
+	art    *kernelgen.Artifacts
+	spec   ImageSpec
+	key    Key
+	hashes measure.ComponentHashes
+
+	// Warm-tier state, populated after the first cold boot.
+	snap      *snapshot.Image
+	donor     *kvm.Machine
+	capturing bool
+}
+
+// CacheKey returns the image's content address in the measured-image cache.
+func (img *Image) CacheKey() Key { return img.key }
+
+// Request is one boot demand.
+type Request struct {
+	Tenant string
+	Image  *Image
+	// Exec is the function service time once the VM is up; it runs on a
+	// spawned process so the worker returns to the pool after boot.
+	Exec time.Duration
+	// Done, when set, is invoked on the worker process once the boot
+	// concludes (before function execution): tier is the path served and
+	// err is nil on success, the final error otherwise.
+	Done func(p *sim.Proc, tier Tier, err error)
+}
+
+// request is a queued Request with admission bookkeeping.
+type request struct {
+	Request
+	admitted sim.Time
+	id       int
+}
+
+// Orchestrator is the fleet scheduler. All its mutable state is touched
+// only by simulation processes of one engine (which run one at a time), so
+// it needs no locking; the exception is the Cache, which is safe to share
+// across orchestrators on different goroutines.
+type Orchestrator struct {
+	eng  *sim.Engine
+	host *kvm.Host
+	cfg  Config
+	met  *Metrics
+
+	queues map[string][]*request // per-tenant FIFO
+	ring   []string              // tenant round-robin order
+	rrNext int
+	queued int
+	nextID int
+	closed bool
+
+	// planning single-flights the measurement pass within this shard:
+	// workers wanting a key some other worker is already hashing wait on
+	// its signal instead of duplicating the work.
+	planning map[Key]*sim.Signal
+
+	idle []*sim.Proc // parked workers
+
+	firstErr error
+}
+
+// New builds an orchestrator and spawns its worker pool on eng. Workers
+// park until work arrives; call Close once all submissions are in so the
+// pool drains and eng.Run can return.
+func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
+	cfg.fillDefaults()
+	o := &Orchestrator{
+		eng:      eng,
+		host:     host,
+		cfg:      cfg,
+		met:      newMetrics(),
+		queues:   make(map[string][]*request),
+		planning: make(map[Key]*sim.Signal),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		eng.Go(fmt.Sprintf("fleet-worker-%d", i), o.worker)
+	}
+	return o
+}
+
+// Metrics exposes the registry; read it after eng.Run returns.
+func (o *Orchestrator) Metrics() *Metrics { return o.met }
+
+// CacheStats snapshots the measured-image cache counters.
+func (o *Orchestrator) CacheStats() CacheStats { return o.cfg.Cache.Stats() }
+
+// Err returns the first deterministic (non-injected) boot error, if any.
+func (o *Orchestrator) Err() error { return o.firstErr }
+
+// RegisterImage builds the preset's artifacts and content-addresses the
+// image. The hash pass over the image bytes happens here, once — the §4.3
+// out-of-band measurement the fleet amortizes across boots.
+func (o *Orchestrator) RegisterImage(name string, preset kernelgen.Preset, initrd []byte) (*Image, error) {
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return nil, err
+	}
+	var kernel []byte
+	switch o.cfg.Scheme {
+	case firecracker.SchemeSEVeriFastVmlinux:
+		kernel = art.VMLinux
+	default:
+		kernel = art.BzImageLZ4
+	}
+	spec := ImageSpec{
+		Kernel:  kernel,
+		Initrd:  initrd,
+		Cmdline: preset.Cmdline,
+		VCPUs:   o.cfg.VCPUs,
+		MemSize: o.cfg.MemSize,
+		Level:   o.cfg.Level,
+		Policy:  firecracker.LaunchPolicy(o.cfg.Level, o.cfg.EnableWarm),
+		// VerifierSeed 1 matches firecracker.Config's default fill.
+		VerifierSeed: 1,
+	}
+	key, hashes := KeyOf(spec)
+	return &Image{
+		Name:   name,
+		preset: preset,
+		art:    art,
+		spec:   spec,
+		key:    key,
+		hashes: hashes,
+	}, nil
+}
+
+// Submit offers a request from a simulation process. It never blocks: the
+// request is queued (waking a parked worker) or rejected with ErrQueueFull
+// / ErrClosed, and the caller — an open-loop arrival process — moves on.
+func (o *Orchestrator) Submit(p *sim.Proc, req Request) error {
+	o.met.Submitted++
+	if o.closed {
+		o.met.Rejected++
+		return ErrClosed
+	}
+	if o.cfg.QueueDepth > 0 && o.queued >= o.cfg.QueueDepth {
+		o.met.Rejected++
+		return ErrQueueFull
+	}
+	r := &request{Request: req, admitted: p.Now(), id: o.nextID}
+	o.nextID++
+	if _, ok := o.queues[req.Tenant]; !ok {
+		o.ring = append(o.ring, req.Tenant)
+	}
+	o.queues[req.Tenant] = append(o.queues[req.Tenant], r)
+	o.queued++
+	if o.queued > o.met.QueueDepthMax {
+		o.met.QueueDepthMax = o.queued
+	}
+	o.wakeOne()
+	return nil
+}
+
+// Close stops admission and wakes every parked worker so the pool drains
+// queued requests and exits, letting eng.Run terminate.
+func (o *Orchestrator) Close() {
+	o.closed = true
+	idle := o.idle
+	o.idle = nil
+	for _, w := range idle {
+		o.eng.Wake(w)
+	}
+}
+
+func (o *Orchestrator) wakeOne() {
+	if n := len(o.idle); n > 0 {
+		w := o.idle[n-1]
+		o.idle = o.idle[:n-1]
+		o.eng.Wake(w)
+	}
+}
+
+// pop dequeues the next request fairly: round-robin across tenants, FIFO
+// within a tenant, so one chatty tenant cannot starve the rest.
+func (o *Orchestrator) pop() *request {
+	if o.queued == 0 {
+		return nil
+	}
+	n := len(o.ring)
+	for i := 0; i < n; i++ {
+		t := o.ring[(o.rrNext+i)%n]
+		q := o.queues[t]
+		if len(q) == 0 {
+			continue
+		}
+		o.queues[t] = q[1:]
+		o.queued--
+		o.rrNext = (o.rrNext + i + 1) % n
+		return q[0]
+	}
+	return nil
+}
+
+// worker is the pool loop: dequeue, serve, park when idle, exit on drain.
+func (o *Orchestrator) worker(p *sim.Proc) {
+	for {
+		r := o.pop()
+		if r == nil {
+			if o.closed {
+				return
+			}
+			o.idle = append(o.idle, p)
+			p.Park()
+			continue
+		}
+		o.serve(p, r)
+	}
+}
+
+// serve runs one request to completion: boot (with retry on injected
+// faults), then hand execution off to a spawned process so the worker
+// slot frees up for the next boot.
+func (o *Orchestrator) serve(p *sim.Proc, r *request) {
+	o.met.QueueWait = append(o.met.QueueWait, p.Now().Sub(r.admitted))
+	for attempt := 0; ; attempt++ {
+		tier, err := o.bootOnce(p, r.Image)
+		if err == nil {
+			o.met.Boots[tier]++
+			o.met.Latency[tier] = append(o.met.Latency[tier], p.Now().Sub(r.admitted))
+			o.met.PerTenant[r.Tenant]++
+			if r.Done != nil {
+				r.Done(p, tier, nil)
+			}
+			o.finish(p, r)
+			return
+		}
+		if !errors.Is(err, ErrInjected) {
+			if o.firstErr == nil {
+				o.firstErr = err
+			}
+			o.met.Failed++
+			o.met.PerTenant[r.Tenant]++
+			if r.Done != nil {
+				r.Done(p, tier, err)
+			}
+			return
+		}
+		o.met.Faults++
+		if attempt >= o.cfg.Retry.Max {
+			o.met.Failed++
+			o.met.PerTenant[r.Tenant]++
+			if r.Done != nil {
+				r.Done(p, tier, err)
+			}
+			return
+		}
+		p.Sleep(o.cfg.Retry.delay(attempt))
+		o.met.Retries++
+	}
+}
+
+// finish runs the function body off-worker and records end-to-end latency.
+func (o *Orchestrator) finish(p *sim.Proc, r *request) {
+	if r.Exec <= 0 {
+		o.met.EndToEnd = append(o.met.EndToEnd, p.Now().Sub(r.admitted))
+		return
+	}
+	admitted := r.admitted
+	o.eng.Go(fmt.Sprintf("fleet-exec-%d", r.id), func(ep *sim.Proc) {
+		ep.Sleep(r.Exec)
+		o.met.EndToEnd = append(o.met.EndToEnd, ep.Now().Sub(admitted))
+	})
+}
+
+// bootOnce serves one boot attempt through the fastest available tier.
+func (o *Orchestrator) bootOnce(p *sim.Proc, img *Image) (Tier, error) {
+	// Tier 1: warm restore from the image's shared-key snapshot.
+	if o.cfg.EnableWarm && img.snap != nil {
+		if o.faultFires() {
+			return TierWarm, o.injectFault(p)
+		}
+		return TierWarm, o.warmRestore(p, img)
+	}
+
+	// Tiers 2/3: cold boot; the cache decides whether the measurement
+	// pass (hashing + planning + digest) is recomputed or reused.
+	tier := TierCachedCold
+	var mi *MeasuredImage
+	for mi == nil {
+		if sig, ok := o.planning[img.key]; ok {
+			// Another worker is mid-measurement for this key: wait for it
+			// rather than duplicating the hash pass, then re-check (the
+			// planner may have failed).
+			sig.Wait(p)
+			continue
+		}
+		mi = o.cfg.Cache.Get(img.key)
+		if mi != nil {
+			break
+		}
+		tier = TierCold
+		sig := sim.NewSignal()
+		o.planning[img.key] = sig
+		// The uncached path pays the in-band measurement pass in virtual
+		// time: hashing the kernel and initrd on the VMM's critical path.
+		p.Sleep(o.host.Model.Hash(len(img.spec.Kernel)) + o.host.Model.Hash(len(img.spec.Initrd)))
+		var err error
+		mi, err = o.cfg.Cache.Plan(img.key, img.hashes, img.spec)
+		delete(o.planning, img.key)
+		sig.Fire(o.eng)
+		if err != nil {
+			return tier, err
+		}
+	}
+	if o.faultFires() {
+		return tier, o.injectFault(p)
+	}
+
+	res, err := firecracker.Boot(p, o.host, firecracker.Config{
+		Preset:          img.preset,
+		Artifacts:       img.art,
+		Initrd:          img.spec.Initrd,
+		Cmdline:         img.spec.Cmdline,
+		VCPUs:           img.spec.VCPUs,
+		MemSize:         img.spec.MemSize,
+		Level:           img.spec.Level,
+		Scheme:          o.cfg.Scheme,
+		Hashes:          &mi.Hashes,
+		Plan:            mi.Regions,
+		VerifierSeed:    img.spec.VerifierSeed,
+		AllowKeySharing: o.cfg.EnableWarm,
+	})
+	if err != nil {
+		return tier, err
+	}
+	if res.LaunchDigest != mi.Digest {
+		return tier, fmt.Errorf("fleet: launch digest mismatch for image %q: cache predicts %x, PSP measured %x",
+			img.Name, mi.Digest[:8], res.LaunchDigest[:8])
+	}
+
+	// Seed the warm tier: first successful cold boot donates a snapshot.
+	if o.cfg.EnableWarm && img.snap == nil && !img.capturing {
+		img.capturing = true
+		snap, err := snapshot.Capture(p, res.Machine)
+		if err != nil {
+			return tier, err
+		}
+		img.snap, img.donor = snap, res.Machine
+	}
+	return tier, nil
+}
+
+// warmRestore clones a guest from the image's donor snapshot: shared-key
+// LAUNCH_START, page restore, and the guest-side pvalidate charge.
+func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) error {
+	m := o.host.NewMachine(p, img.snap.Size, img.spec.Level)
+	m.PrepSEVHost(p)
+	ctx, err := o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+	if err != nil {
+		return err
+	}
+	m.Launch = ctx
+	if err := snapshot.Restore(p, m, img.snap); err != nil {
+		return err
+	}
+	p.Sleep(o.host.Model.Pvalidate(len(img.snap.Pages)*4096, o.host.PvalidatePageSize()))
+	return nil
+}
+
+func (o *Orchestrator) faultFires() bool {
+	return o.cfg.Faults.fire()
+}
+
+// injectFault charges the cost of the aborted operation and returns the
+// transient error. A PSP fault pays a LAUNCH_START slot on the shared PSP
+// (so retries contend like real launches); a verifier fault pays the time
+// to reach guest entry, modeled as the VMM load of the verifier stage.
+func (o *Orchestrator) injectFault(p *sim.Proc) error {
+	switch o.cfg.Faults.Site {
+	case FaultVerifier:
+		p.Sleep(o.host.Model.VMMLoad(64 << 10))
+		return fmt.Errorf("%w: verifier abort after guest entry", ErrInjected)
+	default:
+		o.host.PSP.Resource().Use(p, o.host.Model.PSPLaunchStart)
+		return fmt.Errorf("%w: PSP LAUNCH_START busy", ErrInjected)
+	}
+}

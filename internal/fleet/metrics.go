@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/severifast/severifast/internal/trace"
+)
+
+// Tier is the path a boot request was served through.
+type Tier int
+
+// Boot tiers, fastest first.
+const (
+	// TierWarm restores a shared-key snapshot from the warm pool (§7).
+	TierWarm Tier = iota
+	// TierCachedCold is a full cold boot whose measurement artifacts came
+	// from the measured-image cache (no re-hash, no re-plan).
+	TierCachedCold
+	// TierCold is a full cold boot including the measurement pass.
+	TierCold
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierWarm:
+		return "warm"
+	case TierCachedCold:
+		return "cached-cold"
+	case TierCold:
+		return "cold"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Metrics is the orchestrator's registry. All mutation happens from
+// simulation processes, which the engine runs one at a time, so the
+// fields need no locking; Report/snapshot readers run after eng.Run.
+type Metrics struct {
+	// Boots counts completed boots per tier.
+	Boots [numTiers]int
+	// Latency holds per-tier request latency (admission to VM up), in
+	// virtual time.
+	Latency [numTiers]trace.Series
+	// QueueWait is admission-to-dispatch time across all requests.
+	QueueWait trace.Series
+	// EndToEnd is admission-to-completion (boot + function execution).
+	EndToEnd trace.Series
+
+	// Submitted counts requests offered to the orchestrator; Rejected
+	// counts those refused by backpressure (queue full or closed).
+	Submitted int
+	Rejected  int
+	// Failed counts requests that exhausted their retry budget.
+	Failed int
+	// Faults counts injected transient faults observed; Retries counts
+	// boot attempts made after a fault.
+	Faults  int
+	Retries int
+
+	// QueueDepthMax is the high-water mark of queued requests.
+	QueueDepthMax int
+	// PerTenant counts served (completed or failed) requests by tenant.
+	PerTenant map[string]int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{PerTenant: make(map[string]int)}
+}
+
+// TotalBoots sums completed boots across tiers.
+func (m *Metrics) TotalBoots() int {
+	n := 0
+	for _, b := range m.Boots {
+		n += b
+	}
+	return n
+}
+
+// Report renders the registry as a fleet report: tier counters, cache
+// effect, queue behaviour, and per-tier latency distributions drawn with
+// internal/trace's CDF renderer.
+func (m *Metrics) Report(cache CacheStats, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet report: %d submitted, %d served, %d rejected, %d failed\n",
+		m.Submitted, m.TotalBoots(), m.Rejected, m.Failed)
+	for t := Tier(0); t < numTiers; t++ {
+		lat := m.Latency[t]
+		if m.Boots[t] == 0 {
+			fmt.Fprintf(&sb, "  %-11s %5d boots\n", t, m.Boots[t])
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-11s %5d boots  p50 %v  p99 %v\n", t, m.Boots[t],
+			lat.Percentile(50).Round(10*time.Microsecond),
+			lat.Percentile(99).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(&sb, "  cache: %d hits, %d misses (hit ratio %.2f), %d plans, %.1f MiB hashed\n",
+		cache.Hits, cache.Misses, cache.HitRatio(), cache.Plans,
+		float64(cache.HashedBytes)/(1<<20))
+	fmt.Fprintf(&sb, "  queue: depth high-water %d, wait p50 %v p99 %v\n",
+		m.QueueDepthMax,
+		m.QueueWait.Percentile(50).Round(10*time.Microsecond),
+		m.QueueWait.Percentile(99).Round(10*time.Microsecond))
+	if m.Faults > 0 || m.Retries > 0 {
+		fmt.Fprintf(&sb, "  faults: %d injected, %d retries, %d requests failed\n",
+			m.Faults, m.Retries, m.Failed)
+	}
+	if len(m.PerTenant) > 0 {
+		tenants := make([]string, 0, len(m.PerTenant))
+		for t := range m.PerTenant {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		sb.WriteString("  tenants:")
+		for _, t := range tenants {
+			fmt.Fprintf(&sb, " %s=%d", t, m.PerTenant[t])
+		}
+		sb.WriteByte('\n')
+	}
+	for t := Tier(0); t < numTiers; t++ {
+		if len(m.Latency[t]) > 1 {
+			sb.WriteString(trace.RenderCDF(fmt.Sprintf("%v boot latency", t), m.Latency[t], width))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Workload is a synthetic open-loop arrival process: exponential
+// inter-arrival gaps (Poisson arrivals), requests spread round-robin over
+// tenants and images. Open-loop means arrivals do not wait for boots — a
+// congested fleet builds queue depth (and, with a bounded queue, sheds
+// load) exactly as the paper's serverless motivation describes.
+type Workload struct {
+	// Arrivals is the total request count.
+	Arrivals int
+	// MeanInterarrival is the Poisson process's mean gap in virtual time.
+	MeanInterarrival time.Duration
+	// ExecTime is each function's service time once its VM is up.
+	ExecTime time.Duration
+	// Tenants are cycled across arrivals; empty means one tenant "t0".
+	Tenants []string
+	// Images are cycled across arrivals; must be non-empty.
+	Images []*Image
+	// Seed drives the arrival draws. Same seed, same arrival schedule.
+	Seed int64
+}
+
+// Run spawns the arrival process on eng and closes the orchestrator after
+// the last submission, so a following eng.Run() drains the pool and
+// terminates. Rejected submissions are counted in the metrics, not
+// retried — the open-loop source never blocks.
+func (w Workload) Run(eng *sim.Engine, o *Orchestrator) error {
+	if len(w.Images) == 0 {
+		return fmt.Errorf("fleet: workload has no images")
+	}
+	tenants := w.Tenants
+	if len(tenants) == 0 {
+		tenants = []string{"t0"}
+	}
+	eng.Go("fleet-arrivals", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(w.Seed))
+		for i := 0; i < w.Arrivals; i++ {
+			gap := time.Duration(-math.Log(1-rng.Float64()) * float64(w.MeanInterarrival))
+			p.Sleep(gap)
+			_ = o.Submit(p, Request{
+				Tenant: tenants[i%len(tenants)],
+				Image:  w.Images[i%len(w.Images)],
+				Exec:   w.ExecTime,
+			})
+		}
+		o.Close()
+	})
+	return nil
+}

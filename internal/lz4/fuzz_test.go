@@ -1,0 +1,62 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompressBlock feeds hostile token streams to the block decoder.
+// The decoder must never panic or over-allocate: it either produces
+// exactly dstSize bytes or returns an error.
+func FuzzDecompressBlock(f *testing.F) {
+	f.Add([]byte{}, 16)
+	f.Add([]byte{0x00}, 0)
+	f.Add(CompressBlock([]byte("hello hello hello hello")), 23)
+	f.Add(CompressBlock(bytes.Repeat([]byte{0xAA}, 4096)), 4096)
+	f.Add([]byte{0xF0, 0xFF, 0xFF, 0xFF}, 64) // runaway literal length extension
+	f.Add([]byte{0x10, 'x', 0x00, 0x00}, 32)  // zero match offset
+	f.Fuzz(func(t *testing.T, src []byte, dstSize int) {
+		if dstSize < 0 || dstSize > 1<<20 {
+			return
+		}
+		out, err := DecompressBlock(src, dstSize)
+		if err == nil && len(out) != dstSize {
+			t.Fatalf("DecompressBlock returned %d bytes without error, want %d", len(out), dstSize)
+		}
+	})
+}
+
+// FuzzDecompress exercises the framed path (FrameInfo + block decode) on
+// arbitrary input, plus the compress/decompress round trip: whatever we
+// compress must decompress back bit for bit.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LZ4B"))
+	f.Add(Compress(nil))
+	f.Add(Compress([]byte("the quick brown fox jumps over the lazy dog")))
+	f.Add(Compress(bytes.Repeat([]byte("abcd"), 1000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes as a frame: must not panic; errors are fine.
+		if out, err := Decompress(data); err == nil {
+			// A frame that decodes must re-encode to a decodable frame of
+			// the same content.
+			again, err := Decompress(Compress(out))
+			if err != nil {
+				t.Fatalf("re-compress of valid frame failed: %v", err)
+			}
+			if !bytes.Equal(again, out) {
+				t.Fatal("re-compressed frame decodes to different bytes")
+			}
+		}
+		// Bytes as plain content: the round trip must be exact.
+		if len(data) <= 1<<20 {
+			out, err := Decompress(Compress(data))
+			if err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	})
+}

@@ -214,6 +214,23 @@ func (p *Proc) waitParked() Time {
 	return p.eng.now
 }
 
+// Park suspends the process until another process (or an event callback)
+// wakes it with Engine.Wake. It returns the virtual time at wakeup. Park
+// and Wake are the building blocks for schedulers layered on top of the
+// engine (see internal/fleet's worker pool): the parking process must
+// arrange for some other live process to hold a reference to it, or the
+// engine will report a deadlock.
+func (p *Proc) Park() Time { return p.waitParked() }
+
+// Wake schedules a process parked via Park to resume at the current
+// instant, after already-queued events for this time. Waking a process
+// that is not parked corrupts the engine-process rendezvous; callers must
+// track parked processes themselves (remove p from their wait list before
+// calling Wake, and never wake the same parked process twice).
+func (e *Engine) Wake(p *Proc) {
+	e.At(e.now, func() { p.step() })
+}
+
 // Signal is a one-shot broadcast synchronization point: processes Wait on
 // it; Fire releases all current and future waiters.
 type Signal struct {
