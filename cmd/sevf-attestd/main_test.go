@@ -5,8 +5,15 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	severifast "github.com/severifast/severifast"
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
 )
 
 func TestSetupAndAttestEndToEnd(t *testing.T) {
@@ -52,6 +59,121 @@ func TestSetupAndAttestEndToEnd(t *testing.T) {
 	}
 	if _, err := res2.AttestOverHTTP(srv.URL); err == nil {
 		t.Fatal("foreign-platform guest attested")
+	}
+}
+
+// TestKBSModeServesFleet is the README's two-process story under test: a
+// daemon in -kbs mode on one side, a fleet enrolled under the same
+// authority seed redeeming its boots through kbs.Client on the other.
+func TestKBSModeServesFleet(t *testing.T) {
+	var out bytes.Buffer
+	handler, _, err := setup([]string{
+		"-kbs",
+		"-auth-seed", "9",
+		"-kbs-tenants", "acme=acme disk key,globex=globex disk key",
+		"-min-tcb", "2.1.8.100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "key broker: authority seed 9, 2 tenants, min TCB 2.1.8.100") {
+		t.Fatalf("setup output: %q", out.String())
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	auth := kbs.NewAuthority(9) // same seed as the daemon: chains verify
+	enr := auth.Enroll(host.PSP, "chip-X", kbs.TCB{BootLoader: 2, TEE: 1, SNP: 8, Microcode: 115})
+	o := fleet.New(eng, host, fleet.Config{
+		Workers:    2,
+		KBS:        &kbs.Client{Base: srv.URL},
+		Enrollment: enr,
+		AgentSeed:  4,
+	})
+	img, err := o.RegisterImage("fn", kernelgen.Lupine(), kernelgen.BuildInitrd(7, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (fleet.Workload{
+		Arrivals:         4,
+		MeanInterarrival: time.Millisecond,
+		Tenants:          []string{"acme", "globex"},
+		Images:           []*fleet.Image{img},
+		Seed:             3,
+	}).Run(eng, o); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics().Attested; got != 4 {
+		t.Fatalf("attested %d boots over HTTP, want 4", got)
+	}
+
+	// The remote broker saw the exchanges and the cache-provisioned digest.
+	stats, err := (&kbs.Client{Base: srv.URL}).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Grants != 4 || stats.RefValues == 0 {
+		t.Fatalf("remote broker stats: %+v, want 4 grants and a provisioned digest", stats)
+	}
+
+	// An unknown tenant is refused with the reason intact across the wire.
+	_, err = (&kbs.Client{Base: srv.URL}).Challenge("mallory", 0)
+	if !kbsDenied(err, kbs.ReasonTenant) {
+		t.Fatalf("unknown tenant error %v, want tenant denial", err)
+	}
+}
+
+func kbsDenied(err error, want kbs.Reason) bool {
+	return err != nil && kbs.ReasonOf(err) == want
+}
+
+// TestKBSModeKeepsLegacyAttest: with -kbs the legacy guest-owner endpoint
+// still serves /attest alongside the broker routes.
+func TestKBSModeKeepsLegacyAttest(t *testing.T) {
+	var out bytes.Buffer
+	handler, _, err := setup([]string{
+		"-kbs",
+		"-allow", "lupine/severifast",
+		"-secret", "the-disk-key",
+		"-host-seed", "5",
+		"-initrd", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	host := severifast.NewHostSeed(5)
+	res, err := host.Boot(severifast.Config{Kernel: severifast.KernelLupine, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := res.AttestOverHTTP(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secret) != "the-disk-key" {
+		t.Fatalf("secret %q", secret)
+	}
+}
+
+func TestKBSModeRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kbs", "-kbs-tenants", "nonsense"},
+		{"-kbs", "-kbs-tenants", "=secret"},
+		{"-kbs", "-min-tcb", "1.2.3"},
+	} {
+		var out bytes.Buffer
+		if _, _, err := setup(args, &out); err == nil {
+			t.Errorf("setup(%v) succeeded, want error", args)
+		}
 	}
 }
 

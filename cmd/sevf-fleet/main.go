@@ -6,6 +6,9 @@
 //	sevf-fleet -workers 16 -arrivals 256 -warm   # warm pool on
 //	sevf-fleet -queue 8 -mean 1ms                # overload with backpressure
 //	sevf-fleet -fault-rate 0.2 -retries 3        # transient PSP faults
+//	sevf-fleet -kbs                              # attestation-gated boots, in-process broker
+//	sevf-fleet -kbs-url http://127.0.0.1:8443    # redeem against sevf-attestd -kbs
+//	sevf-fleet -kbs -fault-site forged -fault-rate 0.2   # tampered evidence, denied + retried
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 	"github.com/severifast/severifast/internal/costmodel"
 	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/sim"
@@ -43,11 +47,20 @@ func run(args []string, out io.Writer) error {
 		initrdLen = fs.Int("initrd", 2<<20, "initrd size in bytes")
 		warm      = fs.Bool("warm", false, "enable the warm shared-key snapshot tier")
 		faultRate = fs.Float64("fault-rate", 0, "per-attempt transient fault probability")
-		faultSite = fs.String("fault-site", "psp", "fault site: psp, verifier")
+		faultSite = fs.String("fault-site", "psp", "fault site: psp, verifier, forged, stale-tcb, revoked, replay")
 		retries   = fs.Int("retries", 3, "retry budget per request on injected faults")
 		backoff   = fs.Duration("backoff", time.Millisecond, "base retry backoff (exponential)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		width     = fs.Int("width", 60, "CDF chart width (0 disables charts)")
+
+		useKBS    = fs.Bool("kbs", false, "gate every boot behind an in-process key broker")
+		kbsURL    = fs.String("kbs-url", "", "remote key-broker base URL (sevf-attestd -kbs); implies gating")
+		authSeed  = fs.Int64("auth-seed", 1, "key-authority seed; must match the broker's")
+		chipID    = fs.String("chip", "chip-0", "platform chip ID enrolled under the authority")
+		tcbStr    = fs.String("tcb", "2.1.8.115", "platform TCB (bootloader.tee.snp.microcode)")
+		minTCB    = fs.String("min-tcb", "", "in-process broker's minimum TCB (defaults to the platform TCB)")
+		kbsSecret = fs.String("kbs-secret", "guest-volume-key", "per-tenant secret in the in-process broker")
+		nonceTTL  = fs.Duration("nonce-ttl", time.Minute, "in-process broker challenge lifetime in virtual time")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,8 +83,20 @@ func run(args []string, out io.Writer) error {
 		site = fleet.FaultPSP
 	case "verifier":
 		site = fleet.FaultVerifier
+	case "forged":
+		site = fleet.FaultForged
+	case "stale-tcb":
+		site = fleet.FaultStaleTCB
+	case "revoked":
+		site = fleet.FaultRevoked
+	case "replay":
+		site = fleet.FaultReplay
 	default:
-		return fmt.Errorf("unknown fault site %q (want psp or verifier)", *faultSite)
+		return fmt.Errorf("unknown fault site %q (want psp, verifier, forged, stale-tcb, revoked, or replay)", *faultSite)
+	}
+	gated := *useKBS || *kbsURL != ""
+	if site >= fleet.FaultForged && !gated {
+		return fmt.Errorf("fault site %q needs attestation gating (-kbs or -kbs-url)", site)
 	}
 	if *arrivals <= 0 {
 		return fmt.Errorf("arrivals must be positive")
@@ -93,16 +118,45 @@ func run(args []string, out io.Writer) error {
 		cfg.Faults = &fleet.FaultPlan{Rate: *faultRate, Seed: *seed, Site: site}
 	}
 
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+	}
+
 	eng := sim.NewEngine()
 	host := kvm.NewHost(eng, costmodel.Default(), *seed)
+	if gated {
+		platTCB, err := kbs.ParseTCB(*tcbStr)
+		if err != nil {
+			return fmt.Errorf("-tcb: %w", err)
+		}
+		auth := kbs.NewAuthority(*authSeed)
+		cfg.Enrollment = auth.Enroll(host.PSP, *chipID, platTCB)
+		cfg.AgentSeed = *seed
+		if *kbsURL != "" {
+			cfg.KBS = &kbs.Client{Base: *kbsURL}
+		} else {
+			floor := platTCB
+			if *minTCB != "" {
+				if floor, err = kbs.ParseTCB(*minTCB); err != nil {
+					return fmt.Errorf("-min-tcb: %w", err)
+				}
+			}
+			broker := kbs.NewBroker(auth.Root(), kbs.Config{
+				MinTCB:   floor,
+				NonceTTL: *nonceTTL,
+				Seed:     *seed,
+			})
+			for _, name := range names {
+				broker.AddTenant(name, []byte(*kbsSecret))
+			}
+			cfg.KBS = broker
+		}
+	}
 	o := fleet.New(eng, host, cfg)
 	img, err := o.RegisterImage(p.Name, p, kernelgen.BuildInitrd(*seed, *initrdLen))
 	if err != nil {
 		return err
-	}
-	names := make([]string, *tenants)
-	for i := range names {
-		names[i] = fmt.Sprintf("tenant-%d", i)
 	}
 	w := fleet.Workload{
 		Arrivals:         *arrivals,
@@ -124,6 +178,11 @@ func run(args []string, out io.Writer) error {
 		p.Name, cfg.Workers, *arrivals, *mean, *tenants)
 	if *warm {
 		fmt.Fprint(out, ", warm pool")
+	}
+	if *kbsURL != "" {
+		fmt.Fprintf(out, ", kbs %s", *kbsURL)
+	} else if *useKBS {
+		fmt.Fprint(out, ", kbs in-process")
 	}
 	if cfg.Faults != nil {
 		fmt.Fprintf(out, ", faults %s@%.2f", site, *faultRate)

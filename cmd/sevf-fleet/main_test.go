@@ -66,6 +66,62 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunKBSInProcess(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-arrivals", "8", "-workers", "2", "-tenants", "2",
+		"-kbs", "-chip", "chip-7", "-tcb", "2.1.8.115",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"kbs in-process", "attest: 8 granted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunKBSDenialCounters(t *testing.T) {
+	for _, site := range []string{"forged", "stale-tcb", "revoked", "replay"} {
+		t.Run(site, func(t *testing.T) {
+			var sb strings.Builder
+			err := run([]string{
+				"-arrivals", "3", "-workers", "1", "-kbs",
+				"-fault-site", site, "-fault-rate", "1", "-retries", "1",
+			}, &sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			// 3 requests x (1 attempt + 1 retry), all denied for the
+			// injected site's reason.
+			for _, want := range []string{"denials: " + site + "=6", "3 failed"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunKBSDeterministic(t *testing.T) {
+	invoke := func() string {
+		var sb strings.Builder
+		if err := run([]string{
+			"-arrivals", "10", "-workers", "2", "-seed", "7", "-kbs",
+			"-fault-site", "forged", "-fault-rate", "0.3", "-retries", "5",
+		}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := invoke(), invoke(); a != b {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-preset", "plan9"},
@@ -73,6 +129,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-arrivals", "0"},
 		{"-tenants", "0"},
 		{"-workers", "0"},
+		{"-fault-site", "forged"}, // attest site without -kbs
+		{"-kbs", "-tcb", "not-a-tcb"},
+		{"-kbs", "-min-tcb", "9"},
 	} {
 		var sb strings.Builder
 		if err := run(args, &sb); err == nil {

@@ -10,8 +10,6 @@
 package attest
 
 import (
-	"crypto/aes"
-	"crypto/cipher"
 	"crypto/ecdh"
 	"crypto/ecdsa"
 	"crypto/sha256"
@@ -20,6 +18,7 @@ import (
 	"io"
 	"math/rand"
 
+	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/psp"
 	"github.com/severifast/severifast/internal/sev"
@@ -83,7 +82,14 @@ func (a *Agent) Unwrap(b *SecretBundle) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gcmOpen(shared, b.Nonce, b.Ciphertext)
+	return kbs.Open(shared, b.Nonce, b.Ciphertext)
+}
+
+// UnwrapBundle opens a key-broker bundle (kbs.WrapSecret's output) with
+// the agent's key — the guest side of the fleet's attest→key-release
+// exchange.
+func (a *Agent) UnwrapBundle(b *kbs.Bundle) ([]byte, error) {
+	return kbs.UnwrapSecret(a.priv, b)
 }
 
 // SecretBundle is the wrapped secret sent to the guest after a valid
@@ -100,6 +106,7 @@ type SecretBundle struct {
 type Owner struct {
 	platformKey *ecdsa.PublicKey
 	pinnedARK   *ecdsa.PublicKey
+	verifier    *kbs.Verifier // chain walker + cache, set with pinnedARK
 	allowed     map[[32]byte]bool
 	minPolicy   sev.Policy
 	minLevel    sev.Level
@@ -133,6 +140,11 @@ func (o *Owner) RequirePolicy(p sev.Policy) { o.minPolicy = p }
 // HandleReport validates a marshaled report plus the guest's public key
 // and, on success, returns the wrapped secret.
 func (o *Owner) HandleReport(reportBytes, guestPub []byte) (*SecretBundle, error) {
+	// Both inputs are host-relayed; reject wrong-size keys before any
+	// crypto so a garbage key cannot reach ECDH with a confusing error.
+	if len(guestPub) != 32 {
+		return nil, fmt.Errorf("%w: guest key is %d bytes, want 32", ErrBinding, len(guestPub))
+	}
 	r, err := psp.UnmarshalReport(reportBytes)
 	if err != nil {
 		return nil, err
@@ -176,40 +188,13 @@ func (o *Owner) HandleReport(reportBytes, guestPub []byte) (*SecretBundle, error
 	if _, err := io.ReadFull(o.rng, nonce); err != nil {
 		return nil, err
 	}
-	ct, err := gcmSeal(shared, nonce, o.secret)
+	// The sealing construction is shared with the key broker
+	// (kbs.Seal/Open) so guest agents open both the same way.
+	ct, err := kbs.Seal(shared, nonce, o.secret)
 	if err != nil {
 		return nil, err
 	}
 	return &SecretBundle{OwnerPub: ownerPriv.PublicKey().Bytes(), Nonce: nonce, Ciphertext: ct}, nil
-}
-
-func gcmKey(shared []byte) []byte {
-	k := sha256.Sum256(shared)
-	return k[:]
-}
-
-func gcmSeal(shared, nonce, plaintext []byte) ([]byte, error) {
-	block, err := aes.NewCipher(gcmKey(shared))
-	if err != nil {
-		return nil, err
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, err
-	}
-	return aead.Seal(nil, nonce, plaintext, nil), nil
-}
-
-func gcmOpen(shared, nonce, ct []byte) ([]byte, error) {
-	block, err := aes.NewCipher(gcmKey(shared))
-	if err != nil {
-		return nil, err
-	}
-	aead, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, err
-	}
-	return aead.Open(nil, nonce, ct, nil)
 }
 
 // InProcess runs the full attestation round trip inside the simulation,
@@ -258,21 +243,21 @@ func (ip *InProcess) Attest(proc *sim.Proc, m *kvm.Machine) error {
 func NewOwnerWithRoot(ark *ecdsa.PublicKey, secret []byte, rng io.Reader) *Owner {
 	o := NewOwner(nil, secret, rng)
 	o.pinnedARK = ark
+	o.verifier = kbs.NewVerifier(ark)
 	return o
 }
 
 // HandleReportWithChain validates the certificate chain against the
 // pinned ARK, then the report against the chain's VCEK, then proceeds as
-// HandleReport.
+// HandleReport. The chain walk is delegated to the key broker's verifier,
+// so repeated reports from the same platform hit its content-addressed
+// cache while the report signature is still checked every time.
 func (o *Owner) HandleReportWithChain(reportBytes, chainBytes, guestPub []byte) (*SecretBundle, error) {
 	if o.pinnedARK == nil {
 		return nil, errors.New("attest: owner has no pinned AMD root key")
 	}
-	chain, err := psp.UnmarshalChain(chainBytes)
+	chain, _, err := o.verifier.VerifyChain(chainBytes)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSignature, err)
-	}
-	if err := chain.Verify(o.pinnedARK); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSignature, err)
 	}
 	restore := o.platformKey

@@ -121,6 +121,10 @@ type Model struct {
 	// AttestNetwork is the network + server-side validation time, on top
 	// of PSPReportGen; §6.1 anchors the total near 200 ms.
 	AttestNetwork time.Duration
+	// KBSChainVerify is the key broker's endorsement-chain walk (two
+	// ECDSA P-384 verifies plus the root pin check). Paid only when the
+	// broker's chain cache misses; hot boots skip it.
+	KBSChainVerify time.Duration
 }
 
 // Default returns the model calibrated to the paper's published numbers.
@@ -134,9 +138,10 @@ func Default() Model {
 		PSPLaunchFinish:    800 * time.Microsecond,
 		// Attestation totals ~200 ms; most of it is the PSP building and
 		// signing the report, the rest network + validation.
-		PSPReportGen:  150 * time.Millisecond,
-		PSPGuestInit:  20 * time.Millisecond,
-		AttestNetwork: 50 * time.Millisecond,
+		PSPReportGen:   150 * time.Millisecond,
+		PSPGuestInit:   20 * time.Millisecond,
+		AttestNetwork:  50 * time.Millisecond,
+		KBSChainVerify: 2 * time.Millisecond,
 
 		CPUHashBytesPerSec:    2.0e9,  // SHA-NI class
 		CopyBytesPerSec:       10.0e9, // DDR4-3200 single-stream memcpy
@@ -182,6 +187,7 @@ func Unit() Model {
 		PSPReportGen:       1 * time.Millisecond,
 		PSPGuestInit:       1 * time.Millisecond,
 		AttestNetwork:      1 * time.Millisecond,
+		KBSChainVerify:     1 * time.Millisecond,
 
 		CPUHashBytesPerSec:    1e9,
 		CopyBytesPerSec:       1e9,

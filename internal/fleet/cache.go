@@ -119,6 +119,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*MeasuredImage
 	stats   CacheStats
+	subs    []func(*MeasuredImage)
 }
 
 // NewCache returns an empty cache.
@@ -182,14 +183,42 @@ func (c *Cache) Plan(key Key, hashes measure.ComponentHashes, spec ImageSpec) (*
 		PreEncryptedBytes: measure.PreEncryptedBytes(regions),
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.Plans++
 	c.stats.HashedBytes += uint64(len(spec.Kernel) + len(spec.Initrd))
 	if prev, ok := c.entries[key]; ok {
+		c.mu.Unlock()
 		return prev, nil
 	}
 	c.entries[key] = mi
+	subs := append([]func(*MeasuredImage){}, c.subs...)
+	c.mu.Unlock()
+	// Notify outside the lock: subscribers (e.g. key-broker reference
+	// provisioning) may do their own locking or I/O. Only a winning
+	// insert notifies — a losing racer's entry was discarded above.
+	for _, fn := range subs {
+		fn(mi)
+	}
 	return mi, nil
+}
+
+// Subscribe registers fn to run for every measured image the cache holds:
+// first for all already-published entries, then for each future insert.
+// The fleet orchestrator uses it to provision the key broker's
+// reference-value store straight from the cache, so allowed launch
+// digests are derived from what the fleet actually measures rather than
+// hand-listed. fn may be called from any shard's goroutine and must be
+// safe for concurrent use.
+func (c *Cache) Subscribe(fn func(*MeasuredImage)) {
+	c.mu.Lock()
+	existing := make([]*MeasuredImage, 0, len(c.entries))
+	for _, mi := range c.entries {
+		existing = append(existing, mi)
+	}
+	c.subs = append(c.subs, fn)
+	c.mu.Unlock()
+	for _, mi := range existing {
+		fn(mi)
+	}
 }
 
 // Resolve is Get-or-Plan by spec, for callers holding raw image bytes.

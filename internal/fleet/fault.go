@@ -24,6 +24,22 @@ const (
 	// FaultVerifier models a boot-verifier abort (a staging-page torn
 	// write by a racing host thread): the guest halts after entry.
 	FaultVerifier
+	// FaultForged corrupts the attestation report's signature before
+	// redemption: the key broker must refuse with a "forged" denial.
+	FaultForged
+	// FaultStaleTCB presents evidence from one TCB version back: the
+	// report is re-signed under the platform's previous-TCB VCEK and
+	// accompanied by its chain. The broker's minimum-TCB policy must
+	// refuse with a "stale-tcb" denial.
+	FaultStaleTCB
+	// FaultRevoked presents evidence from a revoked twin of the platform
+	// (same authority, chip ID on the revocation list): the broker must
+	// refuse with a "revoked" denial.
+	FaultRevoked
+	// FaultReplay redeems a fully valid exchange twice: the second
+	// redemption reuses the consumed nonce and the broker must refuse
+	// with a "replay" denial.
+	FaultReplay
 )
 
 func (s FaultSite) String() string {
@@ -32,9 +48,22 @@ func (s FaultSite) String() string {
 		return "psp"
 	case FaultVerifier:
 		return "verifier"
+	case FaultForged:
+		return "forged"
+	case FaultStaleTCB:
+		return "stale-tcb"
+	case FaultRevoked:
+		return "revoked"
+	case FaultReplay:
+		return "replay"
 	}
 	return fmt.Sprintf("site(%d)", int(s))
 }
+
+// attest reports whether the site fires inside the attest→key-release
+// exchange (rather than during launch). Attest-site draws happen in the
+// exchange, so the launch-path fault hooks stay untouched.
+func (s FaultSite) attest() bool { return s >= FaultForged }
 
 // FaultPlan deterministically injects transient faults into boot attempts.
 // Draws come from a seeded PRNG consulted in admission order, so a fleet

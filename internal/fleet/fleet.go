@@ -12,12 +12,17 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
+	"github.com/severifast/severifast/internal/attest"
 	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/psp"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
 	"github.com/severifast/severifast/internal/snapshot"
@@ -50,6 +55,20 @@ type Config struct {
 	// Cache is the measured-image cache. Nil allocates a private one;
 	// pass a shared cache to amortize measurement across shards.
 	Cache *Cache
+
+	// KBS, when set, gates every boot behind an attest→key-release
+	// exchange against the key broker: the guest requests a challenge,
+	// the PSP signs a report binding the nonce and the guest's ephemeral
+	// key, and the boot only succeeds once the broker releases the
+	// tenant secret. Reference launch digests are provisioned into the
+	// broker automatically from the measured-image cache.
+	KBS kbs.Service
+	// Enrollment is the host platform's identity under the broker's key
+	// authority (kbs.Authority.Enroll of the host PSP). Required when
+	// KBS is set.
+	Enrollment *kbs.Enrollment
+	// AgentSeed derives each boot's guest attestation agent key.
+	AgentSeed int64
 
 	// Launch parameters applied to every image.
 	Level   sev.Level // defaults to sev.SNP
@@ -145,6 +164,12 @@ type Orchestrator struct {
 	idle []*sim.Proc // parked workers
 
 	firstErr error
+
+	// provMu guards provErr: reference-value provisioning runs from
+	// cache-subscription callbacks, which foreign shards' goroutines may
+	// invoke when the cache is shared.
+	provMu  sync.Mutex
+	provErr error
 }
 
 // New builds an orchestrator and spawns its worker pool on eng. Workers
@@ -160,6 +185,20 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 		queues:   make(map[string][]*request),
 		planning: make(map[Key]*sim.Signal),
 	}
+	if cfg.KBS != nil {
+		// Derive the broker's reference-value store from the measured
+		// image cache: every digest the fleet can boot is provisioned as
+		// it is planned (including entries other shards planned first).
+		o.cfg.Cache.Subscribe(func(mi *MeasuredImage) {
+			if err := o.cfg.KBS.Provision(mi.Digest, fmt.Sprintf("measured image %x", mi.Key[:6])); err != nil {
+				o.provMu.Lock()
+				if o.provErr == nil {
+					o.provErr = fmt.Errorf("fleet: provisioning reference value: %w", err)
+				}
+				o.provMu.Unlock()
+			}
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		eng.Go(fmt.Sprintf("fleet-worker-%d", i), o.worker)
 	}
@@ -172,8 +211,16 @@ func (o *Orchestrator) Metrics() *Metrics { return o.met }
 // CacheStats snapshots the measured-image cache counters.
 func (o *Orchestrator) CacheStats() CacheStats { return o.cfg.Cache.Stats() }
 
-// Err returns the first deterministic (non-injected) boot error, if any.
-func (o *Orchestrator) Err() error { return o.firstErr }
+// Err returns the first deterministic (non-injected) boot error, if any,
+// or the first reference-value provisioning failure.
+func (o *Orchestrator) Err() error {
+	if o.firstErr != nil {
+		return o.firstErr
+	}
+	o.provMu.Lock()
+	defer o.provMu.Unlock()
+	return o.provErr
+}
 
 // RegisterImage builds the preset's artifacts and content-addresses the
 // image. The hash pass over the image bytes happens here, once — the §4.3
@@ -301,7 +348,7 @@ func (o *Orchestrator) worker(p *sim.Proc) {
 func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 	o.met.QueueWait = append(o.met.QueueWait, p.Now().Sub(r.admitted))
 	for attempt := 0; ; attempt++ {
-		tier, err := o.bootOnce(p, r.Image)
+		tier, err := o.bootOnce(p, r)
 		if err == nil {
 			o.met.Boots[tier]++
 			o.met.Latency[tier] = append(o.met.Latency[tier], p.Now().Sub(r.admitted))
@@ -351,13 +398,18 @@ func (o *Orchestrator) finish(p *sim.Proc, r *request) {
 }
 
 // bootOnce serves one boot attempt through the fastest available tier.
-func (o *Orchestrator) bootOnce(p *sim.Proc, img *Image) (Tier, error) {
+func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
+	img := r.Image
 	// Tier 1: warm restore from the image's shared-key snapshot.
 	if o.cfg.EnableWarm && img.snap != nil {
-		if o.faultFires() {
+		if o.bootFault() {
 			return TierWarm, o.injectFault(p)
 		}
-		return TierWarm, o.warmRestore(p, img)
+		m, err := o.warmRestore(p, img)
+		if err != nil {
+			return TierWarm, err
+		}
+		return TierWarm, o.attestExchange(p, r, m)
 	}
 
 	// Tiers 2/3: cold boot; the cache decides whether the measurement
@@ -390,7 +442,7 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, img *Image) (Tier, error) {
 			return tier, err
 		}
 	}
-	if o.faultFires() {
+	if o.bootFault() {
 		return tier, o.injectFault(p)
 	}
 
@@ -424,29 +476,57 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, img *Image) (Tier, error) {
 			return tier, err
 		}
 		img.snap, img.donor = snap, res.Machine
+		if o.cfg.KBS != nil {
+			// Warm restores replay ciphertext without digest extension, so
+			// their launch digest is the level/policy initial value. Allow
+			// it explicitly — it is still derived, not hand-listed.
+			warmDigest := psp.InitialDigest(img.spec.Policy, img.spec.Level)
+			if err := o.cfg.KBS.Provision(warmDigest, img.Name+" warm restore"); err != nil {
+				return tier, fmt.Errorf("fleet: provisioning warm reference value: %w", err)
+			}
+		}
 	}
-	return tier, nil
+	return tier, o.attestExchange(p, r, res.Machine)
 }
 
 // warmRestore clones a guest from the image's donor snapshot: shared-key
-// LAUNCH_START, page restore, and the guest-side pvalidate charge.
-func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) error {
+// LAUNCH_START, page restore, and the guest-side pvalidate charge. The
+// restored context is sealed so the clone can request attestation reports.
+func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error) {
 	m := o.host.NewMachine(p, img.snap.Size, img.spec.Level)
 	m.PrepSEVHost(p)
 	ctx, err := o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	m.Launch = ctx
 	if err := snapshot.Restore(p, m, img.snap); err != nil {
-		return err
+		return nil, err
 	}
 	p.Sleep(o.host.Model.Pvalidate(len(img.snap.Pages)*4096, o.host.PvalidatePageSize()))
-	return nil
+	if _, err := ctx.LaunchFinish(p); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
-func (o *Orchestrator) faultFires() bool {
+// bootFault draws the launch-path fault hook. When the plan targets an
+// attest site the draw is deferred to the exchange instead, so a given
+// (rate, seed) plan consults the PRNG exactly once per attempt regardless
+// of site — reruns stay bit-for-bit reproducible.
+func (o *Orchestrator) bootFault() bool {
+	if o.cfg.Faults != nil && o.cfg.Faults.Site.attest() {
+		return false
+	}
 	return o.cfg.Faults.fire()
+}
+
+// attestTamper draws the attest-site fault hook.
+func (o *Orchestrator) attestTamper() (FaultSite, bool) {
+	if o.cfg.Faults == nil || !o.cfg.Faults.Site.attest() {
+		return 0, false
+	}
+	return o.cfg.Faults.Site, o.cfg.Faults.fire()
 }
 
 // injectFault charges the cost of the aborted operation and returns the
@@ -462,4 +542,151 @@ func (o *Orchestrator) injectFault(p *sim.Proc) error {
 		o.host.PSP.Resource().Use(p, o.host.Model.PSPLaunchStart)
 		return fmt.Errorf("%w: PSP LAUNCH_START busy", ErrInjected)
 	}
+}
+
+// attestExchange gates a booted guest behind the key broker: challenge,
+// PSP report bound to the nonce and guest key, redemption, secret unwrap.
+// The span shows up in the machine's trace timeline as "attest" and in the
+// boot's EvAttestStart/EvAttestDone events, so Breakdown attributes it.
+func (o *Orchestrator) attestExchange(p *sim.Proc, r *request, m *kvm.Machine) error {
+	if o.cfg.KBS == nil {
+		return nil
+	}
+	if o.cfg.Enrollment == nil {
+		return errors.New("fleet: Config.KBS set without Enrollment")
+	}
+	start := p.Now()
+	m.Timeline.Begin("attest", start)
+	m.Timeline.Record(start, sev.EvAttestStart)
+	err := o.runExchange(p, r, m)
+	m.Timeline.Record(p.Now(), sev.EvAttestDone)
+	m.Timeline.End("attest", p.Now())
+	if err != nil {
+		return err
+	}
+	o.met.Attested++
+	o.met.AttestLatency = append(o.met.AttestLatency, p.Now().Sub(start))
+	return nil
+}
+
+// runExchange performs one attest→key-release round trip, applying any
+// planned attest-site tamper to the evidence before redemption.
+func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) error {
+	site, tampered := o.attestTamper()
+
+	p.Sleep(o.host.Model.AttestNetwork)
+	ch, err := o.cfg.KBS.Challenge(r.Tenant, p.Now())
+	if err != nil {
+		return o.denied(err, false, site)
+	}
+
+	// The guest agent's ephemeral key is generated inside encrypted
+	// memory; the report binds the nonce and the key hash.
+	agent := attest.NewAgentSeeded(o.cfg.AgentSeed + int64(r.id))
+	report, err := m.Launch.BuildReport(p, kbs.BindReportData(ch.Nonce, agent.PublicKey()))
+	if err != nil {
+		return err
+	}
+	reportBytes := report.Marshal()
+	chainBytes := o.cfg.Enrollment.Chain.Marshal()
+	if tampered {
+		reportBytes, chainBytes, err = o.tamperEvidence(site, reportBytes, chainBytes, r)
+		if err != nil {
+			return err
+		}
+	}
+
+	req := kbs.RedeemRequest{
+		Tenant:   r.Tenant,
+		Nonce:    ch.Nonce,
+		Report:   reportBytes,
+		Chain:    chainBytes,
+		GuestPub: agent.PublicKey(),
+	}
+	p.Sleep(o.host.Model.AttestNetwork)
+	res, err := o.cfg.KBS.Redeem(req, p.Now())
+	if err != nil {
+		return o.denied(err, tampered, site)
+	}
+	if !res.ChainCached {
+		// The broker walked the full VCEK→ASK→ARK chain; hot boots whose
+		// chain is already in the verdict path skip this charge.
+		p.Sleep(o.host.Model.KBSChainVerify)
+	}
+	if tampered && site == FaultReplay {
+		// The first redemption was honest; the fault is the second one,
+		// replaying the consumed nonce.
+		p.Sleep(o.host.Model.AttestNetwork)
+		if _, err := o.cfg.KBS.Redeem(req, p.Now()); err != nil {
+			return o.denied(err, true, site)
+		}
+		return errors.New("fleet: broker accepted a replayed nonce")
+	}
+	if _, err := agent.UnwrapBundle(res.Bundle); err != nil {
+		return fmt.Errorf("fleet: unwrapping released secret: %w", err)
+	}
+	return nil
+}
+
+// denied accounts a broker refusal by reason and classifies it: denials
+// provoked by an injected tamper are transient (the retry path re-runs the
+// exchange with honest evidence available), genuine denials are
+// deterministic failures.
+func (o *Orchestrator) denied(err error, injected bool, site FaultSite) error {
+	if o.met.Denials == nil {
+		o.met.Denials = make(map[string]int)
+	}
+	reason := string(kbs.ReasonOf(err))
+	if reason == "" {
+		reason = "error"
+	}
+	o.met.Denials[reason]++
+	if injected {
+		return fmt.Errorf("%w: injected %s fault: %w", ErrInjected, site, err)
+	}
+	return err
+}
+
+// tamperRNG seeds the signing stream for re-signed tamper evidence. It is
+// deliberately NOT the fault plan's rng: ecdsa.Sign consumes a
+// nondeterministic number of bytes from its reader (randutil.MaybeReadByte),
+// which would desync the fault draw sequence and break run reproducibility.
+func (o *Orchestrator) tamperRNG(r *request) *rand.Rand {
+	return rand.New(rand.NewSource(o.cfg.AgentSeed ^ int64(r.id)<<16 ^ 0x5eed))
+}
+
+// tamperEvidence corrupts the exchange's evidence according to the fault
+// site: a flipped signature byte (forged), a report re-signed under the
+// platform's previous-TCB VCEK with the matching stale chain (stale-tcb),
+// or a report from a revoked twin platform (revoked). Replay leaves the
+// evidence honest — the fault is redeeming it twice.
+func (o *Orchestrator) tamperEvidence(site FaultSite, reportBytes, chainBytes []byte, r *request) ([]byte, []byte, error) {
+	e := o.cfg.Enrollment
+	switch site {
+	case FaultForged:
+		forged := append([]byte(nil), reportBytes...)
+		forged[len(forged)-1] ^= 0x01
+		return forged, chainBytes, nil
+	case FaultStaleTCB:
+		older, err := e.TCB.Predecessor()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: stale-tcb fault needs a predecessor TCB: %w", err)
+		}
+		resigned, err := kbs.ResignReport(reportBytes, e.Authority.VCEKKey(e.ChipID, older), o.tamperRNG(r))
+		if err != nil {
+			return nil, nil, err
+		}
+		return resigned, e.Authority.ChainFor(e.ChipID, older).Marshal(), nil
+	case FaultRevoked:
+		twin := e.ChipID + "-revoked"
+		if err := o.cfg.KBS.Revoke(twin); err != nil {
+			return nil, nil, err
+		}
+		resigned, err := kbs.ResignReport(reportBytes, e.Authority.VCEKKey(twin, e.TCB), o.tamperRNG(r))
+		if err != nil {
+			return nil, nil, err
+		}
+		return resigned, e.Authority.ChainFor(twin, e.TCB).Marshal(), nil
+	}
+	return reportBytes, chainBytes, nil
 }

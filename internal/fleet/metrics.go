@@ -65,6 +65,15 @@ type Metrics struct {
 	QueueDepthMax int
 	// PerTenant counts served (completed or failed) requests by tenant.
 	PerTenant map[string]int
+
+	// Attested counts boots whose attest→key-release exchange was
+	// granted; AttestLatency is the exchange span (challenge to secret
+	// unwrapped) per granted boot.
+	Attested      int
+	AttestLatency trace.Series
+	// Denials counts key-broker refusals by reason (kbs.Reason strings),
+	// injected and genuine alike.
+	Denials map[string]int
 }
 
 func newMetrics() *Metrics {
@@ -107,6 +116,23 @@ func (m *Metrics) Report(cache CacheStats, width int) string {
 	if m.Faults > 0 || m.Retries > 0 {
 		fmt.Fprintf(&sb, "  faults: %d injected, %d retries, %d requests failed\n",
 			m.Faults, m.Retries, m.Failed)
+	}
+	if m.Attested > 0 {
+		fmt.Fprintf(&sb, "  attest: %d granted, p50 %v p99 %v\n", m.Attested,
+			m.AttestLatency.Percentile(50).Round(10*time.Microsecond),
+			m.AttestLatency.Percentile(99).Round(10*time.Microsecond))
+	}
+	if len(m.Denials) > 0 {
+		reasons := make([]string, 0, len(m.Denials))
+		for r := range m.Denials {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		sb.WriteString("  denials:")
+		for _, r := range reasons {
+			fmt.Fprintf(&sb, " %s=%d", r, m.Denials[r])
+		}
+		sb.WriteByte('\n')
 	}
 	if len(m.PerTenant) > 0 {
 		tenants := make([]string, 0, len(m.PerTenant))

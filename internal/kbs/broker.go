@@ -1,0 +1,323 @@
+package kbs
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/severifast/severifast/internal/psp"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// DefaultNonceTTL bounds how long a challenge stays redeemable when the
+// config does not say otherwise.
+const DefaultNonceTTL = time.Second
+
+// Config sets the broker's policy floors.
+type Config struct {
+	// MinTCB is the minimum platform TCB; VCEKs minted below it are
+	// denied with ReasonStaleTCB. Zero accepts any TCB.
+	MinTCB TCB
+	// MinPolicy are the guest policy bits that must be set (only the
+	// boolean gates are enforced, matching internal/attest).
+	MinPolicy sev.Policy
+	// MinLevel is the minimum SEV feature level.
+	MinLevel sev.Level
+	// NonceTTL is the challenge lifetime in virtual time
+	// (DefaultNonceTTL when zero).
+	NonceTTL time.Duration
+	// Seed drives nonce generation and secret wrapping.
+	Seed int64
+}
+
+// Broker is the in-process key broker. All state is guarded by one
+// mutex; methods never block on simulation time — callers charge
+// virtual-time costs themselves (fleet charges costmodel.KBSChainVerify
+// only when RedeemResult.ChainCached is false).
+type Broker struct {
+	cfg      Config
+	verifier *Verifier
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	tenants  map[string][]byte   // tenant -> secret released on success
+	refs     map[[32]byte]string // allowed launch digest -> label
+	nonces   map[[32]byte]nonceRec
+	revoked  map[string]bool // chip ID -> revoked
+	verdicts map[verdictKey]bool
+	stats    Stats
+}
+
+type nonceRec struct {
+	tenant  string
+	expires sim.Time
+}
+
+// verdictKey identifies one policy/TCB/measurement verdict. Everything
+// the verdict depends on is in the key, so cached approvals cannot leak
+// across platforms, TCBs, or guest configurations. Revocation, report
+// signatures, and nonce binding are deliberately outside the verdict and
+// re-checked on every exchange.
+type verdictKey struct {
+	chipID string
+	tcb    uint64
+	digest [32]byte
+	policy uint64
+	level  sev.Level
+}
+
+var _ Service = (*Broker)(nil)
+
+// NewBroker builds a broker pinning ark as the authority root.
+func NewBroker(ark *ecdsa.PublicKey, cfg Config) *Broker {
+	if cfg.NonceTTL == 0 {
+		cfg.NonceTTL = DefaultNonceTTL
+	}
+	return &Broker{
+		cfg:      cfg,
+		verifier: NewVerifier(ark),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tenants:  make(map[string][]byte),
+		refs:     make(map[[32]byte]string),
+		nonces:   make(map[[32]byte]nonceRec),
+		revoked:  make(map[string]bool),
+		verdicts: make(map[verdictKey]bool),
+	}
+}
+
+// AddTenant registers a tenant and the secret released to its attested
+// guests.
+func (b *Broker) AddTenant(name string, secret []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tenants[name] = append([]byte(nil), secret...)
+}
+
+// Provision allows a launch digest, labeling it for operators. The fleet
+// orchestrator feeds this directly from its measured-image cache, so the
+// reference-value store is derived from what the fleet actually builds
+// rather than hand-listed.
+func (b *Broker) Provision(digest [32]byte, label string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refs[digest] = label
+	return nil
+}
+
+// Revoke puts a chip ID on the revocation list; all its VCEKs are
+// refused from now on, current TCB or not.
+func (b *Broker) Revoke(chipID string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.revoked[chipID] = true
+	return nil
+}
+
+// Challenge issues a fresh single-use nonce to a tenant. Expired nonces
+// are swept here, so an idle broker does not accumulate state.
+func (b *Broker) Challenge(tenant string, now sim.Time) (Challenge, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.tenants[tenant]; !ok {
+		return Challenge{}, deny(ReasonTenant, "unknown tenant %q", tenant)
+	}
+	for n, rec := range b.nonces {
+		if now > rec.expires {
+			delete(b.nonces, n)
+		}
+	}
+	var c Challenge
+	b.rng.Read(c.Nonce[:])
+	c.Expires = now + sim.Time(b.cfg.NonceTTL)
+	b.nonces[c.Nonce] = nonceRec{tenant: tenant, expires: c.Expires}
+	b.stats.Challenges++
+	return c, nil
+}
+
+// BindReportData is the report user-data layout both sides compute: the
+// first half binds the guest's ephemeral public key (compatible with
+// attest.Agent.ReportData), the second half binds the challenge nonce, so
+// a report can neither be replayed under a new nonce nor redeemed for a
+// key it was not minted with.
+func BindReportData(nonce [32]byte, guestPub []byte) [64]byte {
+	var rd [64]byte
+	key := sha256.Sum256(guestPub)
+	copy(rd[:32], key[:])
+	h := sha256.New()
+	h.Write([]byte("kbs-nonce"))
+	h.Write(nonce[:])
+	copy(rd[32:], h.Sum(nil))
+	return rd
+}
+
+// Redeem runs the full relying-party check sequence over one exchange
+// and, if every gate passes, wraps the tenant secret for the attested
+// guest key. Each denial carries a distinct Reason; the order below is
+// cheapest-first and fails before any cached verdict could mask a
+// per-exchange check.
+func (b *Broker) Redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) {
+	res, err := b.redeem(req, now)
+	b.mu.Lock()
+	if err != nil {
+		if r := ReasonOf(err); r != "" {
+			if b.stats.Denials == nil {
+				b.stats.Denials = make(map[string]int)
+			}
+			b.stats.Denials[string(r)]++
+		}
+	} else {
+		b.stats.Grants++
+	}
+	b.mu.Unlock()
+	return res, err
+}
+
+func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) {
+	// Tenant and nonce gates. The nonce is consumed on first sight —
+	// success or failure — which is what makes replay a distinct,
+	// deterministic denial rather than a second grant.
+	b.mu.Lock()
+	secret, tenantOK := b.tenants[req.Tenant]
+	rec, nonceOK := b.nonces[req.Nonce]
+	delete(b.nonces, req.Nonce)
+	b.mu.Unlock()
+	if !tenantOK {
+		return nil, deny(ReasonTenant, "unknown tenant %q", req.Tenant)
+	}
+	if !nonceOK {
+		return nil, deny(ReasonReplay, "nonce unknown or already redeemed")
+	}
+	if rec.tenant != req.Tenant {
+		return nil, deny(ReasonTenant, "nonce issued to %q, redeemed by %q", rec.tenant, req.Tenant)
+	}
+	if now > rec.expires {
+		return nil, deny(ReasonExpired, "nonce expired at %v, redeemed at %v", rec.expires, now)
+	}
+
+	// Endorsement chain: parse + walk to the pinned root (cached by
+	// chain content), then the revocation list.
+	chain, chainCached, err := b.verifier.VerifyChain(req.Chain)
+	if err != nil {
+		return nil, err
+	}
+	chipID := chain.VCEK.ChipID
+	b.mu.Lock()
+	revoked := b.revoked[chipID]
+	b.mu.Unlock()
+	if revoked {
+		return nil, deny(ReasonRevoked, "chip %q", chipID)
+	}
+
+	r, err := psp.UnmarshalReport(req.Report)
+	if err != nil {
+		return nil, deny(ReasonMalformed, "report: %v", err)
+	}
+
+	// Policy/TCB/measurement verdict, cached per (chip, TCB, digest,
+	// guest policy, level). Only approvals are cached: Provision can
+	// widen the reference store at any time, so a cached rejection
+	// would go stale, while a cached approval stays sound because the
+	// store only grows and the policy floors are fixed at construction.
+	vk := verdictKey{
+		chipID: chipID,
+		tcb:    chain.VCEK.TCBVersion,
+		digest: r.Measurement,
+		policy: r.Policy,
+		level:  r.Level,
+	}
+	b.mu.Lock()
+	verdictCached := b.verdicts[vk]
+	if verdictCached {
+		b.stats.VerdictHit++
+	} else {
+		b.stats.VerdictMis++
+	}
+	b.mu.Unlock()
+	if !verdictCached {
+		if err := b.verdict(chain, r); err != nil {
+			return nil, err
+		}
+		b.mu.Lock()
+		b.verdicts[vk] = true
+		b.mu.Unlock()
+	}
+
+	// Per-exchange checks, never cached: the report signature under the
+	// chain's VCEK, and the binding of nonce + guest key into the
+	// report's user data.
+	if err := psp.VerifyReport(chain.VCEK.Key(), r); err != nil {
+		return nil, deny(ReasonForged, "%v", err)
+	}
+	if r.ReportData != BindReportData(req.Nonce, req.GuestPub) {
+		return nil, deny(ReasonBinding, "report data does not bind nonce and guest key")
+	}
+
+	b.mu.Lock()
+	bundle, err := WrapSecret(b.rng, req.GuestPub, secret)
+	b.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("kbs: wrapping secret: %w", err)
+	}
+	return &RedeemResult{Bundle: bundle, ChainCached: chainCached, VerdictCached: verdictCached}, nil
+}
+
+// verdict runs the cacheable policy checks.
+func (b *Broker) verdict(chain *psp.Chain, r *psp.Report) error {
+	tcb := DecodeTCB(chain.VCEK.TCBVersion)
+	if !tcb.AtLeast(b.cfg.MinTCB) {
+		return deny(ReasonStaleTCB, "platform TCB %v below minimum %v", tcb, b.cfg.MinTCB)
+	}
+	if r.Level < b.cfg.MinLevel {
+		return deny(ReasonPolicy, "level %v below minimum %v", r.Level, b.cfg.MinLevel)
+	}
+	pol := sev.DecodePolicy(r.Policy)
+	if (b.cfg.MinPolicy.NoDebug && !pol.NoDebug) ||
+		(b.cfg.MinPolicy.NoKeySharing && !pol.NoKeySharing) ||
+		(b.cfg.MinPolicy.ESRequired && !pol.ESRequired) {
+		return deny(ReasonPolicy, "guest policy %+v below floor", pol)
+	}
+	b.mu.Lock()
+	_, allowed := b.refs[r.Measurement]
+	b.mu.Unlock()
+	if !allowed {
+		return deny(ReasonMeasurement, "launch digest %x not provisioned", r.Measurement[:8])
+	}
+	return nil
+}
+
+// Stats snapshots the broker counters.
+func (b *Broker) Stats() (Stats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.Denials = make(map[string]int, len(b.stats.Denials))
+	for k, v := range b.stats.Denials {
+		s.Denials[k] = v
+	}
+	s.ChainHits, s.ChainMiss = b.verifier.CacheStats()
+	s.RefValues = len(b.refs)
+	s.Revoked = len(b.revoked)
+	s.Tenants = len(b.tenants)
+	s.NoncesLive = len(b.nonces)
+	return s, nil
+}
+
+// ResignReport re-signs a marshaled report under key — how the fault
+// layer models platforms holding alternate identities (a stale-TCB or
+// revoked VCEK): the report body is untouched, only the signature moves
+// to the other key.
+func ResignReport(reportBytes []byte, key *ecdsa.PrivateKey, rng io.Reader) ([]byte, error) {
+	r, err := psp.UnmarshalReport(reportBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Sign(rng, key); err != nil {
+		return nil, err
+	}
+	return r.Marshal(), nil
+}

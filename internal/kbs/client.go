@@ -1,0 +1,147 @@
+package kbs
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Client speaks the broker protocol against a remote sevf-attestd. It
+// implements Service, so the fleet orchestrator is indifferent to
+// whether the broker is in process or across the network — and denial
+// reasons survive the round trip: errors.Is(err, kbs.ErrStaleTCB) holds
+// on the client side exactly when the remote broker denied for that
+// reason.
+type Client struct {
+	// Base is the server URL, e.g. "http://127.0.0.1:8553".
+	Base string
+	// HTTP is the client to use (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+var _ Service = (*Client)(nil)
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	r, err := hc.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if r.StatusCode == http.StatusForbidden {
+		var d denialBody
+		if json.Unmarshal(raw, &d) == nil && d.Reason != "" {
+			return &Denial{Reason: Reason(d.Reason), Detail: d.Detail}
+		}
+	}
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("kbs: %s: %s: %s", path, r.Status, bytes.TrimSpace(raw))
+	}
+	if resp != nil {
+		return json.Unmarshal(raw, resp)
+	}
+	return nil
+}
+
+// Challenge implements Service.
+func (c *Client) Challenge(tenant string, now sim.Time) (Challenge, error) {
+	var resp challengeResponse
+	if err := c.post("/challenge", challengeRequest{Tenant: tenant, Now: int64(now)}, &resp); err != nil {
+		return Challenge{}, err
+	}
+	var ch Challenge
+	nonce, err := hex.DecodeString(resp.Nonce)
+	if err != nil || len(nonce) != len(ch.Nonce) {
+		return Challenge{}, fmt.Errorf("kbs: server nonce malformed")
+	}
+	copy(ch.Nonce[:], nonce)
+	ch.Expires = sim.Time(resp.Expires)
+	return ch, nil
+}
+
+// Redeem implements Service.
+func (c *Client) Redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) {
+	wire := redeemRequest{
+		Tenant:   req.Tenant,
+		Nonce:    hex.EncodeToString(req.Nonce[:]),
+		Report:   hex.EncodeToString(req.Report),
+		Chain:    hex.EncodeToString(req.Chain),
+		GuestPub: hex.EncodeToString(req.GuestPub),
+		Now:      int64(now),
+	}
+	var resp redeemResponse
+	if err := c.post("/redeem", wire, &resp); err != nil {
+		return nil, err
+	}
+	ownerPub, err := hex.DecodeString(resp.OwnerPub)
+	if err != nil {
+		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+	}
+	nonce, err := hex.DecodeString(resp.Nonce)
+	if err != nil {
+		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+	}
+	ct, err := hex.DecodeString(resp.Ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+	}
+	return &RedeemResult{
+		Bundle:        &Bundle{OwnerPub: ownerPub, Nonce: nonce, Ciphertext: ct},
+		ChainCached:   resp.ChainCached,
+		VerdictCached: resp.VerdictCached,
+	}, nil
+}
+
+// Provision implements Service.
+func (c *Client) Provision(digest [32]byte, label string) error {
+	return c.post("/provision", provisionRequest{
+		Digest: hex.EncodeToString(digest[:]),
+		Label:  label,
+	}, nil)
+}
+
+// Revoke implements Service.
+func (c *Client) Revoke(chipID string) error {
+	return c.post("/revoke", revokeRequest{ChipID: chipID}, nil)
+}
+
+// Stats implements Service.
+func (c *Client) Stats() (Stats, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	r, err := hc.Get(c.Base + "/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return Stats{}, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("kbs: /stats: %s: %s", r.Status, bytes.TrimSpace(raw))
+	}
+	var s Stats
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Stats{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,166 @@
+// Package kbs is the key broker service: the multi-tenant relying party
+// that gates secret release on SEV attestation evidence. It models the
+// production trust shape around the paper's attestation flow (§2.4 Fig. 1
+// steps 5-8, §6.1's attestation server on the boot-critical path):
+//
+//   - A key authority stands in for AMD's key hierarchy: per-host VCEKs
+//     are derived from a TCB-versioned seed and endorsed by an ASK/ARK
+//     chain with real ECDSA P-384 signatures (authority.go).
+//   - A broker enforces the relying-party checks that SNPGuard-style
+//     verifiers perform: chain walk against the pinned root, revocation,
+//     minimum-TCB policy, guest policy/level floors, reference launch
+//     digests, nonce freshness with anti-replay, and key binding
+//     (broker.go).
+//   - Verification results are cached — chain walks by chain content,
+//     policy/measurement verdicts by (chip, TCB, digest) — so hot boots
+//     skip redundant public-key crypto without weakening any per-exchange
+//     check: signatures and nonce binding are verified on every redeem
+//     (verifier.go, broker.go).
+//
+// Every denial carries a distinct Reason so callers (the fleet
+// orchestrator's fault layer, tests, operators) can count and assert
+// *why* an exchange was refused, not just that it failed.
+package kbs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Reason classifies why the broker refused an exchange. The string form
+// is stable: it keys denial counters in fleet reports and the HTTP wire
+// format.
+type Reason string
+
+// Denial reasons, one per enforcement step.
+const (
+	ReasonTenant      Reason = "tenant"      // unknown tenant or nonce/tenant mismatch
+	ReasonReplay      Reason = "replay"      // nonce unknown or already consumed
+	ReasonExpired     Reason = "expired"     // nonce past its TTL
+	ReasonMalformed   Reason = "malformed"   // report or chain bytes fail to parse
+	ReasonForged      Reason = "forged"      // chain or report signature invalid
+	ReasonRevoked     Reason = "revoked"     // VCEK's chip ID is on the revocation list
+	ReasonStaleTCB    Reason = "stale-tcb"   // VCEK minted below the minimum TCB
+	ReasonPolicy      Reason = "policy"      // guest policy/level below the floor
+	ReasonMeasurement Reason = "measurement" // launch digest not in the reference store
+	ReasonBinding     Reason = "binding"     // report data does not bind nonce+guest key
+)
+
+// ErrDenied matches every broker denial: errors.Is(err, ErrDenied) is
+// true exactly when the broker refused the exchange (as opposed to an
+// internal or transport failure).
+var ErrDenied = errors.New("kbs: denied")
+
+// Sentinels for errors.Is against a specific reason, e.g.
+// errors.Is(err, kbs.ErrReplay).
+var (
+	ErrTenant      = &Denial{Reason: ReasonTenant}
+	ErrReplay      = &Denial{Reason: ReasonReplay}
+	ErrExpired     = &Denial{Reason: ReasonExpired}
+	ErrMalformed   = &Denial{Reason: ReasonMalformed}
+	ErrForged      = &Denial{Reason: ReasonForged}
+	ErrRevoked     = &Denial{Reason: ReasonRevoked}
+	ErrStaleTCB    = &Denial{Reason: ReasonStaleTCB}
+	ErrPolicy      = &Denial{Reason: ReasonPolicy}
+	ErrMeasurement = &Denial{Reason: ReasonMeasurement}
+	ErrBinding     = &Denial{Reason: ReasonBinding}
+)
+
+// Denial is a refusal with its reason. It matches ErrDenied and any
+// Denial with the same Reason under errors.Is.
+type Denial struct {
+	Reason Reason
+	Detail string
+}
+
+// Error implements error.
+func (d *Denial) Error() string {
+	if d.Detail == "" {
+		return fmt.Sprintf("kbs: denied (%s)", d.Reason)
+	}
+	return fmt.Sprintf("kbs: denied (%s): %s", d.Reason, d.Detail)
+}
+
+// Is matches ErrDenied and same-reason Denials.
+func (d *Denial) Is(target error) bool {
+	if target == ErrDenied {
+		return true
+	}
+	t, ok := target.(*Denial)
+	return ok && t.Reason == d.Reason
+}
+
+// deny builds a reasoned denial.
+func deny(r Reason, format string, args ...any) error {
+	return &Denial{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}
+
+// ReasonOf extracts the denial reason from an error chain, or "" if the
+// error is not a broker denial.
+func ReasonOf(err error) Reason {
+	var d *Denial
+	if errors.As(err, &d) {
+		return d.Reason
+	}
+	return ""
+}
+
+// Challenge is a freshness nonce issued to one tenant. The guest must
+// fold it into the attestation report's user data (BindReportData), which
+// proves the report postdates the challenge.
+type Challenge struct {
+	Nonce   [32]byte
+	Expires sim.Time // virtual-time deadline for redeeming
+}
+
+// RedeemRequest carries one attestation exchange: the evidence (report +
+// endorsement chain), the channel key, and the challenge being answered.
+type RedeemRequest struct {
+	Tenant   string
+	Nonce    [32]byte
+	Report   []byte // psp.Report wire format
+	Chain    []byte // psp.Chain wire format (VCEK, ASK, ARK)
+	GuestPub []byte // guest's ephemeral X25519 public key
+}
+
+// RedeemResult is a granted exchange: the tenant secret wrapped for the
+// guest key, plus cache telemetry so callers can charge virtual time only
+// for the crypto that actually ran.
+type RedeemResult struct {
+	Bundle *Bundle
+	// ChainCached reports whether the endorsement chain walk was served
+	// from the verifier cache (hot boot) rather than recomputed.
+	ChainCached bool
+	// VerdictCached reports whether the policy/TCB/measurement verdict
+	// was served from the broker's verdict cache.
+	VerdictCached bool
+}
+
+// Stats is a point-in-time snapshot of broker counters.
+type Stats struct {
+	Challenges int
+	Grants     int
+	Denials    map[string]int // reason -> count
+	ChainHits  int
+	ChainMiss  int
+	VerdictHit int
+	VerdictMis int
+	RefValues  int
+	Revoked    int
+	Tenants    int
+	NoncesLive int
+}
+
+// Service is the broker surface the fleet orchestrator speaks. Broker
+// implements it in process; Client implements it over HTTP against
+// cmd/sevf-attestd. Virtual time is passed in by the caller — the broker
+// never reads a wall clock, which keeps runs reproducible.
+type Service interface {
+	Challenge(tenant string, now sim.Time) (Challenge, error)
+	Redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error)
+	Provision(digest [32]byte, label string) error
+	Revoke(chipID string) error
+	Stats() (Stats, error)
+}

@@ -1,0 +1,93 @@
+package kbs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Bundle is a secret wrapped for one guest: the broker's ephemeral X25519
+// public key, the GCM nonce, and the ciphertext. Only the holder of the
+// guest private key whose public half was attested can open it (Fig. 1
+// step 8).
+type Bundle struct {
+	OwnerPub   []byte
+	Nonce      []byte
+	Ciphertext []byte
+}
+
+// WrapSecret seals secret for guestPub: ephemeral X25519 ECDH, then
+// AES-256-GCM under the SHA-256 of the shared secret. rng drives the
+// ephemeral key and nonce (seeded in simulation).
+func WrapSecret(rng io.Reader, guestPub, secret []byte) (*Bundle, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := ecdh.X25519().NewPublicKey(guestPub)
+	if err != nil {
+		return nil, fmt.Errorf("kbs: guest key: %w", err)
+	}
+	shared, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, 12)
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	ct, err := Seal(shared, nonce, secret)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{OwnerPub: priv.PublicKey().Bytes(), Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// UnwrapSecret opens a bundle with the guest's private key.
+func UnwrapSecret(priv *ecdh.PrivateKey, b *Bundle) ([]byte, error) {
+	ownerPub, err := ecdh.X25519().NewPublicKey(b.OwnerPub)
+	if err != nil {
+		return nil, fmt.Errorf("kbs: owner key: %w", err)
+	}
+	shared, err := priv.ECDH(ownerPub)
+	if err != nil {
+		return nil, err
+	}
+	return Open(shared, b.Nonce, b.Ciphertext)
+}
+
+// sealKey derives the AES-256 key from an ECDH shared secret.
+func sealKey(shared []byte) []byte {
+	k := sha256.Sum256(shared)
+	return k[:]
+}
+
+// Seal encrypts plaintext with AES-256-GCM under the key derived from
+// shared. Exported so internal/attest shares one sealing construction.
+func Seal(shared, nonce, plaintext []byte) ([]byte, error) {
+	aead, err := gcm(shared)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Seal(nil, nonce, plaintext, nil), nil
+}
+
+// Open reverses Seal.
+func Open(shared, nonce, ct []byte) ([]byte, error) {
+	aead, err := gcm(shared)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Open(nil, nonce, ct, nil)
+}
+
+func gcm(shared []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(sealKey(shared))
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

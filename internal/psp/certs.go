@@ -15,11 +15,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
 )
 
 // Cert is one link of the chain: a named public key signed by its issuer.
+// VCEK certificates issued by a key authority additionally carry the chip
+// identity and the platform TCB version the key was derived for (AMD's
+// VCEK embeds both; relying parties enforce minimum-TCB policy on them).
 type Cert struct {
 	Subject string // "ARK", "ASK", or "VCEK"
 	Issuer  string
@@ -27,7 +31,21 @@ type Cert struct {
 	PubY    *big.Int
 	SigR    *big.Int // issuer's signature over the body
 	SigS    *big.Int
+
+	// ChipID names the physical platform the VCEK belongs to; empty for
+	// ARK/ASK and for legacy chains minted before TCB versioning.
+	ChipID string
+	// TCBVersion is the encoded TCB the VCEK was derived at (kbs.TCB).
+	TCBVersion uint64
 }
+
+// maxCertBody bounds a certificate body: two length-prefixed names (255
+// bytes each), the 96-byte public key, and the optional chip/TCB
+// extension. Anything larger is rejected before allocation.
+const maxCertBody = 2 + 255 + 255 + 96 + 1 + 255 + 8
+
+// maxChainLen bounds a marshaled chain (three certs with signatures).
+const maxChainLen = 3 * (4 + maxCertBody + 96)
 
 // Chain is [VCEK, ASK, ARK].
 type Chain struct {
@@ -52,6 +70,15 @@ func (c *Cert) body() []byte {
 	out = append(out, fe[:]...)
 	c.PubY.FillBytes(fe[:])
 	out = append(out, fe[:]...)
+	// Chip/TCB extension, emitted only when set so legacy chains keep
+	// their exact byte layout (and signatures stay valid).
+	if c.ChipID != "" || c.TCBVersion != 0 {
+		out = append(out, byte(len(c.ChipID)))
+		out = append(out, c.ChipID...)
+		var tcb [8]byte
+		binary.LittleEndian.PutUint64(tcb[:], c.TCBVersion)
+		out = append(out, tcb[:]...)
+	}
 	return out
 }
 
@@ -72,6 +99,8 @@ func (c *Cert) Marshal() []byte {
 }
 
 // UnmarshalCert parses Marshal's output, returning the remaining bytes.
+// The declared body length is bounded before any allocation, so oversized
+// or truncated host-controlled input fails fast instead of allocating.
 func UnmarshalCert(b []byte) (Cert, []byte, error) {
 	var c Cert
 	if len(b) < 4 {
@@ -79,8 +108,11 @@ func UnmarshalCert(b []byte) (Cert, []byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
-	if n < 2 || n > len(b) {
-		return c, nil, fmt.Errorf("%w: bad body length %d", ErrChain, n)
+	if n < 2 || n > maxCertBody {
+		return c, nil, fmt.Errorf("%w: body length %d outside [2, %d]", ErrChain, n, maxCertBody)
+	}
+	if n > len(b) {
+		return c, nil, fmt.Errorf("%w: body length %d exceeds remaining %d bytes", ErrChain, n, len(b))
 	}
 	body := b[:n]
 	rest := b[n:]
@@ -90,12 +122,23 @@ func UnmarshalCert(b []byte) (Cert, []byte, error) {
 	}
 	c.Subject = string(body[1 : 1+sl])
 	il := int(body[1+sl])
-	if 2+sl+il+96 != len(body) {
+	if 2+sl+il+96 > len(body) {
 		return c, nil, fmt.Errorf("%w: bad issuer/key layout", ErrChain)
 	}
 	c.Issuer = string(body[2+sl : 2+sl+il])
 	c.PubX = new(big.Int).SetBytes(body[2+sl+il : 2+sl+il+48])
-	c.PubY = new(big.Int).SetBytes(body[2+sl+il+48:])
+	c.PubY = new(big.Int).SetBytes(body[2+sl+il+48 : 2+sl+il+96])
+	// Optional chip/TCB extension: either absent (legacy cert) or exactly
+	// chipLen|chip|8-byte TCB — partial extensions are rejected.
+	ext := body[2+sl+il+96:]
+	if len(ext) > 0 {
+		cl := int(ext[0])
+		if 1+cl+8 != len(ext) {
+			return c, nil, fmt.Errorf("%w: bad chip/TCB extension layout", ErrChain)
+		}
+		c.ChipID = string(ext[1 : 1+cl])
+		c.TCBVersion = binary.LittleEndian.Uint64(ext[1+cl:])
+	}
 	if len(rest) < 96 {
 		return c, nil, fmt.Errorf("%w: truncated signature", ErrChain)
 	}
@@ -123,8 +166,12 @@ func (ch *Chain) Marshal() []byte {
 	return out
 }
 
-// UnmarshalChain parses Marshal's output.
+// UnmarshalChain parses Marshal's output. Input larger than any valid
+// chain is rejected up front.
 func UnmarshalChain(b []byte) (*Chain, error) {
+	if len(b) > maxChainLen {
+		return nil, fmt.Errorf("%w: %d bytes exceeds maximum chain size %d", ErrChain, len(b), maxChainLen)
+	}
 	vcek, rest, err := UnmarshalCert(b)
 	if err != nil {
 		return nil, err
@@ -171,9 +218,23 @@ func (ch *Chain) Verify(pinnedARK *ecdsa.PublicKey) error {
 	return nil
 }
 
-// genKey derives a P-384 key deterministically from rng. Go's
+// SignCert signs c's body with the issuer key, installing the signature.
+func SignCert(c *Cert, issuer *ecdsa.PrivateKey, rng io.Reader) error {
+	sum := sha512.Sum384(c.body())
+	r, s, err := ecdsa.Sign(rng, issuer, sum[:])
+	if err != nil {
+		return fmt.Errorf("psp: cert signing: %v", err)
+	}
+	c.SigR, c.SigS = r, s
+	return nil
+}
+
+// DeriveKey derives a P-384 key deterministically from rng. Go's
 // ecdsa.GenerateKey intentionally randomizes even under a seeded reader,
-// but the simulated platform identity must be reproducible per seed.
+// but simulated platform and authority identities must be reproducible
+// per seed, so the scalar is taken straight from the stream.
+func DeriveKey(rng *rand.Rand) *ecdsa.PrivateKey { return genKey(rng) }
+
 func genKey(rng *rand.Rand) *ecdsa.PrivateKey {
 	curve := elliptic.P384()
 	n := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
@@ -193,12 +254,9 @@ func buildChain(rng *rand.Rand, vcek *ecdsa.PrivateKey) (*Chain, *ecdsa.PublicKe
 	ark := genKey(rng)
 	ask := genKey(rng)
 	sign := func(c *Cert, issuer *ecdsa.PrivateKey) {
-		sum := sha512.Sum384(c.body())
-		r, s, err := ecdsa.Sign(rng, issuer, sum[:])
-		if err != nil {
-			panic("psp: cert signing: " + err.Error())
+		if err := SignCert(c, issuer, rng); err != nil {
+			panic(err.Error())
 		}
-		c.SigR, c.SigS = r, s
 	}
 	ch := &Chain{
 		ARK:  Cert{Subject: "ARK", Issuer: "ARK", PubX: ark.PublicKey.X, PubY: ark.PublicKey.Y},
@@ -217,3 +275,13 @@ func (p *PSP) CertChain() *Chain { return p.chain }
 // AMDRootKey returns the pinned ARK — what AMD publishes out of band and
 // guest owners hardcode.
 func (p *PSP) AMDRootKey() *ecdsa.PublicKey { return p.arkPub }
+
+// SetIdentity replaces the PSP's signing key, certificate chain, and root
+// pin — what a key authority enrollment does when it installs a derived,
+// TCB-versioned VCEK on the platform (internal/kbs). Reports signed after
+// the swap verify against the new chain.
+func (p *PSP) SetIdentity(key *ecdsa.PrivateKey, chain *Chain, ark *ecdsa.PublicKey) {
+	p.signKey = key
+	p.chain = chain
+	p.arkPub = ark
+}

@@ -1,0 +1,101 @@
+package psp
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// fuzzReport builds one valid signed report to seed the corpus.
+func fuzzReport() *Report {
+	r := &Report{
+		Version:     2,
+		Policy:      0x1_0000_0001,
+		Level:       3,
+		ASID:        7,
+		Measurement: [32]byte{1, 2, 3},
+	}
+	copy(r.ReportData[:], bytes.Repeat([]byte{0xAB}, 64))
+	if err := r.Sign(rand.New(rand.NewSource(1)), DeriveKey(rand.New(rand.NewSource(2)))); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FuzzReportWire feeds hostile bytes to the report parser. It must never
+// panic; and whatever parses must round-trip losslessly — the wire format
+// is fixed-size and canonical, so Marshal(Unmarshal(b)) == b bit for bit.
+func FuzzReportWire(f *testing.F) {
+	valid := fuzzReport().Marshal()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:17])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte{}, valid...), 0))
+	mutated := append([]byte{}, valid...)
+	mutated[0] ^= 0xFF
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalReport(data)
+		if err != nil {
+			return
+		}
+		out := r.Marshal()
+		if !bytes.Equal(out, data) {
+			t.Fatalf("report round trip not lossless:\n in  %x\n out %x", data, out)
+		}
+		again, err := UnmarshalReport(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshaled report failed: %v", err)
+		}
+		if again.SigR.Cmp(r.SigR) != 0 || again.SigS.Cmp(r.SigS) != 0 || again.Measurement != r.Measurement {
+			t.Fatal("re-unmarshaled report differs")
+		}
+	})
+}
+
+// FuzzChainWire feeds hostile bytes to the certificate-chain parser. No
+// panic, no over-allocation (body lengths are bounded before allocation);
+// any chain that parses must survive Marshal → Unmarshal with every field
+// intact, and the re-marshaled encoding must be a fixpoint.
+func FuzzChainWire(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	chain, _ := buildChain(rng, DeriveKey(rng))
+	valid := chain.Marshal()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte{}, valid...), 0xEE))
+	// A VCEK with the chip/TCB extension exercises the optional tail.
+	ext := *chain
+	ext.VCEK.ChipID, ext.VCEK.TCBVersion = "chip-9", 0x0201_0000_0000_0800
+	f.Add(ext.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := UnmarshalChain(data)
+		if err != nil {
+			return
+		}
+		m := ch.Marshal()
+		ch2, err := UnmarshalChain(m)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshaled chain failed: %v", err)
+		}
+		for _, pair := range [][2]*Cert{{&ch.VCEK, &ch2.VCEK}, {&ch.ASK, &ch2.ASK}, {&ch.ARK, &ch2.ARK}} {
+			a, b := pair[0], pair[1]
+			if a.Subject != b.Subject || a.Issuer != b.Issuer ||
+				a.ChipID != b.ChipID || a.TCBVersion != b.TCBVersion {
+				t.Fatal("chain round trip lost identity fields")
+			}
+			for _, ints := range [][2]*big.Int{{a.PubX, b.PubX}, {a.PubY, b.PubY}, {a.SigR, b.SigR}, {a.SigS, b.SigS}} {
+				if ints[0].Cmp(ints[1]) != 0 {
+					t.Fatal("chain round trip lost key or signature bytes")
+				}
+			}
+		}
+		// One normalization step at most: the re-marshaled form is stable.
+		if !bytes.Equal(ch2.Marshal(), m) {
+			t.Fatalf("chain encoding is not a fixpoint:\n in  %x\n out %x", m, ch2.Marshal())
+		}
+	})
+}

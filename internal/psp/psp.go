@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
 	"time"
@@ -269,11 +270,16 @@ func (r *Report) Marshal() []byte {
 	return append(body, sig...)
 }
 
-// UnmarshalReport parses Marshal's output.
+// UnmarshalReport parses Marshal's output. The wire format is fixed-size;
+// truncated and oversized input are both rejected before any field is
+// decoded.
 func UnmarshalReport(b []byte) (*Report, error) {
 	const bodyLen = 4 + 8 + 1 + 4 + 32 + 64
-	if len(b) != bodyLen+96 {
-		return nil, fmt.Errorf("psp: report length %d, want %d", len(b), bodyLen+96)
+	if len(b) < bodyLen+96 {
+		return nil, fmt.Errorf("psp: report truncated: %d bytes, want %d", len(b), bodyLen+96)
+	}
+	if len(b) > bodyLen+96 {
+		return nil, fmt.Errorf("psp: report oversized: %d bytes, want %d", len(b), bodyLen+96)
 	}
 	le := binary.LittleEndian
 	r := &Report{
@@ -305,13 +311,24 @@ func (ctx *GuestContext) BuildReport(proc *sim.Proc, reportData [64]byte) (*Repo
 		Measurement: ctx.digest,
 		ReportData:  reportData,
 	}
+	if err := r.Sign(ctx.psp.rng, ctx.psp.signKey); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Sign signs the report body with the given platform key, installing the
+// signature. The PSP signs its own reports in BuildReport; the fault
+// layer re-signs reports under alternate platform identities to model
+// stale-TCB and revoked-VCEK platforms (internal/kbs).
+func (r *Report) Sign(rng io.Reader, key *ecdsa.PrivateKey) error {
 	sum := sha512.Sum384(r.reportBody())
-	sigR, sigS, err := ecdsa.Sign(ctx.psp.rng, ctx.psp.signKey, sum[:])
+	sigR, sigS, err := ecdsa.Sign(rng, key, sum[:])
 	if err != nil {
-		return nil, fmt.Errorf("psp: signing report: %v", err)
+		return fmt.Errorf("psp: signing report: %v", err)
 	}
 	r.SigR, r.SigS = sigR, sigS
-	return r, nil
+	return nil
 }
 
 // VerifyReport checks a report's signature against the platform

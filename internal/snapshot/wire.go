@@ -1,0 +1,132 @@
+package snapshot
+
+// A snapshot's on-disk form, so warm pools survive orchestrator restarts
+// and snapshots can be shipped between hosts. The format is deliberately
+// rigid — fixed magic, sorted whole-page records, no varints — and Decode
+// validates every field against the declared guest size before touching
+// page data, so truncated or corrupted bytes fail with ErrCorrupt instead
+// of restoring a torn guest.
+//
+// Layout (integers little-endian):
+//
+//	magic "SVFSNAP1" | flags u8 (bit0: SEV) | size u64 | npages u32
+//	npages × ( pn u64 | private u8 | data[PageSize] )
+//
+// Records are sorted by page number, so Encode is deterministic: equal
+// images produce equal bytes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/severifast/severifast/internal/guestmem"
+)
+
+// ErrCorrupt reports snapshot bytes that fail validation.
+var ErrCorrupt = errors.New("snapshot: image bytes corrupt")
+
+var wireMagic = [8]byte{'S', 'V', 'F', 'S', 'N', 'A', 'P', '1'}
+
+const wireHeaderLen = 8 + 1 + 8 + 4
+const wireRecordLen = 8 + 1 + guestmem.PageSize
+
+// Encode serializes an image. Captured pages are always whole pages, so
+// every record is fixed-size.
+func Encode(img *Image) ([]byte, error) {
+	pns := make([]uint64, 0, len(img.Pages))
+	for pn := range img.Pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+
+	out := make([]byte, 0, wireHeaderLen+len(pns)*wireRecordLen)
+	out = append(out, wireMagic[:]...)
+	var flags byte
+	if img.SEV {
+		flags |= 1
+	}
+	out = append(out, flags)
+	var n [8]byte
+	le := binary.LittleEndian
+	le.PutUint64(n[:], img.Size)
+	out = append(out, n[:]...)
+	le.PutUint32(n[:4], uint32(len(pns)))
+	out = append(out, n[:4]...)
+	for _, pn := range pns {
+		data := img.Pages[pn]
+		if len(data) != guestmem.PageSize {
+			return nil, fmt.Errorf("snapshot: page %d holds %d bytes, want %d", pn, len(data), guestmem.PageSize)
+		}
+		le.PutUint64(n[:], pn)
+		out = append(out, n[:]...)
+		if img.Private[pn] {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Decode parses Encode's output. Every structural property is checked —
+// magic, flags, page count against both the declared guest size and the
+// actual byte count, page numbers in range and strictly increasing — so a
+// decoded image is safe to hand to Restore.
+func Decode(b []byte) (*Image, error) {
+	if len(b) < wireHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least the %d-byte header", ErrCorrupt, len(b), wireHeaderLen)
+	}
+	if [8]byte(b[:8]) != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:8])
+	}
+	flags := b[8]
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	le := binary.LittleEndian
+	size := le.Uint64(b[9:])
+	if size == 0 || size%guestmem.PageSize != 0 {
+		return nil, fmt.Errorf("%w: guest size %d is not a positive page multiple", ErrCorrupt, size)
+	}
+	npages := int(le.Uint32(b[17:]))
+	if uint64(npages) > size/guestmem.PageSize {
+		return nil, fmt.Errorf("%w: %d pages exceeds guest capacity %d", ErrCorrupt, npages, size/guestmem.PageSize)
+	}
+	if want := wireHeaderLen + npages*wireRecordLen; len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d pages, want %d", ErrCorrupt, len(b), npages, want)
+	}
+
+	img := &Image{
+		Size:    size,
+		Pages:   make(map[uint64][]byte, npages),
+		Private: make(map[uint64]bool, npages),
+		SEV:     flags&1 != 0,
+	}
+	prev := int64(-1)
+	for i := 0; i < npages; i++ {
+		rec := b[wireHeaderLen+i*wireRecordLen:]
+		pn := le.Uint64(rec)
+		if pn >= size/guestmem.PageSize {
+			return nil, fmt.Errorf("%w: page %d outside guest of %d pages", ErrCorrupt, pn, size/guestmem.PageSize)
+		}
+		if int64(pn) <= prev {
+			return nil, fmt.Errorf("%w: page records not strictly increasing at %d", ErrCorrupt, pn)
+		}
+		prev = int64(pn)
+		switch rec[8] {
+		case 0:
+		case 1:
+			img.Private[pn] = true
+		default:
+			return nil, fmt.Errorf("%w: page %d privacy byte %#x", ErrCorrupt, pn, rec[8])
+		}
+		if img.Private[pn] && !img.SEV {
+			return nil, fmt.Errorf("%w: private page %d in a non-SEV snapshot", ErrCorrupt, pn)
+		}
+		img.Pages[pn] = append([]byte(nil), rec[9:9+guestmem.PageSize]...)
+	}
+	return img, nil
+}
