@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	severifast "github.com/severifast/severifast"
 	"github.com/severifast/severifast/internal/expt"
 )
 
@@ -41,6 +42,9 @@ func run(args []string, out io.Writer) error {
 		seed   = fs.Int64("seed", 1, "simulation seed")
 		outDir = fs.String("out", "", "directory for CSV output (optional)")
 		charts = fs.Bool("charts", false, "render ASCII CDF charts for Fig. 9")
+
+		traceOut   = fs.String("trace-out", "", "also run one instrumented boot per scheme and write a Chrome trace (open in Perfetto)")
+		metricsOut = fs.String("metrics-out", "", "write the instrumented run's telemetry in Prometheus text format")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +108,57 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "all experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+	if *traceOut != "" || *metricsOut != "" {
+		if err := writeTelemetry(out, *seed, *traceOut, *metricsOut); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeTelemetry boots each scheme once on a single instrumented host —
+// so the trace shows the Fig. 11 decompositions side by side on one
+// virtual clock — and exports the registry.
+func writeTelemetry(out io.Writer, seed int64, traceOut, metricsOut string) error {
+	host := severifast.NewHostSeed(seed)
+	for _, scheme := range []severifast.Scheme{
+		severifast.SchemeStock,
+		severifast.SchemeSEVeriFast,
+		severifast.SchemeSEVeriFastVmlinux,
+		severifast.SchemeQEMUOVMF,
+	} {
+		if _, err := host.Boot(severifast.Config{
+			Kernel: severifast.KernelLupine, InitrdMiB: 2, Scheme: scheme, Seed: seed,
+		}); err != nil {
+			return fmt.Errorf("instrumented %s boot: %w", scheme, err)
+		}
+	}
+	if traceOut != "" {
+		if err := writeExport(traceOut, host.Telemetry().WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s (open at https://ui.perfetto.dev)\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := writeExport(metricsOut, host.Telemetry().WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", metricsOut)
+	}
+	return nil
+}
+
+// writeExport streams one exporter into a freshly created file.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFig9 wraps the CDF experiment: the summary prints like any table, the

@@ -41,6 +41,9 @@ func run(args []string, out io.Writer) error {
 		concur   = fs.Int("concurrency", 1, "boot N guests simultaneously on one host (Fig. 12)")
 		showDig  = fs.Bool("digest", false, "print the launch digest and the expected digest")
 		timeline = fs.Bool("timeline", false, "draw the boot as an ASCII Gantt chart")
+
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the boot(s) (open in Perfetto)")
+		metricsOut = fs.String("metrics-out", "", "write telemetry in Prometheus text format")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,7 +56,7 @@ func run(args []string, out io.Writer) error {
 		VCPUs:                *vcpus,
 		MemMiB:               *memMiB,
 		InitrdMiB:            *initrd,
-		Compression:          *codec,
+		Codec:                severifast.Codec(*codec),
 		InBandHashing:        *inband,
 		PreEncryptPageTables: *preptPT,
 		DisableTHP:           *noTHP,
@@ -90,7 +93,32 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "expected digest: %s\n", hex.EncodeToString(want[:]))
 		}
 	}
+	if *traceOut != "" {
+		if err := writeExport(*traceOut, host.Telemetry().WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeExport(*metricsOut, host.Telemetry().WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", *metricsOut)
+	}
 	return nil
+}
+
+// writeExport streams one exporter into a freshly created file.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(out io.Writer, res *severifast.Result) {

@@ -51,7 +51,7 @@ func run(args []string, out io.Writer) error {
 		VCPUs:           *vcpus,
 		MemMiB:          *memMiB,
 		InitrdMiB:       *initrd,
-		Compression:     *codec,
+		Codec:           severifast.Codec(*codec),
 		VerifierSeed:    *verSeed,
 		AllowKeySharing: *share,
 	}

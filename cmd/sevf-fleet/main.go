@@ -25,6 +25,7 @@ import (
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		minTCB    = fs.String("min-tcb", "", "in-process broker's minimum TCB (defaults to the platform TCB)")
 		kbsSecret = fs.String("kbs-secret", "guest-volume-key", "per-tenant secret in the in-process broker")
 		nonceTTL  = fs.Duration("nonce-ttl", time.Minute, "in-process broker challenge lifetime in virtual time")
+
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON file of the run (open in Perfetto)")
+		metricsOut = fs.String("metrics-out", "", "write fleet metrics in Prometheus text format")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +129,17 @@ func run(args []string, out io.Writer) error {
 
 	eng := sim.NewEngine()
 	host := kvm.NewHost(eng, costmodel.Default(), *seed)
+
+	// One registry spans the whole run: boot span trees, fleet counters,
+	// PSP service slots, broker verdicts. It is stamped from virtual time
+	// only, so same-seed runs export byte-identical files.
+	var reg *telemetry.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		eng.SetTracer(reg)
+		host.Telemetry = reg
+		cfg.Telemetry = reg
+	}
 	if gated {
 		platTCB, err := kbs.ParseTCB(*tcbStr)
 		if err != nil {
@@ -150,6 +165,7 @@ func run(args []string, out io.Writer) error {
 			for _, name := range names {
 				broker.AddTenant(name, []byte(*kbsSecret))
 			}
+			broker.Instrument(reg)
 			cfg.KBS = broker
 		}
 	}
@@ -189,5 +205,30 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nvirtual makespan %v\n\n", eng.Now())
 	fmt.Fprint(out, o.Metrics().Report(o.CacheStats(), *width))
+	if *traceOut != "" {
+		if err := writeExport(*traceOut, reg.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeExport(*metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", *metricsOut)
+	}
 	return nil
+}
+
+// writeExport streams one exporter into a freshly created file.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

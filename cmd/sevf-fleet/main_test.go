@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -120,6 +124,87 @@ func TestRunKBSDeterministic(t *testing.T) {
 	if a, b := invoke(), invoke(); a != b {
 		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
 	}
+}
+
+// TestRunTraceExport is the CLI acceptance check for the telemetry spine:
+// -trace-out must emit valid Chrome trace JSON whose per-tier fleet.boot
+// span counts equal the Boots totals the report prints, and same-seed runs
+// must export byte-identical files.
+func TestRunTraceExport(t *testing.T) {
+	invoke := func(dir string) (report string, trace, metrics []byte) {
+		var sb strings.Builder
+		tracePath := filepath.Join(dir, "trace.json")
+		metricsPath := filepath.Join(dir, "metrics.prom")
+		err := run([]string{
+			"-arrivals", "12", "-workers", "4", "-warm", "-kbs", "-seed", "3",
+			"-trace-out", tracePath, "-metrics-out", metricsPath,
+		}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), tb, mb
+	}
+	report, trace, metrics := invoke(t.TempDir())
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("-trace-out is not valid JSON: %v", err)
+	}
+	spansByTier := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "fleet.boot" {
+			spansByTier[ev.Args["tier"]]++
+		}
+	}
+	// The report prints one "<tier> N boots" line per tier.
+	tierLine := regexp.MustCompile(`(?m)^  (\S+)\s+(\d+) boots`)
+	var tiers int
+	for _, m := range tierLine.FindAllStringSubmatch(report, -1) {
+		tiers++
+		want := m[2]
+		if got := spansByTier[m[1]]; strings.TrimLeft(want, "0") == "" && got != 0 {
+			t.Errorf("tier %s: %d fleet.boot spans, report says 0", m[1], got)
+		} else if strings.TrimLeft(want, "0") != "" && got != atoi(t, want) {
+			t.Errorf("tier %s: %d fleet.boot spans, report says %s", m[1], got, want)
+		}
+	}
+	if tiers == 0 {
+		t.Fatalf("report has no tier lines:\n%s", report)
+	}
+	if !strings.Contains(string(metrics), "severifast_fleet_boots_total") {
+		t.Fatal("-metrics-out missing fleet boot counters")
+	}
+
+	report2, trace2, metrics2 := invoke(t.TempDir())
+	// The trailing "written to <path>" lines embed the temp dir; compare
+	// the report body and the exported bytes.
+	body := func(s string) string { return strings.Split(s, "\ntrace written")[0] }
+	if body(report) != body(report2) || string(trace) != string(trace2) || string(metrics) != string(metrics2) {
+		t.Fatal("same-seed runs produced different exports")
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {

@@ -28,7 +28,7 @@ func main() {
 		}
 		variants := []variant{
 			{"bzImage (lz4)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFast}},
-			{"bzImage (gzip)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFast, Compression: "gzip"}},
+			{"bzImage (gzip)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFast, Codec: severifast.CodecGzip}},
 			{"vmlinux (uncompressed)", severifast.Config{Kernel: kernel, Scheme: severifast.SchemeSEVeriFastVmlinux}},
 		}
 		for _, v := range variants {

@@ -25,13 +25,20 @@ import (
 	"github.com/severifast/severifast/internal/sim"
 )
 
+// ErrDenied matches every attestation refusal: errors.Is(err, ErrDenied)
+// is true whenever the owner rejected the evidence, regardless of which
+// specific check failed.
+var ErrDenied = errors.New("attest: denied")
+
 // Errors distinguish why attestation failed; tests assert the category.
+// Each wraps ErrDenied, so errors.Is works against both the specific
+// sentinel and the umbrella.
 var (
-	ErrSignature   = errors.New("attest: report signature invalid")
-	ErrMeasurement = errors.New("attest: launch digest not in the allow list")
-	ErrPolicy      = errors.New("attest: guest policy weaker than required")
-	ErrLevel       = errors.New("attest: SEV level below required")
-	ErrBinding     = errors.New("attest: report data does not bind the guest key")
+	ErrSignature   = fmt.Errorf("%w: report signature invalid", ErrDenied)
+	ErrMeasurement = fmt.Errorf("%w: launch digest not in the allow list", ErrDenied)
+	ErrPolicy      = fmt.Errorf("%w: guest policy weaker than required", ErrDenied)
+	ErrLevel       = fmt.Errorf("%w: SEV level below required", ErrDenied)
+	ErrBinding     = fmt.Errorf("%w: report data does not bind the guest key", ErrDenied)
 )
 
 // Agent is the guest-side attestation agent, shipped in the initrd. Its

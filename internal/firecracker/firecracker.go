@@ -139,6 +139,12 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	}
 
 	m := host.NewMachine(proc, cfg.MemSize, cfg.Level)
+	m.Timeline.Annotate("vmm", "firecracker")
+	m.Timeline.Annotate("scheme", cfg.Scheme.String())
+	m.Timeline.Annotate("level", cfg.Level.String())
+	if cfg.Scheme == SchemeSEVeriFastBz {
+		m.Timeline.Annotate("codec", string(cfg.Codec))
+	}
 	attachDevices(m, cfg.Preset)
 	proc.Sleep(host.Model.VMMProcessStart)
 
@@ -156,13 +162,16 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Attestor != nil && cfg.Preset.Networking && cfg.Level.Encrypted() {
+		m.Timeline.Begin("attest", proc.Now())
 		m.DebugEvent(proc, sev.EvAttestStart)
 		if err := cfg.Attestor.Attest(proc, m); err != nil {
 			return nil, fmt.Errorf("firecracker: attestation: %w", err)
 		}
 		m.DebugEvent(proc, sev.EvAttestDone)
+		m.Timeline.End("attest", proc.Now())
 	}
 	res.Breakdown = m.Timeline.Breakdown()
+	m.Timeline.Close(proc.Now())
 	return res, nil
 }
 
@@ -239,8 +248,10 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 	if cfg.Hashes != nil {
 		hashes = *cfg.Hashes
 	} else {
+		m.Timeline.Begin("hash.components", proc.Now())
 		hashes = measure.HashComponents(kernelImage, cfg.Initrd, cfg.Cmdline)
 		proc.Sleep(model.Hash(len(kernelImage)) + model.Hash(len(cfg.Initrd)))
+		m.Timeline.End("hash.components", proc.Now())
 	}
 
 	policy := launchPolicy(cfg.Level)
@@ -264,9 +275,12 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 		}
 	}
 
+	m.Timeline.Begin("sev.host-prep", proc.Now())
 	m.PrepSEVHost(proc)
+	m.Timeline.End("sev.host-prep", proc.Now())
 
 	// Stage the measured-direct-boot components in shared memory.
+	m.Timeline.Begin("vmm.stage", proc.Now())
 	in := verifier.Inputs{
 		Kind:                   kind,
 		InitrdStageGPA:         measure.GPAStageB,
@@ -301,6 +315,7 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 		proc.Sleep(model.VMMLoad(len(cfg.Initrd)))
 	}
 	proc.Sleep(model.VMMSetupMisc)
+	m.Timeline.End("vmm.stage", proc.Now())
 
 	// The launch flow (Fig. 1): LAUNCH_START, LAUNCH_UPDATE_DATA over the
 	// plan, LAUNCH_FINISH. This is the "Pre-encryption" column of Fig. 10.
@@ -308,6 +323,7 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 	if err := m.StartLaunch(proc, policy); err != nil {
 		return nil, err
 	}
+	m.Timeline.Annotate("asid", fmt.Sprintf("%d", m.Launch.ASID()))
 	for _, r := range regions {
 		if err := m.Mem.HostWrite(r.GPA, r.Data); err != nil {
 			return nil, fmt.Errorf("firecracker: placing %s: %w", r.Name, err)

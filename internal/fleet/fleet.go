@@ -26,6 +26,7 @@ import (
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
 	"github.com/severifast/severifast/internal/snapshot"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // Errors returned by Submit.
@@ -34,6 +35,9 @@ var (
 	ErrQueueFull = errors.New("fleet: queue full")
 	// ErrClosed reports submission after Close.
 	ErrClosed = errors.New("fleet: orchestrator closed")
+	// ErrDigestMismatch reports a PSP-measured launch digest that differs
+	// from the measured-image cache's prediction.
+	ErrDigestMismatch = errors.New("fleet: launch digest mismatch")
 )
 
 // Config sizes the orchestrator.
@@ -55,6 +59,14 @@ type Config struct {
 	// Cache is the measured-image cache. Nil allocates a private one;
 	// pass a shared cache to amortize measurement across shards.
 	Cache *Cache
+
+	// Telemetry, when set, receives the fleet's counters and latency
+	// series as registry instruments, per-boot "fleet.boot" spans on the
+	// worker tracks, and "kbs.exchange" spans on the kbs track. Install
+	// the same registry on the host (kvm.Host.Telemetry) and engine
+	// (sim.Engine.SetTracer) to get the full per-boot span trees and the
+	// PSP queueing picture in one trace. Nil disables the mirror.
+	Telemetry *telemetry.Registry
 
 	// KBS, when set, gates every boot behind an attest→key-release
 	// exchange against the key broker: the guest requests a challenge,
@@ -181,7 +193,7 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 		eng:      eng,
 		host:     host,
 		cfg:      cfg,
-		met:      newMetrics(),
+		met:      newMetrics(cfg.Telemetry),
 		queues:   make(map[string][]*request),
 		planning: make(map[Key]*sim.Signal),
 	}
@@ -263,13 +275,13 @@ func (o *Orchestrator) RegisterImage(name string, preset kernelgen.Preset, initr
 // request is queued (waking a parked worker) or rejected with ErrQueueFull
 // / ErrClosed, and the caller — an open-loop arrival process — moves on.
 func (o *Orchestrator) Submit(p *sim.Proc, req Request) error {
-	o.met.Submitted++
+	o.met.submitted()
 	if o.closed {
-		o.met.Rejected++
+		o.met.rejected()
 		return ErrClosed
 	}
 	if o.cfg.QueueDepth > 0 && o.queued >= o.cfg.QueueDepth {
-		o.met.Rejected++
+		o.met.rejected()
 		return ErrQueueFull
 	}
 	r := &request{Request: req, admitted: p.Now(), id: o.nextID}
@@ -279,9 +291,7 @@ func (o *Orchestrator) Submit(p *sim.Proc, req Request) error {
 	}
 	o.queues[req.Tenant] = append(o.queues[req.Tenant], r)
 	o.queued++
-	if o.queued > o.met.QueueDepthMax {
-		o.met.QueueDepthMax = o.queued
-	}
+	o.met.queueDepth(o.queued)
 	o.wakeOne()
 	return nil
 }
@@ -346,13 +356,19 @@ func (o *Orchestrator) worker(p *sim.Proc) {
 // faults), then hand execution off to a spawned process so the worker
 // slot frees up for the next boot.
 func (o *Orchestrator) serve(p *sim.Proc, r *request) {
-	o.met.QueueWait = append(o.met.QueueWait, p.Now().Sub(r.admitted))
+	o.met.queueWait(p.Now().Sub(r.admitted))
 	for attempt := 0; ; attempt++ {
+		attemptStart := p.Now()
 		tier, err := o.bootOnce(p, r)
 		if err == nil {
-			o.met.Boots[tier]++
-			o.met.Latency[tier] = append(o.met.Latency[tier], p.Now().Sub(r.admitted))
-			o.met.PerTenant[r.Tenant]++
+			o.met.boot(tier, p.Now().Sub(r.admitted), r.Tenant)
+			// The serving attempt, retroactively: it time-encloses the
+			// machine's vm.boot span on this worker's track, so Perfetto
+			// shows boot tiers above the boot internals.
+			o.met.reg.Record(p.Name(), "fleet.boot", attemptStart, p.Now(),
+				telemetry.A("tier", tier.String()),
+				telemetry.A("tenant", r.Tenant),
+				telemetry.A("image", r.Image.Name))
 			if r.Done != nil {
 				r.Done(p, tier, nil)
 			}
@@ -363,37 +379,35 @@ func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 			if o.firstErr == nil {
 				o.firstErr = err
 			}
-			o.met.Failed++
-			o.met.PerTenant[r.Tenant]++
+			o.met.failed(r.Tenant)
 			if r.Done != nil {
 				r.Done(p, tier, err)
 			}
 			return
 		}
-		o.met.Faults++
+		o.met.fault()
 		if attempt >= o.cfg.Retry.Max {
-			o.met.Failed++
-			o.met.PerTenant[r.Tenant]++
+			o.met.failed(r.Tenant)
 			if r.Done != nil {
 				r.Done(p, tier, err)
 			}
 			return
 		}
 		p.Sleep(o.cfg.Retry.delay(attempt))
-		o.met.Retries++
+		o.met.retry()
 	}
 }
 
 // finish runs the function body off-worker and records end-to-end latency.
 func (o *Orchestrator) finish(p *sim.Proc, r *request) {
 	if r.Exec <= 0 {
-		o.met.EndToEnd = append(o.met.EndToEnd, p.Now().Sub(r.admitted))
+		o.met.endToEnd(p.Now().Sub(r.admitted))
 		return
 	}
 	admitted := r.admitted
 	o.eng.Go(fmt.Sprintf("fleet-exec-%d", r.id), func(ep *sim.Proc) {
 		ep.Sleep(r.Exec)
-		o.met.EndToEnd = append(o.met.EndToEnd, ep.Now().Sub(admitted))
+		o.met.endToEnd(ep.Now().Sub(admitted))
 	})
 }
 
@@ -464,8 +478,8 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 		return tier, err
 	}
 	if res.LaunchDigest != mi.Digest {
-		return tier, fmt.Errorf("fleet: launch digest mismatch for image %q: cache predicts %x, PSP measured %x",
-			img.Name, mi.Digest[:8], res.LaunchDigest[:8])
+		return tier, fmt.Errorf("%w for image %q: cache predicts %x, PSP measured %x",
+			ErrDigestMismatch, img.Name, mi.Digest[:8], res.LaunchDigest[:8])
 	}
 
 	// Seed the warm tier: first successful cold boot donates a snapshot.
@@ -494,12 +508,16 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 // restored context is sealed so the clone can request attestation reports.
 func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error) {
 	m := o.host.NewMachine(p, img.snap.Size, img.spec.Level)
+	m.Timeline.Annotate("vmm", "firecracker")
+	m.Timeline.Annotate("scheme", "warm-restore")
+	m.Timeline.Annotate("level", img.spec.Level.String())
 	m.PrepSEVHost(p)
 	ctx, err := o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
 	if err != nil {
 		return nil, err
 	}
 	m.Launch = ctx
+	m.Timeline.Annotate("asid", fmt.Sprintf("%d", ctx.ASID()))
 	if err := snapshot.Restore(p, m, img.snap); err != nil {
 		return nil, err
 	}
@@ -507,6 +525,7 @@ func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error
 	if _, err := ctx.LaunchFinish(p); err != nil {
 		return nil, err
 	}
+	m.Timeline.Close(p.Now())
 	return m, nil
 }
 
@@ -539,7 +558,7 @@ func (o *Orchestrator) injectFault(p *sim.Proc) error {
 		p.Sleep(o.host.Model.VMMLoad(64 << 10))
 		return fmt.Errorf("%w: verifier abort after guest entry", ErrInjected)
 	default:
-		o.host.PSP.Resource().Use(p, o.host.Model.PSPLaunchStart)
+		o.host.PSP.Resource().UseLabeled(p, o.host.Model.PSPLaunchStart, "LAUNCH_START")
 		return fmt.Errorf("%w: PSP LAUNCH_START busy", ErrInjected)
 	}
 }
@@ -561,11 +580,22 @@ func (o *Orchestrator) attestExchange(p *sim.Proc, r *request, m *kvm.Machine) e
 	err := o.runExchange(p, r, m)
 	m.Timeline.Record(p.Now(), sev.EvAttestDone)
 	m.Timeline.End("attest", p.Now())
+	outcome := "granted"
+	if err != nil {
+		outcome = "denied"
+		if reason := kbs.ReasonOf(err); reason != "" {
+			outcome = string(reason)
+		}
+	}
+	// The broker's side of the exchange, on its own track, so the trace
+	// shows key-release round trips next to the PSP's REPORT_GEN slots.
+	o.met.reg.Record("kbs", "kbs.exchange", start, p.Now(),
+		telemetry.A("tenant", r.Tenant),
+		telemetry.A("outcome", outcome))
 	if err != nil {
 		return err
 	}
-	o.met.Attested++
-	o.met.AttestLatency = append(o.met.AttestLatency, p.Now().Sub(start))
+	o.met.attested(p.Now().Sub(start))
 	return nil
 }
 
@@ -633,14 +663,11 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 // exchange with honest evidence available), genuine denials are
 // deterministic failures.
 func (o *Orchestrator) denied(err error, injected bool, site FaultSite) error {
-	if o.met.Denials == nil {
-		o.met.Denials = make(map[string]int)
-	}
 	reason := string(kbs.ReasonOf(err))
 	if reason == "" {
 		reason = "error"
 	}
-	o.met.Denials[reason]++
+	o.met.denial(reason)
 	if injected {
 		return fmt.Errorf("%w: injected %s fault: %w", ErrInjected, site, err)
 	}

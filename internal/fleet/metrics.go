@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/severifast/severifast/internal/telemetry"
 	"github.com/severifast/severifast/internal/trace"
 )
 
@@ -74,10 +75,87 @@ type Metrics struct {
 	// Denials counts key-broker refusals by reason (kbs.Reason strings),
 	// injected and genuine alike.
 	Denials map[string]int
+
+	// reg, when non-nil, mirrors every field above into the shared
+	// telemetry registry under severifast_fleet_* metric names, so a
+	// fleet run exports the same numbers Report prints. Nil is inert.
+	reg *telemetry.Registry
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{PerTenant: make(map[string]int)}
+func newMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{PerTenant: make(map[string]int), reg: reg}
+}
+
+// The mutation helpers below are the orchestrator's single write path:
+// they keep the exported struct fields (read by Report and tests) and
+// the registry mirror in lockstep.
+
+func (m *Metrics) submitted() {
+	m.Submitted++
+	m.reg.Counter("severifast_fleet_submitted_total").Inc()
+}
+
+func (m *Metrics) rejected() {
+	m.Rejected++
+	m.reg.Counter("severifast_fleet_rejected_total").Inc()
+}
+
+func (m *Metrics) queueDepth(depth int) {
+	if depth > m.QueueDepthMax {
+		m.QueueDepthMax = depth
+	}
+	m.reg.Gauge("severifast_fleet_queue_depth_max").Max(float64(depth))
+}
+
+func (m *Metrics) queueWait(d time.Duration) {
+	m.QueueWait = append(m.QueueWait, d)
+	m.reg.Series("severifast_fleet_queue_wait_seconds").Observe(d)
+}
+
+func (m *Metrics) boot(tier Tier, latency time.Duration, tenant string) {
+	m.Boots[tier]++
+	m.Latency[tier] = append(m.Latency[tier], latency)
+	m.PerTenant[tenant]++
+	m.reg.Counter("severifast_fleet_boots_total", telemetry.A("tier", tier.String())).Inc()
+	m.reg.Counter("severifast_fleet_served_total", telemetry.A("tenant", tenant)).Inc()
+	m.reg.Series("severifast_fleet_boot_latency_seconds", telemetry.A("tier", tier.String())).Observe(latency)
+}
+
+func (m *Metrics) failed(tenant string) {
+	m.Failed++
+	m.PerTenant[tenant]++
+	m.reg.Counter("severifast_fleet_failed_total").Inc()
+	m.reg.Counter("severifast_fleet_served_total", telemetry.A("tenant", tenant)).Inc()
+}
+
+func (m *Metrics) fault() {
+	m.Faults++
+	m.reg.Counter("severifast_fleet_faults_total").Inc()
+}
+
+func (m *Metrics) retry() {
+	m.Retries++
+	m.reg.Counter("severifast_fleet_retries_total").Inc()
+}
+
+func (m *Metrics) endToEnd(d time.Duration) {
+	m.EndToEnd = append(m.EndToEnd, d)
+	m.reg.Series("severifast_fleet_end_to_end_seconds").Observe(d)
+}
+
+func (m *Metrics) attested(d time.Duration) {
+	m.Attested++
+	m.AttestLatency = append(m.AttestLatency, d)
+	m.reg.Counter("severifast_fleet_attested_total").Inc()
+	m.reg.Series("severifast_fleet_attest_latency_seconds").Observe(d)
+}
+
+func (m *Metrics) denial(reason string) {
+	if m.Denials == nil {
+		m.Denials = make(map[string]int)
+	}
+	m.Denials[reason]++
+	m.reg.Counter("severifast_fleet_denials_total", telemetry.A("reason", reason)).Inc()
 }
 
 // TotalBoots sums completed boots across tiers.

@@ -12,6 +12,7 @@ import (
 	"github.com/severifast/severifast/internal/psp"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // DefaultNonceTTL bounds how long a challenge stays redeemable when the
@@ -51,6 +52,16 @@ type Broker struct {
 	revoked  map[string]bool // chip ID -> revoked
 	verdicts map[verdictKey]bool
 	stats    Stats
+	reg      *telemetry.Registry
+}
+
+// Instrument mirrors the broker's counters (challenges, grants, denials
+// by reason, verdict-cache hits and misses) into reg under
+// severifast_kbs_* metric names. Nil detaches the mirror.
+func (b *Broker) Instrument(reg *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
 }
 
 type nonceRec struct {
@@ -136,6 +147,7 @@ func (b *Broker) Challenge(tenant string, now sim.Time) (Challenge, error) {
 	c.Expires = now + sim.Time(b.cfg.NonceTTL)
 	b.nonces[c.Nonce] = nonceRec{tenant: tenant, expires: c.Expires}
 	b.stats.Challenges++
+	b.reg.Counter("severifast_kbs_challenges_total").Inc()
 	return c, nil
 }
 
@@ -169,9 +181,11 @@ func (b *Broker) Redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 				b.stats.Denials = make(map[string]int)
 			}
 			b.stats.Denials[string(r)]++
+			b.reg.Counter("severifast_kbs_denials_total", telemetry.A("reason", string(r))).Inc()
 		}
 	} else {
 		b.stats.Grants++
+		b.reg.Counter("severifast_kbs_grants_total").Inc()
 	}
 	b.mu.Unlock()
 	return res, err
@@ -234,8 +248,10 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	verdictCached := b.verdicts[vk]
 	if verdictCached {
 		b.stats.VerdictHit++
+		b.reg.Counter("severifast_kbs_verdict_cache_total", telemetry.A("result", "hit")).Inc()
 	} else {
 		b.stats.VerdictMis++
+		b.reg.Counter("severifast_kbs_verdict_cache_total", telemetry.A("result", "miss")).Inc()
 	}
 	b.mu.Unlock()
 	if !verdictCached {

@@ -17,6 +17,7 @@ import (
 	"github.com/severifast/severifast/internal/rmp"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
 	"github.com/severifast/severifast/internal/trace"
 	"github.com/severifast/severifast/internal/virtio"
 )
@@ -31,6 +32,11 @@ type Host struct {
 	// THP mirrors the §6.1 setting: with transparent huge pages enabled,
 	// guests validate memory with 2 MiB pvalidate operations.
 	THP bool
+
+	// Telemetry, when set, makes every machine's timeline a span scope
+	// on the booting proc's track. Install it with eng.SetTracer too so
+	// PSP queueing shows up in the same registry.
+	Telemetry *telemetry.Registry
 }
 
 // NewHost assembles a host with a deterministic PSP identity.
@@ -93,7 +99,7 @@ func (h *Host) NewMachine(proc *sim.Proc, size uint64, level sev.Level) *Machine
 		Host:     h,
 		Mem:      guestmem.New(size),
 		Level:    level,
-		Timeline: trace.New(proc.Now()),
+		Timeline: trace.NewScoped(h.Telemetry, proc.Name(), proc.Now()),
 	}
 	return m
 }
@@ -110,7 +116,7 @@ func (m *Machine) PrepSEVHost(proc *sim.Proc) {
 	m.Mem.NotePinned(int(m.Mem.Size()))
 	// Per-guest PSP firmware setup (SNP context, RMPUPDATEs, GHCB
 	// registration) — serialized on the shared PSP like every command.
-	m.Host.PSP.Resource().Use(proc, m.Host.Model.PSPGuestInit)
+	m.Host.PSP.Resource().UseLabeled(proc, m.Host.Model.PSPGuestInit, "GUEST_INIT")
 }
 
 // StartLaunch opens the PSP launch context (LAUNCH_START) and, under SNP,

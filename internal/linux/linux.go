@@ -52,17 +52,21 @@ func Boot(proc *sim.Proc, m *kvm.Machine, h *verifier.Handoff, preset kernelgen.
 	entry := h.Entry
 	if h.Kind == verifier.KindBzImage {
 		m.DebugEvent(proc, sev.EvBootstrapStart)
+		m.Timeline.Begin("bootstrap", proc.Now())
 		var err error
 		entry, err = runBootstrapLoader(proc, m, h, cbit)
 		if err != nil {
 			return nil, err
 		}
+		m.Timeline.End("bootstrap", proc.Now())
 	}
 	m.DebugEvent(proc, sev.EvKernelEntry)
+	m.Timeline.Begin("linux.boot", proc.Now())
 	rep, err := kernelInit(proc, m, entry, preset, cbit)
 	if err != nil {
 		return nil, err
 	}
+	m.Timeline.End("linux.boot", proc.Now())
 	m.DebugEvent(proc, sev.EvInitExec)
 	return rep, nil
 }

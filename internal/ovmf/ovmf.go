@@ -68,6 +68,7 @@ func PlanRegions(seed int64, level sev.Level, hashes measure.ComponentHashes) []
 func Run(proc *sim.Proc, m *kvm.Machine, in verifier.Inputs) (*verifier.Handoff, error) {
 	model := m.Host.Model
 
+	m.Timeline.Begin("firmware", proc.Now())
 	// SEC: reset vector, cache-as-RAM, decompress PEI core.
 	m.DebugEvent(proc, sev.EvFirmwareSEC)
 	proc.Sleep(model.OVMFPhaseSEC)
@@ -80,6 +81,7 @@ func Run(proc *sim.Proc, m *kvm.Machine, in verifier.Inputs) (*verifier.Handoff,
 	// BDS: boot device selection.
 	m.DebugEvent(proc, sev.EvFirmwareBDS)
 	proc.Sleep(model.OVMFPhaseBDS)
+	m.Timeline.End("firmware", proc.Now())
 
 	// The only SEV-necessary part: boot verification (Fig. 3's thin
 	// "Boot Verifier" slice). OVMF validates guest memory first the same

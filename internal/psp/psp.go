@@ -116,7 +116,7 @@ func (p *PSP) LaunchStart(proc *sim.Proc, mem *guestmem.Memory, level sev.Level,
 	if policy.ESRequired && level < sev.ES {
 		return nil, fmt.Errorf("%w: policy requires SEV-ES, guest level %v", ErrPolicy, level)
 	}
-	p.run(proc, p.model.PSPLaunchStart)
+	p.run(proc, p.model.PSPLaunchStart, "LAUNCH_START")
 
 	key := make([]byte, 16)
 	p.rng.Read(key)
@@ -152,13 +152,16 @@ func InitialDigest(policy sev.Policy, level sev.Level) [32]byte {
 }
 
 // run executes one command body of duration d on the shared PSP core.
+// cmd is the SEV command mnemonic; the scheduler tracer shows it as a
+// named service span on the "psp" track, so a trace of N concurrent
+// launches renders the Fig. 12 serialization command by command.
 // proc may be nil for untimed unit tests.
-func (p *PSP) run(proc *sim.Proc, d time.Duration) {
+func (p *PSP) run(proc *sim.Proc, d time.Duration, cmd string) {
 	p.CommandCount++
 	if proc == nil {
 		return
 	}
-	p.res.Use(proc, d)
+	p.res.UseLabeled(proc, d, cmd)
 }
 
 // ASID returns the guest's address-space identifier.
@@ -182,7 +185,7 @@ func (ctx *GuestContext) LaunchUpdateData(proc *sim.Proc, gpa uint64, n int, pt 
 	if ctx.state != StateLaunching {
 		return fmt.Errorf("%w: LAUNCH_UPDATE_DATA in state %d", ErrState, ctx.state)
 	}
-	ctx.psp.run(proc, ctx.psp.model.PreEncrypt(n))
+	ctx.psp.run(proc, ctx.psp.model.PreEncrypt(n), "LAUNCH_UPDATE_DATA")
 	plain, err := ctx.mem.LaunchUpdate(gpa, n)
 	if err != nil {
 		return err
@@ -209,7 +212,7 @@ func (ctx *GuestContext) LaunchFinish(proc *sim.Proc) ([32]byte, error) {
 	if ctx.state != StateLaunching {
 		return [32]byte{}, fmt.Errorf("%w: LAUNCH_FINISH in state %d", ErrState, ctx.state)
 	}
-	ctx.psp.run(proc, ctx.psp.model.PSPLaunchFinish)
+	ctx.psp.run(proc, ctx.psp.model.PSPLaunchFinish, "LAUNCH_FINISH")
 	ctx.state = StateRunning
 	return ctx.digest, nil
 }
@@ -302,7 +305,7 @@ func (ctx *GuestContext) BuildReport(proc *sim.Proc, reportData [64]byte) (*Repo
 	if ctx.state != StateRunning {
 		return nil, fmt.Errorf("%w: report for guest in state %d", ErrState, ctx.state)
 	}
-	ctx.psp.run(proc, ctx.psp.model.PSPReportGen)
+	ctx.psp.run(proc, ctx.psp.model.PSPReportGen, "REPORT_GEN")
 	r := &Report{
 		Version:     2,
 		Policy:      ctx.policy.Encode(),
@@ -362,7 +365,7 @@ func (p *PSP) LaunchStartShared(proc *sim.Proc, mem *guestmem.Memory, donor *Gue
 	if policy.ESRequired && level < sev.ES {
 		return nil, fmt.Errorf("%w: policy requires SEV-ES, guest level %v", ErrPolicy, level)
 	}
-	p.run(proc, p.model.PSPLaunchStart/2)
+	p.run(proc, p.model.PSPLaunchStart/2, "LAUNCH_START_SHARED")
 
 	mem.SetKey(donor.mem.Key(), donor.asid)
 	ctx := &GuestContext{

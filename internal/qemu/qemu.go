@@ -77,17 +77,23 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	model := host.Model
 
 	m := host.NewMachine(proc, cfg.MemSize, cfg.Level)
+	m.Timeline.Annotate("vmm", "qemu")
+	m.Timeline.Annotate("scheme", "qemu-ovmf")
+	m.Timeline.Annotate("level", cfg.Level.String())
 	attachDevices(m, cfg.Preset)
 	proc.Sleep(model.QEMUProcessStart)
 
 	// QEMU's measured direct boot hashes components at launch, on the
 	// critical path (no out-of-band hash file).
+	m.Timeline.Begin("hash.components", proc.Now())
 	kernelImage := cfg.Artifacts.BzImageLZ4
 	hashes := measure.HashComponents(kernelImage, cfg.Initrd, cfg.Cmdline)
 	proc.Sleep(model.Hash(len(kernelImage)) + model.Hash(len(cfg.Initrd)))
+	m.Timeline.End("hash.components", proc.Now())
 
 	// Stage components via fw_cfg (shared memory), plus the plain-text
 	// boot structures OVMF consumes to build boot_params.
+	m.Timeline.Begin("vmm.stage", proc.Now())
 	if err := m.Mem.HostWriteAliased(measure.GPAStageA, kernelImage); err != nil {
 		return nil, err
 	}
@@ -105,8 +111,11 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	proc.Sleep(model.VMMSetupMisc)
+	m.Timeline.End("vmm.stage", proc.Now())
 
+	m.Timeline.Begin("sev.host-prep", proc.Now())
 	m.PrepSEVHost(proc)
+	m.Timeline.End("sev.host-prep", proc.Now())
 
 	// Pre-encryption: the whole firmware volume + varstore + hash page
 	// (+ SNP pages + VMSA) — Fig. 10's ~288 ms column.
@@ -115,6 +124,7 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	if err := m.StartLaunch(proc, policy); err != nil {
 		return nil, err
 	}
+	m.Timeline.Annotate("asid", fmt.Sprintf("%d", m.Launch.ASID()))
 	for _, r := range ovmf.PlanRegions(cfg.OVMFSeed, cfg.Level, hashes) {
 		if err := m.Mem.HostWrite(r.GPA, r.Data); err != nil {
 			return nil, fmt.Errorf("qemu: placing %s: %w", r.Name, err)
@@ -155,11 +165,13 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Attestor != nil && cfg.Preset.Networking {
+		m.Timeline.Begin("attest", proc.Now())
 		m.DebugEvent(proc, sev.EvAttestStart)
 		if err := cfg.Attestor.Attest(proc, m); err != nil {
 			return nil, fmt.Errorf("qemu: attestation: %w", err)
 		}
 		m.DebugEvent(proc, sev.EvAttestDone)
+		m.Timeline.End("attest", proc.Now())
 	}
 	res := &Result{
 		Timeline:     m.Timeline,
@@ -168,6 +180,7 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 		LaunchDigest: digest,
 	}
 	res.Breakdown = m.Timeline.Breakdown()
+	m.Timeline.Close(proc.Now())
 	return res, nil
 }
 

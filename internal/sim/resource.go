@@ -51,8 +51,12 @@ func (r *Resource) Acquire(p *Proc) {
 	if len(r.queue) > r.maxQueue {
 		r.maxQueue = len(r.queue)
 	}
+	from := p.eng.now
 	p.waitParked()
 	// Woken by Release, which already accounted the slot to us.
+	if t := p.eng.tracer; t != nil {
+		t.TraceWait(p.name, r.name, from, p.eng.now)
+	}
 }
 
 // account folds slot-busy time accumulated since the last state change into
@@ -85,8 +89,18 @@ func (r *Resource) Release(e *Engine) {
 
 // Use acquires a slot, holds it for d of virtual time, and releases it.
 // This is the common "submit one command to the device" pattern.
-func (r *Resource) Use(p *Proc, d time.Duration) {
+func (r *Resource) Use(p *Proc, d time.Duration) { r.UseLabeled(p, d, "") }
+
+// UseLabeled is Use with a command label for the scheduler tracer: the
+// service period is reported under that name on the resource's track
+// (PSP launch commands use this, so a trace shows LAUNCH_UPDATE_DATA
+// serialization explicitly).
+func (r *Resource) UseLabeled(p *Proc, d time.Duration, label string) {
 	r.Acquire(p)
+	from := p.eng.now
 	p.Sleep(d)
 	r.Release(p.eng)
+	if t := p.eng.tracer; t != nil {
+		t.TraceService(p.name, r.name, label, from, p.eng.now)
+	}
 }

@@ -68,6 +68,21 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// Tracer observes scheduler-level intervals: resource queue waits,
+// resource service periods, and parked (not-runnable) gaps. The engine
+// holds at most one tracer; internal/telemetry's Registry implements
+// this interface, keeping the dependency one-way (telemetry imports
+// sim, never the reverse).
+type Tracer interface {
+	// TraceWait is called after a process waited for a resource slot.
+	TraceWait(proc, resource string, from, to Time)
+	// TraceService is called after a process held a resource slot via
+	// Use/UseLabeled; label is the command name ("" when unlabeled).
+	TraceService(proc, resource, label string, from, to Time)
+	// TraceIdle is called after a Park/Wake gap.
+	TraceIdle(proc string, from, to Time)
+}
+
 // Engine owns the virtual clock and the event queue.
 //
 // The zero value is not usable; call NewEngine.
@@ -77,6 +92,8 @@ type Engine struct {
 	events eventHeap
 
 	procs int // live (started, unfinished) processes
+
+	tracer Tracer // optional scheduler observer
 
 	panicked interface{} // first panic captured from a process
 }
@@ -88,6 +105,11 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs t as the engine's scheduler observer (nil clears
+// it). Call before Run; the tracer sees waits, service periods, and
+// park gaps as they complete.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
 
 // At schedules fn to run at virtual time t. Scheduling in the past (or at
 // the present instant) fires the event at the current time, after already-
@@ -220,7 +242,14 @@ func (p *Proc) waitParked() Time {
 // engine (see internal/fleet's worker pool): the parking process must
 // arrange for some other live process to hold a reference to it, or the
 // engine will report a deadlock.
-func (p *Proc) Park() Time { return p.waitParked() }
+func (p *Proc) Park() Time {
+	from := p.eng.now
+	at := p.waitParked()
+	if t := p.eng.tracer; t != nil {
+		t.TraceIdle(p.name, from, at)
+	}
+	return at
+}
 
 // Wake schedules a process parked via Park to resume at the current
 // instant, after already-queued events for this time. Waking a process

@@ -54,6 +54,10 @@ type Image struct {
 // charged per resident byte (dirty-page tracking is assumed, as in the
 // paper's citations).
 func Capture(proc *sim.Proc, m *kvm.Machine) (*Image, error) {
+	if proc != nil {
+		m.Timeline.Begin("snapshot.capture", proc.Now())
+		defer func() { m.Timeline.End("snapshot.capture", proc.Now()) }()
+	}
 	img := &Image{
 		Size:    m.Mem.Size(),
 		Pages:   make(map[uint64][]byte),
@@ -89,6 +93,10 @@ func Capture(proc *sim.Proc, m *kvm.Machine) (*Image, error) {
 func Restore(proc *sim.Proc, m *kvm.Machine, img *Image) error {
 	if m.Mem.Size() != img.Size {
 		return fmt.Errorf("%w: %d vs %d", ErrSize, m.Mem.Size(), img.Size)
+	}
+	if proc != nil {
+		m.Timeline.Begin("snapshot.restore", proc.Now())
+		defer func() { m.Timeline.End("snapshot.restore", proc.Now()) }()
 	}
 	bytes := 0
 	for pn, data := range img.Pages {

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (Trace Event Format; Perfetto and chrome://tracing both load it).
+// Timestamps and durations are microseconds; the virtual clock is
+// nanoseconds, so stamps carry three decimals.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   json.Number       `json:"ts"`
+	Dur  json.Number       `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+func micros(t int64) json.Number {
+	return json.Number(strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64))
+}
+
+func attrArgs(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs { // later values win
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteChromeTrace renders the registry as Chrome trace-event JSON:
+// one pid, one tid per track (sorted by name), "X" complete events for
+// spans, "i" instants for events, "M" metadata naming the tracks.
+// Still-open spans are clamped to the registry horizon. Output is
+// deterministic: same registry contents, same bytes.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	events := r.Events()
+	horizon := r.Horizon()
+
+	trackSet := map[string]bool{}
+	for _, s := range spans {
+		trackSet[s.Track] = true
+	}
+	for _, e := range events {
+		trackSet[e.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for t := range trackSet {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	for i, t := range tracks {
+		tid[t] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(tracks)+len(spans)+len(events))
+	for _, t := range tracks {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Ts: "0",
+			Pid: 1, Tid: tid[t],
+			Args: map[string]string{"name": t},
+		})
+	}
+
+	sorted := append([]*Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, s := range sorted {
+		stop := s.Stop
+		if !s.Done {
+			stop = horizon
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: "vt", Ph: "X",
+			Ts: micros(int64(s.Start)), Dur: micros(int64(stop - s.Start)),
+			Pid: 1, Tid: tid[s.Track],
+			Args: attrArgs(s.Attrs),
+		})
+	}
+
+	sortedEv := append([]Event(nil), events...)
+	sort.Slice(sortedEv, func(i, j int) bool {
+		if sortedEv[i].At != sortedEv[j].At {
+			return sortedEv[i].At < sortedEv[j].At
+		}
+		return sortedEv[i].Seq < sortedEv[j].Seq
+	})
+	for _, e := range sortedEv {
+		out = append(out, chromeEvent{
+			Name: e.Name, Cat: "vt", Ph: "i",
+			Ts:  micros(int64(e.At)),
+			Pid: 1, Tid: tid[e.Track], S: "t",
+			Args: attrArgs(e.Attrs),
+		})
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range out {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(out)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promLabels renders a sorted label set ({} omitted when empty), with
+// extra quantile labels appended for summary lines.
+func promLabels(attrs []Attr, extra ...Attr) string {
+	all := append(append([]Attr(nil), attrs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", a.Key, a.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func seconds(d time.Duration) string {
+	return promFloat(d.Seconds())
+}
+
+// WritePrometheus renders every counter, gauge, and series in the
+// Prometheus text exposition format. Durations are exported in seconds
+// (the Prometheus convention); series become summaries with 0.5/0.9/
+// 0.99 quantiles. Families and label sets are sorted, so output is
+// deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		typ   string
+		lines []string
+	}
+	families := map[string]*family{}
+	fam := func(name, typ string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{typ: typ}
+			families[name] = f
+		}
+		return f
+	}
+
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := counters[k]
+		f := fam(c.Name, "counter")
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %d", c.Name, promLabels(c.Attrs), c.Value()))
+	}
+
+	keys = keys[:0]
+	for k := range gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := gauges[k]
+		f := fam(g.Name, "gauge")
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %s", g.Name, promLabels(g.Attrs), promFloat(g.Value())))
+	}
+
+	keys = keys[:0]
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := series[k]
+		f := fam(s.Name, "summary")
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %s", s.Name,
+				promLabels(s.Attrs, A("quantile", promFloat(q))), seconds(s.Quantile(q))))
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %s", s.Name, promLabels(s.Attrs), seconds(s.Sum())))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", s.Name, promLabels(s.Attrs), s.Count()))
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SeriesSummary is the JSON projection of one Series.
+type SeriesSummary struct {
+	Count int   `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// Summary is the machine-readable projection of a registry: totals plus
+// every metric keyed by its canonical name{labels} form. Map keys are
+// sorted by encoding/json, so the output is deterministic.
+type Summary struct {
+	HorizonNS   int64                    `json:"horizon_ns"`
+	Tracks      []string                 `json:"tracks"`
+	SpanCount   int                      `json:"span_count"`
+	EventCount  int                      `json:"event_count"`
+	SpansByName map[string]int           `json:"spans_by_name,omitempty"`
+	Counters    map[string]int64         `json:"counters,omitempty"`
+	Gauges      map[string]float64       `json:"gauges,omitempty"`
+	Series      map[string]SeriesSummary `json:"series,omitempty"`
+}
+
+// Summarize builds the Summary projection.
+func (r *Registry) Summarize() Summary {
+	var sum Summary
+	if r == nil {
+		return sum
+	}
+	spans := r.Spans()
+	events := r.Events()
+	sum.HorizonNS = int64(r.Horizon())
+	sum.SpanCount = len(spans)
+	sum.EventCount = len(events)
+
+	trackSet := map[string]bool{}
+	byName := map[string]int{}
+	for _, s := range spans {
+		trackSet[s.Track] = true
+		byName[s.Name]++
+	}
+	for _, e := range events {
+		trackSet[e.Track] = true
+	}
+	sum.Tracks = make([]string, 0, len(trackSet))
+	for t := range trackSet {
+		sum.Tracks = append(sum.Tracks, t)
+	}
+	sort.Strings(sum.Tracks)
+	if len(byName) > 0 {
+		sum.SpansByName = byName
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		sum.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			sum.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		sum.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			sum.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.series) > 0 {
+		sum.Series = make(map[string]SeriesSummary, len(r.series))
+		for k, s := range r.series {
+			sum.Series[k] = SeriesSummary{
+				Count: s.Count(),
+				SumNS: int64(s.Sum()),
+				P50NS: int64(s.Quantile(0.5)),
+				P90NS: int64(s.Quantile(0.9)),
+				P99NS: int64(s.Quantile(0.99)),
+			}
+		}
+	}
+	return sum
+}
+
+// WriteJSONSummary renders the Summary as indented JSON.
+func (r *Registry) WriteJSONSummary(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Summarize(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/severifast/severifast/internal/sev"
 	simtime "github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // eventLabels names the boot stages for rendering.
@@ -26,13 +27,122 @@ var eventLabels = map[sev.TimingEvent]string{
 	sev.EvFirmwareBDS:    "fw BDS",
 }
 
-// RenderTimeline draws the boot as an ASCII Gantt chart: one row per
-// stage, bars proportional to duration, suitable for terminal output
-// (sevf-boot -timeline).
+// EventName returns the rendering label for a guest timing event.
+func EventName(ev sev.TimingEvent) string {
+	if name := eventLabels[ev]; name != "" {
+		return name
+	}
+	return fmt.Sprintf("ev%d", ev)
+}
+
+// RenderTimeline draws the boot as an ASCII Gantt chart, suitable for
+// terminal output (sevf-boot -timeline). Scoped timelines render their
+// telemetry span tree — one indented row per span, instant events as
+// markers; unscoped timelines fall back to the original event-pair
+// stage rendering.
 func (t *Timeline) RenderTimeline(width int) string {
 	if width < 40 {
 		width = 72
 	}
+	if t.root != nil {
+		return t.renderSpanTree(width)
+	}
+	return t.renderEventStages(width)
+}
+
+// renderSpanTree draws the boot's span tree: depth-indented span rows
+// with proportional bars, then instant events as time markers.
+func (t *Timeline) renderSpanTree(width int) string {
+	spans := t.Spans()
+	events := t.TelemetryEvents()
+	root := t.root
+	end := root.Stop
+	if !root.Done {
+		end = root.Start
+		for _, s := range spans {
+			if s.Done && s.Stop > end {
+				end = s.Stop
+			}
+		}
+		for _, e := range events {
+			if e.At > end {
+				end = e.At
+			}
+		}
+	}
+	total := end.Sub(root.Start)
+	if total <= 0 {
+		return "(no events recorded)\n"
+	}
+
+	depth := map[int]int{}
+	for _, s := range spans { // creation order: parents precede children
+		if s.ID == root.ID {
+			depth[s.ID] = 0
+			continue
+		}
+		depth[s.ID] = depth[s.Parent] + 1
+	}
+	rows := append([]*telemetry.Span(nil), spans...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Start != rows[j].Start {
+			return rows[i].Start < rows[j].Start
+		}
+		return rows[i].ID < rows[j].ID
+	})
+
+	type row struct {
+		name       string
+		start, dur time.Duration
+	}
+	out := make([]row, 0, len(rows))
+	nameW := 0
+	for _, s := range rows {
+		stop := s.Stop
+		if !s.Done {
+			stop = end
+		}
+		r := row{
+			name:  strings.Repeat("  ", depth[s.ID]) + s.Name,
+			start: s.Start.Sub(root.Start),
+			dur:   stop.Sub(s.Start),
+		}
+		out = append(out, r)
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	barW := width - nameW - 14
+	if barW < 10 {
+		barW = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "boot timeline (total %v)\n", total.Round(10*time.Microsecond))
+	for _, r := range out {
+		startCol := int(int64(barW) * int64(r.start) / int64(total))
+		endCol := int(int64(barW) * int64(r.start+r.dur) / int64(total))
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > barW {
+			endCol = barW
+		}
+		if startCol >= endCol {
+			startCol = endCol - 1
+		}
+		bar := strings.Repeat(" ", startCol) + strings.Repeat("█", endCol-startCol)
+		fmt.Fprintf(&sb, "%-*s |%-*s| %v\n", nameW, r.name, barW, bar,
+			r.dur.Round(10*time.Microsecond))
+	}
+	for _, e := range events {
+		fmt.Fprintf(&sb, "· %s @ %v\n", e.Name, e.At.Sub(root.Start).Round(10*time.Microsecond))
+	}
+	return sb.String()
+}
+
+// renderEventStages is the legacy renderer for unscoped timelines: one
+// row per consecutive pair of guest events.
+func (t *Timeline) renderEventStages(width int) string {
 	type stage struct {
 		name       string
 		start, end time.Duration

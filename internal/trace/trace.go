@@ -15,6 +15,7 @@ import (
 
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // Event is one stamped timing event.
@@ -23,26 +24,75 @@ type Event struct {
 	Ev sev.TimingEvent
 }
 
-// Timeline collects events and named spans for one boot.
+// RootSpan is the name of the span a scoped timeline opens for the
+// whole boot; everything the boot does nests under it.
+const RootSpan = "vm.boot"
+
+// Timeline collects events and named spans for one boot. A timeline
+// built with NewScoped is additionally a *span scope* over a telemetry
+// registry: Begin/End become nested spans on the boot's track, Record
+// also emits instant events, and the whole boot lives under one
+// RootSpan span that Close ends. New (unscoped) timelines keep the
+// original standalone behaviour.
 type Timeline struct {
 	Start  sim.Time
 	events []Event
 	spans  map[string]time.Duration
 	open   map[string]sim.Time
+
+	reg       *telemetry.Registry
+	track     string
+	root      *telemetry.Span
+	openSpans map[string]*telemetry.Span
 }
 
 // New returns a timeline whose zero point is the VMM exec time.
 func New(start sim.Time) *Timeline {
-	return &Timeline{
-		Start: start,
-		spans: make(map[string]time.Duration),
-		open:  make(map[string]sim.Time),
-	}
+	return NewScoped(nil, "", start)
 }
+
+// NewScoped returns a timeline that mirrors everything it records into
+// reg on the given track (normally the booting proc's name). A nil reg
+// degrades to New.
+func NewScoped(reg *telemetry.Registry, track string, start sim.Time) *Timeline {
+	t := &Timeline{
+		Start:     start,
+		spans:     make(map[string]time.Duration),
+		open:      make(map[string]sim.Time),
+		openSpans: make(map[string]*telemetry.Span),
+	}
+	if reg != nil {
+		t.reg = reg
+		t.track = track
+		t.root = reg.StartSpan(track, RootSpan, start)
+	}
+	return t
+}
+
+// Registry returns the registry this timeline writes into (nil when
+// unscoped).
+func (t *Timeline) Registry() *telemetry.Registry { return t.reg }
+
+// Track returns the track name for a scoped timeline.
+func (t *Timeline) Track() string { return t.track }
+
+// Root returns the boot's root span (nil when unscoped).
+func (t *Timeline) Root() *telemetry.Span { return t.root }
+
+// Annotate attaches an attribute (scheme, level, codec, asid …) to the
+// boot's root span. No-op when unscoped.
+func (t *Timeline) Annotate(key, value string) { t.root.Annotate(key, value) }
+
+// Close ends the boot's root span. No-op when unscoped or already
+// closed, so both success and error paths may call it.
+func (t *Timeline) Close(at sim.Time) { t.root.Close(at) }
 
 // Record stamps a guest timing event (a debug-port write).
 func (t *Timeline) Record(at sim.Time, ev sev.TimingEvent) {
 	t.events = append(t.events, Event{At: at, Ev: ev})
+	if t.reg != nil {
+		t.reg.Emit(t.track, EventName(ev), at)
+	}
 }
 
 // EventAt returns the stamp of the first occurrence of ev.
@@ -56,7 +106,12 @@ func (t *Timeline) EventAt(ev sev.TimingEvent) (sim.Time, bool) {
 }
 
 // Begin opens a named host-side span (e.g. "preenc").
-func (t *Timeline) Begin(name string, at sim.Time) { t.open[name] = at }
+func (t *Timeline) Begin(name string, at sim.Time) {
+	t.open[name] = at
+	if t.reg != nil {
+		t.openSpans[name] = t.reg.StartSpan(t.track, name, at)
+	}
+}
 
 // End closes a named span, accumulating its duration.
 func (t *Timeline) End(name string, at sim.Time) {
@@ -66,10 +121,37 @@ func (t *Timeline) End(name string, at sim.Time) {
 	}
 	delete(t.open, name)
 	t.spans[name] += at.Sub(start)
+	if s, ok := t.openSpans[name]; ok {
+		s.Close(at)
+		delete(t.openSpans, name)
+	}
 }
 
 // Span returns the accumulated duration of a named span.
 func (t *Timeline) Span(name string) time.Duration { return t.spans[name] }
+
+// Spans returns this boot's span tree — the root span plus every span
+// recorded under it (including scheduler wait spans the sim tracer
+// parented inside the boot). Nil when unscoped.
+func (t *Timeline) Spans() []*telemetry.Span {
+	if t.root == nil {
+		return nil
+	}
+	return t.reg.Subtree(t.root)
+}
+
+// TelemetryEvents returns this boot's instant events from the registry.
+// Nil when unscoped.
+func (t *Timeline) TelemetryEvents() []telemetry.Event {
+	if t.root == nil {
+		return nil
+	}
+	end := sim.MaxTime
+	if t.root.Done {
+		end = t.root.Stop
+	}
+	return t.reg.EventsOn(t.track, t.root.Start, end)
+}
 
 // Breakdown is the paper's Fig. 11 decomposition plus the Fig. 10 columns.
 type Breakdown struct {

@@ -299,6 +299,9 @@ func Run(proc *sim.Proc, m *kvm.Machine, in Inputs) (*Handoff, error) {
 // re-hash the private copy, compare against the pre-encrypted hash.
 func verifyCopy(proc *sim.Proc, m *kvm.Machine, src, dst uint64, n int, want [32]byte, cbit bool, name string) error {
 	model := m.Host.Model
+	span := "verify " + name
+	m.Timeline.Begin(span, proc.Now())
+	defer func() { m.Timeline.End(span, proc.Now()) }()
 	if err := m.Mem.GuestCopy(dst, src, n, cbit, false); err != nil {
 		return fmt.Errorf("verifier: protecting %s: %w", name, err)
 	}
@@ -324,6 +327,8 @@ func verifyCopy(proc *sim.Proc, m *kvm.Machine, src, dst uint64, n int, want [32
 // kernel hash.
 func streamVmlinux(proc *sim.Proc, m *kvm.Machine, in Inputs, want [32]byte, cbit bool) (entry uint64, total int, err error) {
 	model := m.Host.Model
+	m.Timeline.Begin("verify kernel-stream", proc.Now())
+	defer func() { m.Timeline.End("verify kernel-stream", proc.Now()) }()
 	h := sha256.New()
 	var headerScratch []byte
 	expectOff := uint64(0)

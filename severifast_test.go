@@ -229,7 +229,7 @@ func TestGzipCompressionOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gz, err := Boot(Config{Kernel: KernelLupine, InitrdMiB: 2, Compression: "gzip"})
+	gz, err := Boot(Config{Kernel: KernelLupine, InitrdMiB: 2, Codec: CodecGzip})
 	if err != nil {
 		t.Fatal(err)
 	}
