@@ -45,6 +45,11 @@ func run(args []string, out io.Writer) error {
 
 		traceOut   = fs.String("trace-out", "", "also run one instrumented boot per scheme and write a Chrome trace (open in Perfetto)")
 		metricsOut = fs.String("metrics-out", "", "write the instrumented run's telemetry in Prometheus text format")
+
+		benchOut   = fs.String("bench-out", "", "run the host-time fleet benchmark and write BENCH JSON (wall-clock + allocs per boot stage) to this path; use -expt none to skip the figure experiments")
+		benchLabel = fs.String("bench-label", "dev", "label recorded in the -bench-out JSON")
+		benchVMs   = fs.Int("bench-vms", 16, "same-image boots per fleet iteration for -bench-out")
+		benchIters = fs.Int("bench-iters", 4, "timed fleet iterations for -bench-out")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +77,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	want := map[string]bool{}
-	if *which != "all" {
+	if *which == "none" {
+		want["none"] = true
+	} else if *which != "all" {
 		for _, name := range strings.Split(*which, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
@@ -112,6 +119,27 @@ func run(args []string, out io.Writer) error {
 		if err := writeTelemetry(out, *seed, *traceOut, *metricsOut); err != nil {
 			return err
 		}
+	}
+	if *benchOut != "" {
+		res, err := expt.HostBench(expt.HostBenchOptions{
+			Label: *benchLabel, VMs: *benchVMs, Iters: *benchIters,
+		})
+		if err != nil {
+			return fmt.Errorf("host bench: %w", err)
+		}
+		fmt.Fprintln(out, res)
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return err
+		}
+		if err := expt.WriteHostBench(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "host bench written to %s\n", *benchOut)
 	}
 	return nil
 }

@@ -1,0 +1,44 @@
+package severifast
+
+// CoW-path digest invariance: the shared-artifact fast paths (interned
+// buffers, memoized range digests, zero-copy page aliasing, derived
+// decompression caches) are warm after the first boot of an image. The
+// second and later boots take those fast paths, and their launch digest
+// must be bit-identical to the cold boot's and to the host-side expected
+// digest — for every scheme and every SEV level.
+
+import "testing"
+
+func TestCoWBootDigestMatchesColdBoot(t *testing.T) {
+	schemes := []Scheme{SchemeSEVeriFast, SchemeSEVeriFastVmlinux, SchemeQEMUOVMF}
+	levels := []Level{LevelSEV, LevelES, LevelSNP}
+	for _, s := range schemes {
+		for _, l := range levels {
+			cfg := Config{Kernel: KernelLupine, Scheme: s, Level: l, InitrdMiB: 1}
+			cold, err := Boot(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s cold: %v", s, l, err)
+			}
+			want, err := ExpectedLaunchDigest(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s expected digest: %v", s, l, err)
+			}
+			if cold.LaunchDigest != want {
+				t.Fatalf("%s/%s: cold digest %x != expected %x", s, l, cold.LaunchDigest[:8], want[:8])
+			}
+			// Artifact and derived caches are warm now; this boot aliases
+			// the canonical buffers instead of copying and re-hashing.
+			warm, err := Boot(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s warm: %v", s, l, err)
+			}
+			if warm.LaunchDigest != cold.LaunchDigest {
+				t.Fatalf("%s/%s: CoW boot digest %x != cold boot digest %x",
+					s, l, warm.LaunchDigest[:8], cold.LaunchDigest[:8])
+			}
+			if warm.InitrdOK != cold.InitrdOK || warm.CPUs != cold.CPUs {
+				t.Fatalf("%s/%s: warm guest state %+v differs from cold %+v", s, l, warm, cold)
+			}
+		}
+	}
+}

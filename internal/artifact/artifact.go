@@ -1,0 +1,181 @@
+// Package artifact is the content-addressed shared-artifact layer: it
+// interns immutable byte buffers (built kernel images, initrds,
+// compressed payloads) and memoizes the expensive facts derived from
+// them — SHA-256 digests of the whole buffer or of subranges, and
+// derived artifacts such as decompressed payloads or parsed ELF
+// segment tables.
+//
+// The point is the fleet hot path: sixteen boots of the same measured
+// image stage the same kernel bytes, hash the same ranges, and
+// decompress the same payload. With interning those all collapse to
+// one canonical copy and one computation; every further boot is a
+// pointer-compare and a map hit.
+//
+// Identity and soundness: a buffer is interned by (base pointer, len).
+// The intern table holds the buffer alive, so its address can never be
+// recycled for different bytes while the entry exists; interned buffers
+// are immutable by contract (guestmem aliases them copy-on-write and
+// breaks the alias before any write). Digest memoization therefore
+// never returns a digest for bytes other than the ones presented: a
+// slice that is not pointer-identical to an interned buffer simply
+// misses the table and is hashed for real.
+package artifact
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"sync"
+
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// maxInterned caps the intern table. Fleet workloads intern a handful
+// of buffers per image (kernel, initrd, payload, vmlinux); the cap only
+// exists so adversarial or test churn cannot grow the table without
+// bound. Past the cap, Intern still returns a working *Buf with all
+// per-buffer memoization — it just is not registered for re-lookup.
+const maxInterned = 4096
+
+// Buf is an interned immutable buffer with memoized digests and a
+// derived-artifact cache.
+type Buf struct {
+	data []byte
+
+	fullOnce sync.Once
+	full     [32]byte
+
+	sub     sync.Map // rangeKey -> [32]byte
+	derived sync.Map // string -> *derivedEntry
+}
+
+type rangeKey struct{ off, n int }
+
+type derivedEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+var intern struct {
+	mu sync.Mutex
+	m  map[bufKey]*Buf
+}
+
+type bufKey struct {
+	ptr uintptr
+	len int
+}
+
+func keyOf(data []byte) bufKey {
+	return bufKey{ptr: reflect.ValueOf(data).Pointer(), len: len(data)}
+}
+
+// Intern registers data as an immutable artifact and returns its
+// canonical *Buf. Repeated calls with the same backing array and length
+// return the same *Buf. The caller must never mutate data afterwards.
+// Empty slices return nil.
+func Intern(data []byte) *Buf {
+	if len(data) == 0 {
+		return nil
+	}
+	k := keyOf(data)
+	intern.mu.Lock()
+	defer intern.mu.Unlock()
+	if intern.m == nil {
+		intern.m = make(map[bufKey]*Buf)
+	}
+	if b, ok := intern.m[k]; ok {
+		return b
+	}
+	b := &Buf{data: data}
+	if len(intern.m) < maxInterned {
+		intern.m[k] = b
+		telemetry.HostCounterAdd("artifact.interned", 1)
+		telemetry.HostCounterAdd("artifact.interned_bytes", int64(len(data)))
+	}
+	return b
+}
+
+// Lookup returns the interned *Buf for data, or nil if this exact slice
+// (same backing array, same length) was never interned. Callers that
+// must not grow the table — e.g. a per-boot cache key — use Lookup and
+// fall back to content hashing on a miss.
+func Lookup(data []byte) *Buf {
+	if len(data) == 0 {
+		return nil
+	}
+	intern.mu.Lock()
+	defer intern.mu.Unlock()
+	return intern.m[keyOf(data)]
+}
+
+// Bytes returns the underlying buffer. Read-only.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Len returns the buffer length.
+func (b *Buf) Len() int { return len(b.data) }
+
+// Digest returns SHA-256 of the whole buffer, computed once.
+func (b *Buf) Digest() [32]byte {
+	hit := true
+	b.fullOnce.Do(func() {
+		hit = false
+		b.full = sha256.Sum256(b.data)
+		telemetry.HostCounterAdd("artifact.digest.miss", 1)
+		telemetry.HostCounterAdd("artifact.digest.bytes_hashed", int64(len(b.data)))
+	})
+	if hit {
+		telemetry.HostCounterAdd("artifact.digest.hit", 1)
+		telemetry.HostCounterAdd("artifact.digest.bytes_spared", int64(len(b.data)))
+	}
+	return b.full
+}
+
+// RangeDigest returns SHA-256 of data[off:off+n], memoized per range.
+// Panics if the range is out of bounds, matching slice semantics.
+func (b *Buf) RangeDigest(off, n int) [32]byte {
+	if off == 0 && n == len(b.data) {
+		return b.Digest()
+	}
+	k := rangeKey{off, n}
+	if v, ok := b.sub.Load(k); ok {
+		telemetry.HostCounterAdd("artifact.digest.hit", 1)
+		telemetry.HostCounterAdd("artifact.digest.bytes_spared", int64(n))
+		return v.([32]byte)
+	}
+	sum := sha256.Sum256(b.data[off : off+n])
+	b.sub.Store(k, sum)
+	telemetry.HostCounterAdd("artifact.digest.miss", 1)
+	telemetry.HostCounterAdd("artifact.digest.bytes_hashed", int64(n))
+	return sum
+}
+
+// Derived returns the artifact derived from this buffer under key,
+// building it at most once. Concurrent callers block until the single
+// build finishes; a build error is memoized too (the same input will
+// fail the same way every time).
+func (b *Buf) Derived(key string, build func() (any, error)) (any, error) {
+	v, loaded := b.derived.Load(key)
+	if !loaded {
+		v, loaded = b.derived.LoadOrStore(key, &derivedEntry{})
+	}
+	e := v.(*derivedEntry)
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.val, e.err = build()
+		telemetry.HostCounterAdd("artifact.derived.miss", 1)
+	})
+	if hit && loaded {
+		telemetry.HostCounterAdd("artifact.derived.hit", 1)
+	}
+	return e.val, e.err
+}
+
+// ResetForTest drops the intern table so tests start clean. Existing
+// *Buf values keep working; they are just no longer re-lookupable.
+func ResetForTest() {
+	intern.mu.Lock()
+	intern.m = nil
+	intern.mu.Unlock()
+}

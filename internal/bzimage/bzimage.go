@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/lz4"
 )
 
@@ -231,13 +232,16 @@ func DecompressPayload(payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
 		}
-		// Stop at usize+1 bytes so a decompression bomb cannot balloon
-		// past the declared size before the length check below.
-		out, err := io.ReadAll(io.LimitReader(zr, int64(usize)+1))
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+		// Decompress straight into a buffer preallocated from the declared
+		// size (no append-doubling): a short stream fails ReadFull, and a
+		// decompression bomb is caught by the one-byte overrun probe before
+		// it can balloon past the declared size.
+		out := make([]byte, usize)
+		if _, err := io.ReadFull(zr, out); err != nil {
+			return nil, fmt.Errorf("%w: gzip payload size mismatch (%v)", ErrBadPayload, err)
 		}
-		if len(out) != usize {
+		var probe [1]byte
+		if n, _ := zr.Read(probe[:]); n != 0 {
 			return nil, fmt.Errorf("%w: gzip payload size mismatch", ErrBadPayload)
 		}
 		return out, nil
@@ -295,7 +299,22 @@ var decompCache sync.Map // [32]byte -> []byte
 
 // DecompressPayloadCached is DecompressPayload with a content-addressed
 // cache. The returned slice is shared: do not modify it.
+//
+// When the payload slice is an interned artifact (the CoW fleet path,
+// where every boot reads the same canonical image bytes), the memo is
+// keyed by artifact identity and repeat boots skip even the SHA-256 of
+// the compressed payload. Otherwise it falls back to the digest-keyed
+// cache, which still shares the decompressed buffer across callers.
 func DecompressPayloadCached(payload []byte) ([]byte, error) {
+	if art := artifact.Lookup(payload); art != nil {
+		v, err := art.Derived("bzimage.vmlinux", func() (any, error) {
+			return DecompressPayload(payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.([]byte), nil
+	}
 	key := sha256.Sum256(payload)
 	if v, ok := decompCache.Load(key); ok {
 		return v.([]byte), nil

@@ -1,0 +1,186 @@
+package expt
+
+// Host-time benchmark: unlike every figure experiment in this package,
+// which reports *virtual* time from the simulation clock, HostBench
+// measures what the simulator itself costs the host — wall-clock
+// nanoseconds and heap allocations per fleet boot. This is the number
+// the parallel measurement pipeline and the shared-artifact CoW cache
+// are meant to move; virtual-time results must stay byte-identical.
+//
+// The scenario is the fleet hot path: one orchestrator boots VMs
+// same-image microVMs (first boot cold, the rest from the measured-image
+// cache), repeated Iters times with a fresh orchestrator and cache each
+// iteration. Process-lifetime caches (generated kernels, decompressed
+// payloads, interned artifacts) stay warm across iterations, exactly as
+// they would across fleet shards in one host process.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// HostBenchOptions sizes the host-time benchmark.
+type HostBenchOptions struct {
+	Label     string // free-form tag recorded in the output ("baseline", "cow", ...)
+	VMs       int    // same-image boots per fleet iteration; default 16
+	Iters     int    // timed iterations; default 4
+	Warmup    int    // untimed warm-up iterations; default 1
+	InitrdMiB int    // synthetic initrd size; default 4
+}
+
+func (o *HostBenchOptions) fillDefaults() {
+	if o.VMs <= 0 {
+		o.VMs = 16
+	}
+	if o.Iters <= 0 {
+		o.Iters = 4
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+	if o.InitrdMiB <= 0 {
+		o.InitrdMiB = 4
+	}
+}
+
+// HostBenchResult is the JSON shape written to BENCH_*.json files. The
+// repo keeps one file per recorded point so the perf trajectory is
+// reviewable in git history.
+type HostBenchResult struct {
+	Label      string `json:"label"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	VMs       int    `json:"vms"`
+	Iters     int    `json:"iters"`
+	Kernel    string `json:"kernel"`
+	InitrdMiB int    `json:"initrd_mib"`
+
+	// Host cost of one whole fleet iteration (register + VMs boots).
+	WallNSPerFleet int64 `json:"wall_ns_per_fleet"`
+	// Host cost amortized per boot.
+	WallNSPerBoot int64 `json:"wall_ns_per_boot"`
+	AllocsPerBoot int64 `json:"allocs_per_boot"`
+	BytesPerBoot  int64 `json:"bytes_per_boot"`
+
+	// Virtual makespan of one fleet iteration. This must not change
+	// when host-time optimizations land; it is recorded so a BENCH
+	// diff shows the invariant holding.
+	VirtualNSPerFleet int64 `json:"virtual_ns_per_fleet"`
+
+	// HostStages breaks the host work down by pipeline stage
+	// (cumulative ns across all iterations). Empty until the
+	// measurement pipeline is instrumented.
+	HostStages map[string]int64 `json:"host_stages,omitempty"`
+	// HostCounters carries cache hit/miss and pool statistics from
+	// telemetry.HostStats. Empty until the shared-artifact layer lands.
+	HostCounters map[string]int64 `json:"host_counters,omitempty"`
+}
+
+// HostBench runs the fleet hot path under the wall clock.
+func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
+	opts.fillDefaults()
+
+	preset := kernelgen.Lupine()
+	initrd := kernelgen.BuildInitrd(7, opts.InitrdMiB<<20)
+
+	iteration := func() (time.Duration, error) {
+		eng := sim.NewEngine()
+		host := kvm.NewHost(eng, costmodel.Default(), 1)
+		o := fleet.New(eng, host, fleet.Config{Workers: opts.VMs})
+		img, err := o.RegisterImage("fn", preset, initrd)
+		if err != nil {
+			return 0, err
+		}
+		if err := (fleet.Workload{
+			Arrivals: opts.VMs,
+			Images:   []*fleet.Image{img},
+			Seed:     1,
+		}).Run(eng, o); err != nil {
+			return 0, err
+		}
+		eng.Run()
+		if err := o.Err(); err != nil {
+			return 0, err
+		}
+		return eng.Now().Duration(), nil
+	}
+
+	for i := 0; i < opts.Warmup; i++ {
+		if _, err := iteration(); err != nil {
+			return nil, err
+		}
+	}
+
+	telemetry.ResetHostStats()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var virtual time.Duration
+	for i := 0; i < opts.Iters; i++ {
+		v, err := iteration()
+		if err != nil {
+			return nil, err
+		}
+		virtual = v // deterministic: identical every iteration
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	boots := int64(opts.VMs) * int64(opts.Iters)
+	res := &HostBenchResult{
+		Label:             opts.Label,
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		VMs:               opts.VMs,
+		Iters:             opts.Iters,
+		Kernel:            "lupine",
+		InitrdMiB:         opts.InitrdMiB,
+		WallNSPerFleet:    wall.Nanoseconds() / int64(opts.Iters),
+		WallNSPerBoot:     wall.Nanoseconds() / boots,
+		AllocsPerBoot:     int64(ms1.Mallocs-ms0.Mallocs) / boots,
+		BytesPerBoot:      int64(ms1.TotalAlloc-ms0.TotalAlloc) / boots,
+		VirtualNSPerFleet: virtual.Nanoseconds(),
+	}
+	stages, counters := telemetry.HostStatsSnapshot()
+	res.HostStages = stages
+	res.HostCounters = counters
+	return res, nil
+}
+
+// WriteHostBench writes the result as indented JSON.
+func WriteHostBench(w io.Writer, res *HostBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// String renders a one-screen summary for the terminal.
+func (r *HostBenchResult) String() string {
+	return fmt.Sprintf(
+		"host bench %q: %d-VM same-image fleet ×%d iters (GOMAXPROCS=%d)\n"+
+			"  wall/fleet  %v\n"+
+			"  wall/boot   %v\n"+
+			"  allocs/boot %d\n"+
+			"  bytes/boot  %d\n"+
+			"  virtual/fleet %v (must be invariant across host-time PRs)",
+		r.Label, r.VMs, r.Iters, r.GOMAXPROCS,
+		time.Duration(r.WallNSPerFleet).Round(time.Microsecond),
+		time.Duration(r.WallNSPerBoot).Round(time.Microsecond),
+		r.AllocsPerBoot, r.BytesPerBoot,
+		time.Duration(r.VirtualNSPerFleet).Round(time.Microsecond))
+}

@@ -171,10 +171,9 @@ func (c *Cache) Plan(key Key, hashes measure.ComponentHashes, spec ImageSpec) (*
 	}
 	// Fold the expected digest over the plan we just built rather than
 	// calling measure.ExpectedDigest, which would re-plan from scratch.
-	digest := psp.InitialDigest(spec.Policy, spec.Level)
-	for _, r := range regions {
-		digest = psp.ExtendDigest(digest, r.Type, r.GPA, r.Data)
-	}
+	// FoldRegions hashes region contents across the hostwork pool and
+	// folds serially — bit-identical to the sequential extend loop.
+	digest := measure.FoldRegions(psp.InitialDigest(spec.Policy, spec.Level), regions)
 	mi := &MeasuredImage{
 		Key:               key,
 		Hashes:            hashes,

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/attest"
 	"github.com/severifast/severifast/internal/firecracker"
 	"github.com/severifast/severifast/internal/kbs"
@@ -249,6 +250,11 @@ func (o *Orchestrator) RegisterImage(name string, preset kernelgen.Preset, initr
 	default:
 		kernel = art.BzImageLZ4
 	}
+	// Intern the canonical image buffers: every boot of this image stages
+	// these exact slices, so digests memoize and guest pages alias one
+	// copy (the CoW fleet path).
+	artifact.Intern(kernel)
+	artifact.Intern(initrd)
 	spec := ImageSpec{
 		Kernel:  kernel,
 		Initrd:  initrd,

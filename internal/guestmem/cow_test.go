@@ -1,0 +1,252 @@
+package guestmem
+
+// CoW / shared-artifact semantics tests: aliased pages must be
+// bit-identical to the canonical artifact, writes must never leak across
+// guests sharing an artifact, and every range-digest fast path must
+// produce exactly the hash of the bytes a plain read would return.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+
+	"github.com/severifast/severifast/internal/artifact"
+	"github.com/severifast/severifast/internal/hostwork"
+)
+
+// internedBuf builds an interned artifact of n deterministic bytes.
+func internedBuf(seed int64, n int) ([]byte, *artifact.Buf) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	return data, artifact.Intern(data)
+}
+
+func TestCoWAliasBitIdentical(t *testing.T) {
+	data, _ := internedBuf(11, 3*PageSize+777) // non-page-multiple tail
+	a := New(1 << 20)
+	b := New(1 << 20)
+	for _, m := range []*Memory{a, b} {
+		if err := m.HostWriteAliased(0x4000, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.GuestRead(0x4000, len(data), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("aliased range reads back different bytes")
+		}
+		view, ok, err := m.RangeView(0x4000, len(data), false)
+		if err != nil || !ok {
+			t.Fatalf("RangeView: ok=%v err=%v, want zero-copy hit", ok, err)
+		}
+		if !bytes.Equal(view, data) {
+			t.Fatal("zero-copy view differs from canonical bytes")
+		}
+	}
+}
+
+func TestCoWNoCrossGuestWriteLeak(t *testing.T) {
+	data, _ := internedBuf(22, 2*PageSize)
+	orig := append([]byte(nil), data...)
+	a := New(1 << 20)
+	b := New(1 << 20)
+	if err := a.HostWriteAliased(0x4000, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.HostWriteAliased(0x8000, data); err != nil {
+		t.Fatal(err)
+	}
+	// Guest A scribbles over its copy of the shared pages.
+	if err := a.GuestWrite(0x4000+100, []byte("guest A private state"), false); err != nil {
+		t.Fatal(err)
+	}
+	// The canonical artifact and guest B are unaffected.
+	if !bytes.Equal(data, orig) {
+		t.Fatal("write through an alias mutated the canonical artifact")
+	}
+	got, err := b.GuestRead(0x8000, len(data), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatal("guest A's write leaked into guest B")
+	}
+	// A's view provenance is gone for the written page, and its digest
+	// reflects the new bytes, not the memoized artifact digest.
+	wantA, err := a.GuestRead(0x4000, len(data), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := a.PlainRangeDigest(0x4000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != sha256.Sum256(wantA) {
+		t.Fatal("digest after CoW break does not match actual bytes")
+	}
+	if sum == sha256.Sum256(orig) {
+		t.Fatal("digest after CoW break still reports pristine artifact bytes")
+	}
+}
+
+func TestRangeDigestsMatchShaOfReads(t *testing.T) {
+	defer hostwork.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		hostwork.SetWorkers(workers)
+		data, _ := internedBuf(33+int64(workers), 5*PageSize+123)
+		m := New(1 << 20)
+		m.SetKey(key(9), 7)
+
+		// Aliased shared range (artifact memo path).
+		if err := m.HostWriteAliased(0x4000, data); err != nil {
+			t.Fatal(err)
+		}
+		// Plain copied range (streaming path).
+		plain := bytes.Repeat([]byte("copied-bytes"), 900)
+		if err := m.HostWrite(0x20000, plain); err != nil {
+			t.Fatal(err)
+		}
+		// Private guest-written range (transform path for cbit=false,
+		// plain path for cbit=true).
+		secret := bytes.Repeat([]byte("sekrit"), 2000)
+		if err := m.GuestWrite(0x40000, secret, true); err != nil {
+			t.Fatal(err)
+		}
+
+		cases := []struct {
+			name string
+			gpa  uint64
+			n    int
+			cbit bool
+		}{
+			{"aliased-shared", 0x4000, len(data), false},
+			{"aliased-subrange", 0x4000 + 100, 2*PageSize + 50, false},
+			{"copied-shared", 0x20000, len(plain), false},
+			{"private-cbit", 0x40000, len(secret), true},
+			{"private-ciphertext", 0x40000, len(secret), false},
+		}
+		for _, tc := range cases {
+			want, err := m.GuestRead(tc.gpa, tc.n, tc.cbit)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got, err := m.HashRange(tc.gpa, tc.n, tc.cbit)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if got != sha256.Sum256(want) {
+				t.Fatalf("workers %d, %s: HashRange != sha256(GuestRead)", workers, tc.name)
+			}
+		}
+	}
+}
+
+func TestLaunchFlipKeepsProvenanceAndDigest(t *testing.T) {
+	data, art := internedBuf(44, 4*PageSize+200)
+	m := New(1 << 20)
+	m.SetKey(key(10), 3)
+	if err := m.HostWriteAliased(0x4000, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LaunchUpdateFlip(0x4000, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	// The flipped range hashes via the artifact memo and matches the
+	// plain bytes (pre-encryption measures plain text).
+	sum, err := m.PlainRangeDigest(0x4000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != art.Digest() || sum != sha256.Sum256(data) {
+		t.Fatal("post-flip digest does not match artifact bytes")
+	}
+	// The private range is also zero-copy viewable with cbit set.
+	view, ok, err := m.RangeView(0x4000, len(data), true)
+	if err != nil || !ok {
+		t.Fatalf("RangeView(cbit): ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(view, data) {
+		t.Fatal("cbit view differs from plain artifact bytes")
+	}
+	// Host ciphertext restore (tampering with the private page) clears
+	// provenance: digests fall back to hashing the real bytes.
+	garbage := bytes.Repeat([]byte{0xA5}, PageSize)
+	if err := m.HostRestoreCiphertext(0x5000, garbage); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.GuestRead(0x4000, len(data), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := m.HashRange(0x4000, len(data), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 != sha256.Sum256(got) {
+		t.Fatal("post-tamper HashRange does not match actual guest bytes")
+	}
+	if sum2 == sum {
+		t.Fatal("tampered range still reports the pristine digest")
+	}
+}
+
+func TestGuestCopyPropagatesProvenance(t *testing.T) {
+	data, _ := internedBuf(55, 3*PageSize)
+	m := New(1 << 20)
+	if err := m.HostWriteAliased(0x4000, data); err != nil {
+		t.Fatal(err)
+	}
+	// Page-aligned GuestCopy aliases and carries provenance along.
+	if err := m.GuestCopy(0x10000, 0x4000, len(data), false, false); err != nil {
+		t.Fatal(err)
+	}
+	view, ok, err := m.RangeView(0x10000, len(data), false)
+	if err != nil || !ok {
+		t.Fatalf("copied range lost provenance: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(view, data) {
+		t.Fatal("copied view differs")
+	}
+}
+
+func TestExportPagesMatchesHostRead(t *testing.T) {
+	defer hostwork.SetWorkers(0)
+	for _, workers := range []int{1, 5} {
+		hostwork.SetWorkers(workers)
+		m := New(1 << 20)
+		m.SetKey(key(11), 5)
+		if err := m.HostWrite(0x1000, bytes.Repeat([]byte("shared"), 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.GuestWrite(0x8000, bytes.Repeat([]byte("private"), 1200), true); err != nil {
+			t.Fatal(err)
+		}
+		exports, err := m.ExportPages()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exports) == 0 {
+			t.Fatal("no pages exported")
+		}
+		lastPN := uint64(0)
+		for i, e := range exports {
+			if i > 0 && e.PN <= lastPN {
+				t.Fatal("exports not sorted by page number")
+			}
+			lastPN = e.PN
+			want, err := m.HostRead(e.PN*PageSize, PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(e.Data, want) {
+				t.Fatalf("workers %d: exported page %d differs from HostRead", workers, e.PN)
+			}
+			if e.Private != m.IsPrivate(e.PN*PageSize) {
+				t.Fatalf("page %d private flag mismatch", e.PN)
+			}
+		}
+	}
+}

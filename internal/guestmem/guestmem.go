@@ -24,11 +24,16 @@ package guestmem
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
+	"github.com/severifast/severifast/internal/artifact"
+	"github.com/severifast/severifast/internal/hostwork"
 	"github.com/severifast/severifast/internal/rmp"
+	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // PageSize is the guest page granularity.
@@ -44,16 +49,31 @@ type page struct {
 	data      []byte // PageSize bytes of plain text; nil = all zero
 	cow       bool   // data is aliased; copy before mutating
 	encrypted bool   // page is private (guest-key protected)
+
+	// Artifact provenance: when non-nil, data aliases
+	// art.Bytes()[artOff:artOff+PageSize] and the bytes are immutable
+	// for as long as the alias holds. Any write breaks the alias in
+	// mutable() and clears the provenance, so a digest memoized through
+	// art can never describe stale bytes. Pages without provenance are
+	// always hashed for real.
+	art    *artifact.Buf
+	artOff int
 }
 
 // Memory is one guest's physical address space.
 type Memory struct {
-	size  uint64
-	pages map[uint64]*page
+	size uint64
+	// pages is dense, indexed by page frame number (nil = untouched).
+	// check() bounds every gpa below size, so in-range indexing is safe;
+	// a dense slice keeps the per-page lookup off the map hash path,
+	// which dominates host CPU when booting fleets.
+	pages []*page
+	slab  []page // page structs are carved from slabs, not allocated singly
 
-	key  []byte // 16-byte AES key; set by LAUNCH_START via SetKey
-	asid uint32
-	rmp  *rmp.Table // nil unless SNP
+	key   []byte       // 16-byte AES key; set by LAUNCH_START via SetKey
+	block cipher.Block // AES block cached at SetKey; one per guest, not per page
+	asid  uint32
+	rmp   *rmp.Table // nil unless SNP
 
 	// bookkeeping for the memory-footprint experiment (§6.3)
 	sevMetadataBytes int
@@ -62,7 +82,7 @@ type Memory struct {
 // New returns a zeroed address space of the given size (page aligned up).
 func New(size uint64) *Memory {
 	size = (size + PageSize - 1) &^ (PageSize - 1)
-	return &Memory{size: size, pages: make(map[uint64]*page)}
+	return &Memory{size: size, pages: make([]*page, size/PageSize)}
 }
 
 // Size returns the guest memory size in bytes.
@@ -76,6 +96,11 @@ func (m *Memory) SetKey(key []byte, asid uint32) {
 		panic("guestmem: key must be 16 bytes")
 	}
 	m.key = append([]byte(nil), key...)
+	block, err := aes.NewCipher(m.key)
+	if err != nil {
+		panic("guestmem: " + err.Error())
+	}
+	m.block = block
 	m.asid = asid
 	m.sevMetadataBytes += len(key) + 48 // key + per-guest SEV context
 }
@@ -113,17 +138,28 @@ func (m *Memory) check(gpa uint64, n int) error {
 	return nil
 }
 
+// pageSlabSize is how many page structs one slab allocation yields. A
+// boot touches tens of thousands of pages; carving their structs from
+// slabs turns the dominant per-page allocation into one per 512 pages.
+const pageSlabSize = 512
+
 func (m *Memory) getPage(pn uint64) *page {
 	p := m.pages[pn]
 	if p == nil {
-		p = &page{}
+		if len(m.slab) == 0 {
+			m.slab = make([]page, pageSlabSize)
+		}
+		p = &m.slab[0]
+		m.slab = m.slab[1:]
 		m.pages[pn] = p
 	}
 	return p
 }
 
 // mutable returns the page's byte slice ready for writing, materializing
-// zero pages and breaking copy-on-write aliases.
+// zero pages and breaking copy-on-write aliases. Breaking an alias also
+// drops artifact provenance: once a page can diverge from its canonical
+// source, memoized digests must no longer apply to it.
 func (p *page) mutable() []byte {
 	if p.data == nil {
 		p.data = make([]byte, PageSize)
@@ -134,6 +170,7 @@ func (p *page) mutable() []byte {
 		p.data = d
 		p.cow = false
 	}
+	p.art, p.artOff = nil, 0
 	return p.data
 }
 
@@ -183,7 +220,7 @@ func (m *Memory) HostWriteAliased(gpa uint64, data []byte) error {
 			}
 		}
 	}
-	m.writeAliased(gpa, data, false)
+	m.writeAliased(gpa, data, false, artifact.Lookup(data), 0)
 	return nil
 }
 
@@ -335,10 +372,12 @@ func (m *Memory) GuestCopy(dst, src uint64, n int, dstCbit, srcCbit bool) error 
 				if sp == nil || sp.data == nil {
 					dp.data = nil
 					dp.cow = false
+					dp.art, dp.artOff = nil, 0
 				} else {
 					sp.cow = true
 					dp.data = sp.data
 					dp.cow = true
+					dp.art, dp.artOff = sp.art, sp.artOff
 				}
 				dp.encrypted = dstCbit
 			}
@@ -412,8 +451,11 @@ func (m *Memory) write(gpa uint64, data []byte, encrypted bool) {
 	}
 }
 
-// writeAliased is write with zero-copy full-page aliasing.
-func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool) {
+// writeAliased is write with zero-copy full-page aliasing. When the
+// source slice is (or lies inside) an interned artifact, art/artBase
+// record where data[0] sits inside it, and aliased pages carry that
+// provenance so later range digests can hit the artifact's memo table.
+func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool, art *artifact.Buf, artBase int) {
 	done := 0
 	for done < len(data) {
 		pn := (gpa + uint64(done)) / PageSize
@@ -426,6 +468,7 @@ func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool) {
 		if off == 0 && chunk == PageSize {
 			p.data = data[done : done+PageSize : done+PageSize]
 			p.cow = true
+			p.art, p.artOff = art, artBase+done
 		} else {
 			copy(p.mutable()[off:], data[done:done+chunk])
 		}
@@ -437,20 +480,33 @@ func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool) {
 // cipherPage produces the AES-CTR transform of a page's plain text under
 // the guest key, tweaked by the page's physical address.
 func (m *Memory) cipherPage(pn uint64, pt []byte) ([]byte, error) {
-	if m.key == nil {
-		return nil, ErrNoKey
-	}
-	block, err := aes.NewCipher(m.key)
-	if err != nil {
+	ct := make([]byte, PageSize)
+	if err := m.cipherPageInto(ct, pn, pt); err != nil {
 		return nil, err
+	}
+	return ct, nil
+}
+
+// cipherPageInto is cipherPage into a caller-provided buffer, so hot
+// paths can run the transform through a sync.Pool page instead of
+// allocating per page. The AES block is the one cached by SetKey.
+func (m *Memory) cipherPageInto(ct []byte, pn uint64, pt []byte) error {
+	if m.key == nil {
+		return ErrNoKey
 	}
 	var iv [16]byte
 	binary.LittleEndian.PutUint32(iv[0:], m.asid)
 	binary.LittleEndian.PutUint64(iv[8:], pn) // physical-address tweak
-	ct := make([]byte, PageSize)
-	cipher.NewCTR(block, iv[:]).XORKeyStream(ct, pt)
-	return ct, nil
+	cipher.NewCTR(m.block, iv[:]).XORKeyStream(ct[:PageSize], pt)
+	return nil
 }
+
+// pagePool recycles page-sized scratch buffers for transforms whose
+// output does not escape (streaming hashes over mismatched mappings).
+var pagePool = sync.Pool{New: func() any {
+	b := make([]byte, PageSize)
+	return &b
+}}
 
 // Stats summarizes backing-store usage.
 type Stats struct {
@@ -463,6 +519,9 @@ type Stats struct {
 func (m *Memory) Stats() Stats {
 	var s Stats
 	for _, p := range m.pages {
+		if p == nil {
+			continue
+		}
 		if p.data != nil || p.encrypted {
 			s.ResidentPages++
 		}
@@ -496,18 +555,66 @@ func (m *Memory) GuestWriteAliased(gpa uint64, data []byte, cbit bool) error {
 			}
 		}
 	}
-	m.writeAliased(gpa, data, cbit)
+	m.writeAliased(gpa, data, cbit, artifact.Lookup(data), 0)
+	return nil
+}
+
+// HostWriteArtifact is HostWriteAliased for a subrange of an interned
+// artifact: pages alias art.Bytes()[off:off+n] copy-on-write and carry
+// provenance, so later HashRange/RangeView calls over them resolve to
+// the artifact's memoized digests instead of re-reading the bytes.
+func (m *Memory) HostWriteArtifact(gpa uint64, art *artifact.Buf, off, n int) error {
+	data := art.Bytes()[off : off+n]
+	if err := m.check(gpa, n); err != nil {
+		return err
+	}
+	if m.rmp != nil {
+		for o := gpa &^ (PageSize - 1); o < gpa+uint64(n); o += PageSize {
+			if err := m.rmp.CheckHostWrite(o); err != nil {
+				return err
+			}
+		}
+	}
+	m.writeAliased(gpa, data, false, art, off)
+	return nil
+}
+
+// GuestWriteArtifact is GuestWriteAliased for a subrange of an interned
+// artifact (the guest kernel loader placing ELF segments from the
+// canonical decompressed vmlinux).
+func (m *Memory) GuestWriteArtifact(gpa uint64, art *artifact.Buf, off, n int, cbit bool) error {
+	data := art.Bytes()[off : off+n]
+	if err := m.check(gpa, n); err != nil {
+		return err
+	}
+	if cbit && m.key == nil {
+		return ErrNoKey
+	}
+	if cbit && m.rmp != nil {
+		for o := gpa &^ (PageSize - 1); o < gpa+uint64(n); o += PageSize {
+			if err := m.rmp.CheckGuestAccess(o, m.asid); err != nil {
+				return err
+			}
+		}
+	}
+	m.writeAliased(gpa, data, cbit, art, off)
 	return nil
 }
 
 // Resident reports whether the page containing gpa has any backing.
 func (m *Memory) Resident(gpa uint64) bool {
+	if gpa/PageSize >= uint64(len(m.pages)) {
+		return false
+	}
 	p := m.pages[gpa/PageSize]
 	return p != nil && (p.data != nil || p.encrypted)
 }
 
 // IsPrivate reports whether the page containing gpa is encrypted.
 func (m *Memory) IsPrivate(gpa uint64) bool {
+	if gpa/PageSize >= uint64(len(m.pages)) {
+		return false
+	}
 	p := m.pages[gpa/PageSize]
 	return p != nil && p.encrypted
 }
@@ -538,6 +645,7 @@ func (m *Memory) HostRestoreCiphertext(gpa uint64, ct []byte) error {
 	p := m.getPage(pn)
 	p.data = pt
 	p.cow = false
+	p.art, p.artOff = nil, 0
 	p.encrypted = true
 	if m.rmp != nil {
 		m.rmp.AssignValidated(gpa, m.asid)
@@ -571,4 +679,268 @@ func (m *Memory) ShareRange(gpa uint64, n int) error {
 		}
 	}
 	return nil
+}
+
+// --- Range digests, zero-copy views, and page export (host-time layer) ---
+//
+// These APIs exist so the fleet hot path stops re-materializing and
+// re-hashing bytes that are content-identical across boots. They change
+// no observable semantics: every digest equals SHA-256 of the bytes the
+// corresponding GuestRead/LaunchUpdate would have returned, and every
+// fast path is guarded by provenance or byte comparison.
+
+// rangeArtifact resolves [gpa, gpa+n) to a single interned artifact
+// range when possible: at least one page in the range carries artifact
+// provenance, every page with provenance agrees on (artifact, offset),
+// and every page without provenance (partial-page tails copied by
+// writeAliased, unbacked zero pages never written) is byte-compared
+// against the artifact. Returns (nil, 0) when no sound mapping exists.
+func (m *Memory) rangeArtifact(gpa uint64, n int) (*artifact.Buf, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	first := gpa / PageSize
+	last := (gpa + uint64(n) - 1) / PageSize
+	var art *artifact.Buf
+	base := 0
+	for pn := first; pn <= last; pn++ {
+		p := m.pages[pn]
+		if p == nil || p.art == nil {
+			continue
+		}
+		cand := p.artOff - int(pn-first)*PageSize + int(gpa%PageSize)
+		if art == nil {
+			art, base = p.art, cand
+		} else if p.art != art || cand != base {
+			return nil, 0
+		}
+	}
+	if art == nil || base < 0 || base+n > art.Len() {
+		return nil, 0
+	}
+	// Verify the pages without provenance really hold the artifact's
+	// bytes. This covers copied partial-page tails (a few KiB memcmp,
+	// cheap next to the MiB-scale hash it saves) and rejects anything
+	// that diverged.
+	src := art.Bytes()[base : base+n]
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		p := m.pages[pn]
+		if p == nil || p.art == nil {
+			if !bytesEqual(p.readable()[off:off+chunk], src[done:done+chunk]) {
+				return nil, 0
+			}
+		}
+		done += chunk
+	}
+	return art, base
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PlainRangeDigest returns SHA-256 of the current plain text of
+// [gpa, gpa+n) — exactly sha256.Sum256 of what LaunchUpdate would have
+// returned — using the artifact memo table when the range aliases one
+// interned buffer, and a zero-copy streaming hash otherwise.
+func (m *Memory) PlainRangeDigest(gpa uint64, n int) ([32]byte, error) {
+	var sum [32]byte
+	if err := m.check(gpa, n); err != nil {
+		return sum, err
+	}
+	if art, base := m.rangeArtifact(gpa, n); art != nil {
+		telemetry.HostCounterAdd("guestmem.digest.memo", 1)
+		return art.RangeDigest(base, n), nil
+	}
+	telemetry.HostCounterAdd("guestmem.digest.streamed", 1)
+	telemetry.HostCounterAdd("guestmem.digest.streamed_bytes", int64(n))
+	h := sha256.New()
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		h.Write(m.pages[pn].readable()[off : off+chunk])
+		done += chunk
+	}
+	h.Sum(sum[:0])
+	return sum, nil
+}
+
+// HashRange returns SHA-256 of the bytes GuestRead(gpa, n, cbit) would
+// return, without materializing the copy. When every page's state
+// matches the mapping (the verifier hashing components it just copied
+// private), the plain-text fast path applies — including the memoized
+// artifact digests. Mismatched pages are transformed through a pooled
+// scratch page and streamed.
+func (m *Memory) HashRange(gpa uint64, n int, cbit bool) ([32]byte, error) {
+	var sum [32]byte
+	if err := m.check(gpa, n); err != nil {
+		return sum, err
+	}
+	if cbit && m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+				return sum, err
+			}
+		}
+	}
+	allMatch := true
+	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+		p := m.pages[off/PageSize]
+		if (p != nil && p.encrypted) != cbit {
+			allMatch = false
+			break
+		}
+	}
+	if allMatch {
+		return m.PlainRangeDigest(gpa, n)
+	}
+	telemetry.HostCounterAdd("guestmem.digest.transformed", 1)
+	scratch := pagePool.Get().(*[]byte)
+	defer pagePool.Put(scratch)
+	h := sha256.New()
+	for done := 0; done < n; {
+		pn := (gpa + uint64(done)) / PageSize
+		off := int((gpa + uint64(done)) % PageSize)
+		chunk := PageSize - off
+		if chunk > n-done {
+			chunk = n - done
+		}
+		p := m.pages[pn]
+		src := p.readable()
+		if (p != nil && p.encrypted) != cbit {
+			if err := m.cipherPageInto(*scratch, pn, src); err != nil {
+				return sum, err
+			}
+			src = *scratch
+		}
+		h.Write(src[off : off+chunk])
+		done += chunk
+	}
+	h.Sum(sum[:0])
+	return sum, nil
+}
+
+// RangeView returns a zero-copy read-only view of the bytes
+// GuestRead(gpa, n, cbit) would return, when the range aliases one
+// interned artifact contiguously and every page's state matches the
+// mapping. ok is false (with no error) when no sound view exists and
+// the caller must fall back to GuestRead. The view is valid until the
+// next write to the range.
+func (m *Memory) RangeView(gpa uint64, n int, cbit bool) (view []byte, ok bool, err error) {
+	art, base, err := m.ArtifactRange(gpa, n, cbit)
+	if err != nil || art == nil {
+		return nil, false, err
+	}
+	telemetry.HostCounterAdd("guestmem.view.hit", 1)
+	telemetry.HostCounterAdd("guestmem.view.bytes", int64(n))
+	return art.Bytes()[base : base+n], true, nil
+}
+
+// ArtifactRange resolves [gpa, gpa+n) to its backing artifact and base
+// offset under the same soundness conditions as RangeView (single
+// interned artifact, every page's state matching cbit, RMP access
+// permitted). A nil artifact with nil error means no sound mapping
+// exists. Callers use the handle to combine memoized digests across
+// multiple ranges of the same artifact (the vmlinux streaming path).
+func (m *Memory) ArtifactRange(gpa uint64, n int, cbit bool) (*artifact.Buf, int, error) {
+	if err := m.check(gpa, n); err != nil {
+		return nil, 0, err
+	}
+	if cbit && m.rmp != nil {
+		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+		p := m.pages[off/PageSize]
+		if (p != nil && p.encrypted) != cbit {
+			return nil, 0, nil
+		}
+	}
+	art, base := m.rangeArtifact(gpa, n)
+	if art == nil {
+		return nil, 0, nil
+	}
+	return art, base, nil
+}
+
+// LaunchUpdateFlip is the state-change half of LAUNCH_UPDATE_DATA: it
+// flips [gpa, gpa+n) to private (assigned+validated under SNP) without
+// materializing the plain text. The measurement half is
+// PlainRangeDigest; psp.UpdateBatch runs the flips serially in virtual
+// time and the digests across the host worker pool.
+func (m *Memory) LaunchUpdateFlip(gpa uint64, n int) error {
+	if err := m.check(gpa, n); err != nil {
+		return err
+	}
+	if m.key == nil {
+		return ErrNoKey
+	}
+	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
+		p := m.getPage(off / PageSize)
+		p.encrypted = true
+		if m.rmp != nil {
+			m.rmp.AssignValidated(off, m.asid)
+		}
+	}
+	return nil
+}
+
+// PageExport is one resident page as the host sees it.
+type PageExport struct {
+	PN      uint64 // page number (gpa / PageSize)
+	Data    []byte // PageSize bytes: plain text if shared, ciphertext if private
+	Private bool
+}
+
+// ExportPages returns every resident page ordered by page number, with
+// private pages encrypted exactly as HostRead would produce them. The
+// per-page AES transforms run across the hostwork pool; the result is
+// index-addressed and independent of worker count. Snapshot capture
+// uses this instead of page-at-a-time HostRead.
+func (m *Memory) ExportPages() ([]PageExport, error) {
+	var pns []uint64
+	anyPrivate := false
+	for pn, p := range m.pages { // dense, so pns comes out sorted
+		if p != nil && (p.data != nil || p.encrypted) {
+			pns = append(pns, uint64(pn))
+			anyPrivate = anyPrivate || p.encrypted
+		}
+	}
+	if anyPrivate && m.key == nil {
+		return nil, ErrNoKey
+	}
+	out := make([]PageExport, len(pns))
+	hostwork.Do(len(pns), func(i int) {
+		pn := pns[i]
+		p := m.pages[pn]
+		data := make([]byte, PageSize)
+		if p.encrypted {
+			m.cipherPageInto(data, pn, p.readable())
+		} else {
+			copy(data, p.readable())
+		}
+		out[i] = PageExport{PN: pn, Data: data, Private: p.encrypted}
+	})
+	return out, nil
 }

@@ -1,0 +1,69 @@
+// Package hostwork provides the bounded worker pool behind the host-time
+// measurement pipeline. It parallelizes *host* work only — SHA-256 page
+// digests, AES page encryption — and never touches the virtual clock:
+// the simulation engine remains single-threaded, and every user of this
+// package must produce results that are independent of worker count and
+// scheduling (index-addressed outputs folded in a deterministic serial
+// pass). See DESIGN.md §9 for the determinism argument.
+package hostwork
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the pool width. 0 means "GOMAXPROCS at call time".
+var workers atomic.Int32
+
+// SetWorkers overrides the pool width; n <= 0 restores the GOMAXPROCS
+// default. Returns the previous override. Tests use it to prove results
+// are identical at every width, including 1.
+func SetWorkers(n int) int {
+	return int(workers.Swap(int32(n)))
+}
+
+// Workers reports the effective pool width.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(0), ..., fn(n-1) across the pool and returns when all calls
+// have finished. Calls are distributed by an atomic cursor, so fn must
+// not care which worker runs which index or in what order. With one
+// worker (or n <= 1) everything runs inline on the caller's goroutine —
+// the serial reference the parallel path is tested against.
+func Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

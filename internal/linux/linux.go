@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/bootparams"
 	"github.com/severifast/severifast/internal/bzimage"
 	"github.com/severifast/severifast/internal/cpio"
@@ -78,17 +79,30 @@ func runBootstrapLoader(proc *sim.Proc, m *kvm.Machine, h *verifier.Handoff, cbi
 	model := m.Host.Model
 	proc.Sleep(model.BzImageSetupCost)
 
-	raw, err := m.Mem.GuestRead(h.KernelGPA, h.KernelSize, cbit)
-	if err != nil {
-		return 0, fmt.Errorf("linux: reading bzImage: %w", err)
+	// Read the verified image: when the resident pages still carry their
+	// shared-artifact provenance (the CoW fleet path), RangeView hands
+	// back a zero-copy slice of the canonical image instead of
+	// materializing a fresh multi-megabyte copy per boot.
+	raw, viewOK, err := m.Mem.RangeView(h.KernelGPA, h.KernelSize, cbit)
+	if err != nil || !viewOK {
+		raw, err = m.Mem.GuestRead(h.KernelGPA, h.KernelSize, cbit)
+		if err != nil {
+			return 0, fmt.Errorf("linux: reading bzImage: %w", err)
+		}
 	}
 	info, err := bzimage.Parse(raw)
 	if err != nil {
 		return 0, fmt.Errorf("linux: bootstrap loader: %w", err)
 	}
-	// Decompression is memoized by payload digest: every microVM on the
-	// host boots the same kernel image (the serverless assumption of
-	// §6.1), so the decompressed bytes are shared and must not be mutated.
+	// Decompression is memoized by payload identity/digest: every microVM
+	// on the host boots the same kernel image (the serverless assumption
+	// of §6.1), so the decompressed bytes are shared and must not be
+	// mutated. Interning the payload subslice (stable when raw is a
+	// zero-copy artifact view) lets the cache hit without re-hashing the
+	// compressed payload on every boot.
+	if viewOK {
+		artifact.Intern(info.Payload)
+	}
 	vmlinux, err := bzimage.DecompressPayloadCached(info.Payload)
 	if err != nil {
 		return 0, fmt.Errorf("linux: decompressing kernel: %w", err)
@@ -96,17 +110,23 @@ func runBootstrapLoader(proc *sim.Proc, m *kvm.Machine, h *verifier.Handoff, cbi
 	proc.Sleep(model.Decompress(string(info.Codec), len(vmlinux)))
 
 	// Place each PT_LOAD region at its run address, zero-copy from the
-	// shared decompression buffer.
-	regions, err := elfx.FileRegions(vmlinux)
+	// shared decompression buffer. The ELF parse is memoized on the
+	// shared buffer, and loading through the artifact keeps per-page
+	// provenance so later reads of kernel text stay zero-copy too.
+	vart := artifact.Intern(vmlinux)
+	regionsAny, err := vart.Derived("elfx.regions", func() (any, error) {
+		return elfx.FileRegions(vmlinux)
+	})
 	if err != nil {
 		return 0, fmt.Errorf("linux: embedded vmlinux: %w", err)
 	}
+	regions := regionsAny.([]elfx.FileRegion)
 	loaded := 0
 	for _, r := range regions {
 		if !r.Load || r.Len == 0 {
 			continue
 		}
-		if err := m.Mem.GuestWriteAliased(r.Vaddr, vmlinux[r.Off:r.Off+uint64(r.Len)], cbit); err != nil {
+		if err := m.Mem.GuestWriteArtifact(r.Vaddr, vart, int(r.Off), r.Len, cbit); err != nil {
 			return 0, fmt.Errorf("linux: loading segment at %#x: %w", r.Vaddr, err)
 		}
 		loaded += r.Len

@@ -48,7 +48,12 @@ func load32(b []byte, i int) uint32 {
 //
 // Incompressible input grows by at most len(src)/255 + 16 bytes.
 func CompressBlock(src []byte) []byte {
-	dst := make([]byte, 0, len(src)+len(src)/255+16)
+	return CompressBlockAppend(make([]byte, 0, maxCompressedLen(len(src))), src)
+}
+
+// CompressBlockAppend is CompressBlock appending to dst, letting callers
+// reuse a compression buffer across blocks (pass dst[:0]).
+func CompressBlockAppend(dst, src []byte) []byte {
 	if len(src) == 0 {
 		// A zero-length block is a single empty-literal token.
 		return append(dst, 0)
@@ -162,6 +167,16 @@ func DecompressBlock(src []byte, dstSize int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: negative size", ErrCorrupt)
 	}
 	dst := make([]byte, dstSize)
+	if err := DecompressBlockInto(dst, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecompressBlockInto decompresses an LZ4 block into dst, which must be
+// exactly the uncompressed size. It allocates nothing, so callers on hot
+// paths can reuse or pool destination buffers.
+func DecompressBlockInto(dst, src []byte) error {
 	d := 0
 	s := 0
 
@@ -174,14 +189,14 @@ func DecompressBlock(src []byte, dstSize int) ([]byte, error) {
 		if litLen == 15 {
 			n, ns, err := readLenExt(src, s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			litLen += n
 			s = ns
 		}
 		if litLen > 0 {
 			if s+litLen > len(src) || d+litLen > len(dst) {
-				return nil, fmt.Errorf("%w: literal run overruns buffer", ErrCorrupt)
+				return fmt.Errorf("%w: literal run overruns buffer", ErrCorrupt)
 			}
 			copy(dst[d:], src[s:s+litLen])
 			s += litLen
@@ -193,24 +208,24 @@ func DecompressBlock(src []byte, dstSize int) ([]byte, error) {
 
 		// Match.
 		if s+2 > len(src) {
-			return nil, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+			return fmt.Errorf("%w: truncated offset", ErrCorrupt)
 		}
 		offset := int(src[s]) | int(src[s+1])<<8
 		s += 2
 		if offset == 0 || offset > d {
-			return nil, fmt.Errorf("%w: offset %d at output position %d", ErrCorrupt, offset, d)
+			return fmt.Errorf("%w: offset %d at output position %d", ErrCorrupt, offset, d)
 		}
 		matchLen := int(token&15) + minMatch
 		if token&15 == 15 {
 			n, ns, err := readLenExt(src, s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			matchLen += n
 			s = ns
 		}
 		if d+matchLen > len(dst) {
-			return nil, fmt.Errorf("%w: match overruns output (%d+%d > %d)", ErrCorrupt, d, matchLen, len(dst))
+			return fmt.Errorf("%w: match overruns output (%d+%d > %d)", ErrCorrupt, d, matchLen, len(dst))
 		}
 		// Byte-by-byte copy: matches may overlap their own output (RLE).
 		ref := d - offset
@@ -220,10 +235,10 @@ func DecompressBlock(src []byte, dstSize int) ([]byte, error) {
 		d += matchLen
 	}
 
-	if d != dstSize {
-		return nil, fmt.Errorf("%w: decoded %d bytes, expected %d", ErrCorrupt, d, dstSize)
+	if d != len(dst) {
+		return fmt.Errorf("%w: decoded %d bytes, expected %d", ErrCorrupt, d, len(dst))
 	}
-	return dst, nil
+	return nil
 }
 
 func readLenExt(src []byte, s int) (n, next int, err error) {

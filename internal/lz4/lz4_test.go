@@ -311,3 +311,39 @@ func BenchmarkDecompress4MiB(b *testing.B) {
 		}
 	}
 }
+
+// TestDecompressAllocsOnce: the frame decoder must preallocate the output
+// from the content-size hint — one allocation for the result, no
+// append-growth copies on multi-MiB payloads.
+func TestDecompressAllocsOnce(t *testing.T) {
+	src := bytes.Repeat([]byte("multi-megabyte payload "), 1<<17) // ~2.9 MiB
+	frame := Compress(src)
+	allocs := testing.AllocsPerRun(5, func() {
+		out, err := Decompress(frame)
+		if err != nil || len(out) != len(src) {
+			t.Fatalf("len %d err %v", len(out), err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Decompress allocated %v times per run, want 1", allocs)
+	}
+}
+
+// TestDecompressBlockIntoReusesBuffer: the into-buffer API must not
+// allocate at all.
+func TestDecompressBlockIntoReusesBuffer(t *testing.T) {
+	src := bytes.Repeat([]byte("reusable "), 1<<15)
+	block := CompressBlock(src)
+	dst := make([]byte, len(src))
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := DecompressBlockInto(dst, block); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecompressBlockInto allocated %v times per run, want 0", allocs)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("round trip mismatch")
+	}
+}

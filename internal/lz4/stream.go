@@ -22,6 +22,7 @@ const ChunkSize = 4 << 20
 type Writer struct {
 	w      io.Writer
 	buf    []byte
+	comp   []byte // reused compression output buffer
 	n      int
 	closed bool
 }
@@ -57,7 +58,8 @@ func (zw *Writer) flushBlock() error {
 		return nil
 	}
 	raw := zw.buf[:zw.n]
-	comp := CompressBlock(raw)
+	zw.comp = CompressBlockAppend(zw.comp[:0], raw)
+	comp := zw.comp
 	var hdr [8]byte
 	if len(comp) >= len(raw) {
 		// Store incompressible blocks raw.
@@ -102,6 +104,10 @@ type Reader struct {
 	r    io.Reader
 	cur  []byte
 	done bool
+	// Reused per-block buffers: cur always aliases one of these, and Read
+	// copies out of cur, so recycling them across blocks is safe.
+	blockBuf []byte
+	outBuf   []byte
 }
 
 // NewReader returns a streaming decompressor over r.
@@ -139,7 +145,10 @@ func (zr *Reader) nextBlock() error {
 	if rawLen > ChunkSize || compLen > uint32(maxCompressedLen(int(rawLen))) {
 		return fmt.Errorf("%w: implausible block header (%d/%d)", ErrCorrupt, compLen, rawLen)
 	}
-	block := make([]byte, compLen)
+	if cap(zr.blockBuf) < int(compLen) {
+		zr.blockBuf = make([]byte, compLen)
+	}
+	block := zr.blockBuf[:compLen]
 	if _, err := io.ReadFull(zr.r, block); err != nil {
 		return fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err)
 	}
@@ -147,8 +156,11 @@ func (zr *Reader) nextBlock() error {
 		zr.cur = block // stored
 		return nil
 	}
-	out, err := DecompressBlock(block, int(rawLen))
-	if err != nil {
+	if cap(zr.outBuf) < int(rawLen) {
+		zr.outBuf = make([]byte, rawLen)
+	}
+	out := zr.outBuf[:rawLen]
+	if err := DecompressBlockInto(out, block); err != nil {
 		return err
 	}
 	zr.cur = out

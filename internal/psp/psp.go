@@ -186,11 +186,17 @@ func (ctx *GuestContext) LaunchUpdateData(proc *sim.Proc, gpa uint64, n int, pt 
 		return fmt.Errorf("%w: LAUNCH_UPDATE_DATA in state %d", ErrState, ctx.state)
 	}
 	ctx.psp.run(proc, ctx.psp.model.PreEncrypt(n), "LAUNCH_UPDATE_DATA")
-	plain, err := ctx.mem.LaunchUpdate(gpa, n)
+	if err := ctx.mem.LaunchUpdateFlip(gpa, n); err != nil {
+		return err
+	}
+	// Hash the region in place: PlainRangeDigest streams the same bytes
+	// LaunchUpdate used to copy out (or hits the artifact memo table),
+	// so the digest chain is unchanged while the n-byte copy is gone.
+	content, err := ctx.mem.PlainRangeDigest(gpa, n)
 	if err != nil {
 		return err
 	}
-	ctx.digest = ExtendDigest(ctx.digest, pt, gpa, plain)
+	ctx.digest = ExtendDigestContent(ctx.digest, pt, gpa, n, content)
 	ctx.updates++
 	ctx.bytesPreEnc += n
 	return nil
@@ -225,13 +231,22 @@ func (ctx *GuestContext) Decommission() { ctx.state = StateDead }
 // the SNP ABI's page-info chaining. internal/measure recomputes the same
 // chain host-side; the two must agree bit for bit.
 func ExtendDigest(digest [32]byte, pt sev.PageType, gpa uint64, data []byte) [32]byte {
-	content := sha256.Sum256(data)
+	return ExtendDigestContent(digest, pt, gpa, len(data), sha256.Sum256(data))
+}
+
+// ExtendDigestContent is the fold step of ExtendDigest with the region's
+// content hash already computed. It is the serial half of the parallel
+// measurement pipeline: content hashes may be produced in any order
+// across the hostwork pool (or come from the artifact memo table), but
+// the chain itself is folded one region at a time, in region order, so
+// the result is bit-identical to the fully serial computation.
+func ExtendDigestContent(digest [32]byte, pt sev.PageType, gpa uint64, n int, content [32]byte) [32]byte {
 	h := sha256.New()
 	h.Write(digest[:])
 	h.Write([]byte{byte(pt)})
 	var meta [16]byte
 	binary.LittleEndian.PutUint64(meta[0:], gpa)
-	binary.LittleEndian.PutUint64(meta[8:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(n))
 	h.Write(meta[:])
 	h.Write(content[:])
 	var out [32]byte

@@ -7,6 +7,7 @@ package qemu
 import (
 	"fmt"
 
+	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/linux"
@@ -92,7 +93,10 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	m.Timeline.End("hash.components", proc.Now())
 
 	// Stage components via fw_cfg (shared memory), plus the plain-text
-	// boot structures OVMF consumes to build boot_params.
+	// boot structures OVMF consumes to build boot_params. Interning
+	// first lets the staged ranges alias the canonical artifact copy.
+	artifact.Intern(kernelImage)
+	artifact.Intern(cfg.Initrd)
 	m.Timeline.Begin("vmm.stage", proc.Now())
 	if err := m.Mem.HostWriteAliased(measure.GPAStageA, kernelImage); err != nil {
 		return nil, err
@@ -125,13 +129,14 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	m.Timeline.Annotate("asid", fmt.Sprintf("%d", m.Launch.ASID()))
+	batch := m.Launch.NewUpdateBatch()
 	for _, r := range ovmf.PlanRegions(cfg.OVMFSeed, cfg.Level, hashes) {
-		if err := m.Mem.HostWrite(r.GPA, r.Data); err != nil {
-			return nil, fmt.Errorf("qemu: placing %s: %w", r.Name, err)
-		}
-		if err := m.Launch.LaunchUpdateData(proc, r.GPA, len(r.Data), r.Type); err != nil {
+		if err := batch.Stage(proc, r.GPA, r.Data, r.Type); err != nil {
 			return nil, fmt.Errorf("qemu: measuring %s: %w", r.Name, err)
 		}
+	}
+	if err := batch.Close(); err != nil {
+		return nil, fmt.Errorf("qemu: folding launch digest: %w", err)
 	}
 	digest, err := m.Launch.LaunchFinish(proc)
 	if err != nil {

@@ -36,7 +36,10 @@ type Entry struct {
 // Table is the reverse map table. One table exists per machine; guests are
 // distinguished by ASID.
 type Table struct {
-	entries map[uint64]Entry // keyed by page frame number
+	// entries is dense, indexed by page frame number and grown on
+	// demand; guest-physical spaces are bounded (hundreds of MiB), so a
+	// flat slice keeps every per-page check off the map hash path.
+	entries []Entry
 
 	// Validations counts successful pvalidate operations, for cost
 	// accounting and the huge-page ablation.
@@ -45,26 +48,44 @@ type Table struct {
 
 // New returns an empty table (all pages hypervisor-owned).
 func New() *Table {
-	return &Table{entries: make(map[uint64]Entry)}
+	return &Table{}
 }
 
 func pfn(gpa uint64) uint64 { return gpa / PageSize }
 
+// at returns the entry for a pfn (zero value beyond the grown range).
+func (t *Table) at(n uint64) Entry {
+	if n >= uint64(len(t.entries)) {
+		return Entry{}
+	}
+	return t.entries[n]
+}
+
+// set stores an entry, growing the dense table to cover the pfn.
+func (t *Table) set(n uint64, e Entry) {
+	if n >= uint64(len(t.entries)) {
+		grown := make([]Entry, (n+1)*2)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+	t.entries[n] = e
+}
+
 // Lookup returns the entry covering gpa.
-func (t *Table) Lookup(gpa uint64) Entry { return t.entries[pfn(gpa)] }
+func (t *Table) Lookup(gpa uint64) Entry { return t.at(pfn(gpa)) }
 
 // Assign marks the page containing gpa as owned by asid, clearing the
 // validated bit (hardware does this whenever ownership or mapping
 // changes). Used by SNP_LAUNCH_UPDATE and by KVM when donating pages.
 func (t *Table) Assign(gpa uint64, asid uint32) {
-	t.entries[pfn(gpa)] = Entry{ASID: asid, Assigned: true}
+	t.set(pfn(gpa), Entry{ASID: asid, Assigned: true})
 }
 
 // AssignValidated assigns and validates in one step — the state
 // SNP_LAUNCH_UPDATE leaves pre-encrypted launch pages in, so the guest can
 // execute from its root of trust without a pvalidate round.
 func (t *Table) AssignValidated(gpa uint64, asid uint32) {
-	t.entries[pfn(gpa)] = Entry{ASID: asid, Assigned: true, Validated: true}
+	t.set(pfn(gpa), Entry{ASID: asid, Assigned: true, Validated: true})
 }
 
 // Pvalidate sets the validated bit for the page containing gpa. It fails
@@ -72,7 +93,7 @@ func (t *Table) AssignValidated(gpa uint64, asid uint32) {
 // does not own) and if the page is already validated (the double-validate
 // check that defends against remap/replay games).
 func (t *Table) Pvalidate(gpa uint64, asid uint32) error {
-	e := t.entries[pfn(gpa)]
+	e := t.at(pfn(gpa))
 	if !e.Assigned || e.ASID != asid {
 		return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(gpa))
 	}
@@ -80,7 +101,7 @@ func (t *Table) Pvalidate(gpa uint64, asid uint32) error {
 		return fmt.Errorf("%w: pfn %#x", ErrDouble, pfn(gpa))
 	}
 	e.Validated = true
-	t.entries[pfn(gpa)] = e
+	t.set(pfn(gpa), e)
 	t.Validations++
 	return nil
 }
@@ -96,7 +117,7 @@ func (t *Table) PvalidateRange(gpa uint64, n int, pageSize int, asid uint32) err
 	for off := uint64(0); off < uint64(n); off += uint64(pageSize) {
 		base := gpa + off
 		for sub := uint64(0); sub < uint64(pageSize) && base+sub < gpa+uint64(n); sub += PageSize {
-			e := t.entries[pfn(base+sub)]
+			e := t.at(pfn(base + sub))
 			if !e.Assigned || e.ASID != asid {
 				return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(base+sub))
 			}
@@ -104,7 +125,7 @@ func (t *Table) PvalidateRange(gpa uint64, n int, pageSize int, asid uint32) err
 				return fmt.Errorf("%w: pfn %#x", ErrDouble, pfn(base+sub))
 			}
 			e.Validated = true
-			t.entries[pfn(base+sub)] = e
+			t.set(pfn(base+sub), e)
 		}
 		t.Validations++
 	}
@@ -115,7 +136,7 @@ func (t *Table) PvalidateRange(gpa uint64, n int, pageSize int, asid uint32) err
 // containing gpa: the page must be assigned to this guest and validated,
 // otherwise the hardware raises #VC.
 func (t *Table) CheckGuestAccess(gpa uint64, asid uint32) error {
-	e := t.entries[pfn(gpa)]
+	e := t.at(pfn(gpa))
 	if !e.Assigned || e.ASID != asid || !e.Validated {
 		return fmt.Errorf("%w: gpa %#x", ErrVC, gpa)
 	}
@@ -125,7 +146,7 @@ func (t *Table) CheckGuestAccess(gpa uint64, asid uint32) error {
 // CheckHostWrite verifies a hypervisor write to the page containing gpa:
 // assigned pages are write-protected from the host.
 func (t *Table) CheckHostWrite(gpa uint64) error {
-	e := t.entries[pfn(gpa)]
+	e := t.at(pfn(gpa))
 	if e.Assigned {
 		return fmt.Errorf("%w: gpa %#x (asid %d)", ErrHostWrite, gpa, e.ASID)
 	}
@@ -136,14 +157,14 @@ func (t *Table) CheckHostWrite(gpa uint64) error {
 // clears the validated bit, so the guest's next access raises #VC
 // (paper §2.2). Ownership is retained.
 func (t *Table) Remap(gpa uint64) {
-	e := t.entries[pfn(gpa)]
+	e := t.at(pfn(gpa))
 	e.Validated = false
-	t.entries[pfn(gpa)] = e
+	t.set(pfn(gpa), e)
 }
 
 // Reclaim returns the page to hypervisor ownership (guest teardown).
 func (t *Table) Reclaim(gpa uint64) {
-	delete(t.entries, pfn(gpa))
+	t.set(pfn(gpa), Entry{})
 }
 
 // AssignedPages returns how many pages are currently assigned to asid.
@@ -173,14 +194,14 @@ func (t *Table) PvalidateRangeSkipValidated(gpa uint64, n int, pageSize int, asi
 		base := gpa + off
 		did := false
 		for sub := uint64(0); sub < uint64(pageSize) && base+sub < gpa+uint64(n); sub += PageSize {
-			e := t.entries[pfn(base+sub)]
+			e := t.at(pfn(base + sub))
 			if e.Assigned && e.ASID != asid {
 				return fmt.Errorf("%w: pfn %#x", ErrOwner, pfn(base+sub))
 			}
 			if e.Assigned && e.Validated {
 				continue
 			}
-			t.entries[pfn(base+sub)] = Entry{ASID: asid, Assigned: true, Validated: true}
+			t.set(pfn(base+sub), Entry{ASID: asid, Assigned: true, Validated: true})
 			did = true
 		}
 		if did {

@@ -64,18 +64,17 @@ func Capture(proc *sim.Proc, m *kvm.Machine) (*Image, error) {
 		Private: make(map[uint64]bool),
 		SEV:     m.Level.Encrypted(),
 	}
+	// Bulk export: one pass over resident pages with the per-page AES
+	// transforms spread across the hostwork pool, instead of a
+	// page-at-a-time HostRead loop. The host-visible bytes are identical.
+	exports, err := m.Mem.ExportPages()
+	if err != nil {
+		return nil, err
+	}
 	bytes := 0
-	for pn := uint64(0); pn < m.Mem.Size()/guestmem.PageSize; pn++ {
-		gpa := pn * guestmem.PageSize
-		if !m.Mem.Resident(gpa) {
-			continue
-		}
-		data, err := m.Mem.HostRead(gpa, guestmem.PageSize)
-		if err != nil {
-			return nil, err
-		}
-		img.Pages[pn] = data
-		img.Private[pn] = m.Mem.IsPrivate(gpa)
+	for _, e := range exports {
+		img.Pages[e.PN] = e.Data
+		img.Private[e.PN] = e.Private
 		bytes += guestmem.PageSize
 	}
 	if proc != nil {

@@ -1,0 +1,105 @@
+package telemetry
+
+// Host-time statistics: wall-clock stage timings, cache hit/miss
+// counters, and buffer-pool stats for the host-performance layer
+// (parallel measurement pipeline, shared-artifact CoW memory).
+//
+// These deliberately live OUTSIDE the virtual-time Registry. The
+// Registry's exports are stamped from sim.Time and are required to be
+// byte-identical across same-seed runs; host wall-clock readings are
+// not deterministic and must never leak into those exports. Host stats
+// get their own snapshot API and exporter instead.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+var hostStats = struct {
+	mu       sync.Mutex
+	stageNS  map[string]int64
+	stageN   map[string]int64
+	counters map[string]int64
+}{
+	stageNS:  map[string]int64{},
+	stageN:   map[string]int64{},
+	counters: map[string]int64{},
+}
+
+// HostStage records one wall-clock timing for a named pipeline stage.
+// Typical use: defer telemetry.HostStage("psp.fold", time.Now()).
+func HostStage(name string, start time.Time) {
+	d := time.Since(start)
+	hostStats.mu.Lock()
+	hostStats.stageNS[name] += d.Nanoseconds()
+	hostStats.stageN[name]++
+	hostStats.mu.Unlock()
+}
+
+// HostCounterAdd bumps a named host-side counter (cache hits, pool
+// reuses, bytes spared, ...).
+func HostCounterAdd(name string, n int64) {
+	hostStats.mu.Lock()
+	hostStats.counters[name] += n
+	hostStats.mu.Unlock()
+}
+
+// ResetHostStats zeroes all host-time stages and counters. Benchmarks
+// call it after warm-up so snapshots cover only the measured window.
+func ResetHostStats() {
+	hostStats.mu.Lock()
+	hostStats.stageNS = map[string]int64{}
+	hostStats.stageN = map[string]int64{}
+	hostStats.counters = map[string]int64{}
+	hostStats.mu.Unlock()
+}
+
+// HostStatsSnapshot returns copies of the cumulative stage timings
+// (ns, plus a "<stage>.calls" entry) and the host counters.
+func HostStatsSnapshot() (stages map[string]int64, counters map[string]int64) {
+	hostStats.mu.Lock()
+	defer hostStats.mu.Unlock()
+	stages = make(map[string]int64, 2*len(hostStats.stageNS))
+	for k, v := range hostStats.stageNS {
+		stages[k] = v
+		stages[k+".calls"] = hostStats.stageN[k]
+	}
+	counters = make(map[string]int64, len(hostStats.counters))
+	for k, v := range hostStats.counters {
+		counters[k] = v
+	}
+	return stages, counters
+}
+
+// WriteHostStats renders the host-time stats in Prometheus-style text
+// under a distinct sevf_host_* namespace. It is a separate exporter
+// from Registry.WritePrometheus on purpose: mixing wall-clock values
+// into the virtual-time export would break its byte-identical-per-seed
+// guarantee.
+func WriteHostStats(w io.Writer) error {
+	stages, counters := HostStatsSnapshot()
+	var keys []string
+	for k := range stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "sevf_host_stage{name=%q} %d\n", k, stages[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "sevf_host_counter{name=%q} %d\n", k, counters[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -402,6 +402,26 @@ func (t *Telemetry) WritePrometheus(w io.Writer) error { return t.reg.WriteProme
 // name, counters, gauges, and series quantiles.
 func (t *Telemetry) WriteJSONSummary(w io.Writer) error { return t.reg.WriteJSONSummary(w) }
 
+// WriteHostStats writes the host-time performance instrumentation in
+// Prometheus text format: wall-clock stage timings (e.g. the parallel
+// measurement pipeline) and cache counters (artifact digest memo hits,
+// CoW page aliasing, zero-copy range views). Unlike the virtual-time
+// exporters above, these measure real CPU work on the simulating host,
+// are process-global, and vary run to run; the virtual-time exports stay
+// byte-identical for a given seed regardless of what these report.
+func (t *Telemetry) WriteHostStats(w io.Writer) error { return telemetry.WriteHostStats(w) }
+
+// HostStats returns a snapshot of the host-time instrumentation:
+// cumulative stage nanoseconds (plus "<stage>.calls" entries) and the
+// host-side cache/pool counters.
+func (t *Telemetry) HostStats() (stages, counters map[string]int64) {
+	return telemetry.HostStatsSnapshot()
+}
+
+// ResetHostStats zeroes the process-global host-time instrumentation,
+// e.g. between benchmark iterations.
+func (t *Telemetry) ResetHostStats() { telemetry.ResetHostStats() }
+
 // PlatformKey returns the PSP's report-verification key (the VCEK stand-in
 // a guest owner verifies attestation reports against).
 func (h *Host) PlatformKey() *ecdsa.PublicKey { return h.inner.PSP.VerificationKey() }
