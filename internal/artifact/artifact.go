@@ -41,8 +41,12 @@ const maxInterned = 4096
 type Buf struct {
 	data []byte
 
-	fullOnce sync.Once
-	full     [32]byte
+	// mu guards full/fullOK. The whole-buffer digest used to be a
+	// sync.Once, but Corrupt must be able to invalidate it, so it is a
+	// mutex-guarded memo like the range digests.
+	mu     sync.Mutex
+	full   [32]byte
+	fullOK bool
 
 	sub     sync.Map // rangeKey -> [32]byte
 	derived sync.Map // string -> *derivedEntry
@@ -115,20 +119,28 @@ func (b *Buf) Bytes() []byte { return b.data }
 // Len returns the buffer length.
 func (b *Buf) Len() int { return len(b.data) }
 
-// Digest returns SHA-256 of the whole buffer, computed once.
+// Digest returns SHA-256 of the whole buffer, computed once and
+// invalidated by Corrupt.
 func (b *Buf) Digest() [32]byte {
-	hit := true
-	b.fullOnce.Do(func() {
-		hit = false
-		b.full = sha256.Sum256(b.data)
-		telemetry.HostCounterAdd("artifact.digest.miss", 1)
-		telemetry.HostCounterAdd("artifact.digest.bytes_hashed", int64(len(b.data)))
-	})
-	if hit {
+	b.mu.Lock()
+	if b.fullOK {
+		sum := b.full
+		b.mu.Unlock()
 		telemetry.HostCounterAdd("artifact.digest.hit", 1)
 		telemetry.HostCounterAdd("artifact.digest.bytes_spared", int64(len(b.data)))
+		return sum
 	}
-	return b.full
+	b.mu.Unlock()
+	// Hash outside the lock so concurrent first callers of different
+	// buffers (the hostwork pool) do not serialize; racing callers of the
+	// same buffer compute the same sum twice, which is merely wasteful.
+	sum := sha256.Sum256(b.data)
+	b.mu.Lock()
+	b.full, b.fullOK = sum, true
+	b.mu.Unlock()
+	telemetry.HostCounterAdd("artifact.digest.miss", 1)
+	telemetry.HostCounterAdd("artifact.digest.bytes_hashed", int64(len(b.data)))
+	return sum
 }
 
 // RangeDigest returns SHA-256 of data[off:off+n], memoized per range.
@@ -170,6 +182,39 @@ func (b *Buf) Derived(key string, build func() (any, error)) (any, error) {
 		telemetry.HostCounterAdd("artifact.derived.hit", 1)
 	}
 	return e.val, e.err
+}
+
+// Corrupt flips data[off] with the given XOR mask and invalidates every
+// memoized fact about the buffer: the whole-buffer digest, all range
+// digests, and all derived artifacts. It models a hostile host
+// scribbling on a canonical buffer at rest — the tampering the chaos
+// engine's artifact family injects — and exists so that memoized
+// digests can never be served for bytes the buffer no longer holds:
+// after Corrupt, every digest recomputes from the actual (tampered)
+// contents.
+//
+// Corrupt deliberately violates the immutability contract, so callers
+// own the fallout: guest pages aliasing this buffer observe the
+// tampered bytes exactly as a physical machine would. It must not race
+// with in-flight digest or Derived calls; the chaos engine applies it
+// between simulation events, when no host-side hashing is running.
+func (b *Buf) Corrupt(off int, mask byte) {
+	if mask == 0 {
+		return
+	}
+	b.data[off] ^= mask
+	b.mu.Lock()
+	b.fullOK = false
+	b.mu.Unlock()
+	b.sub.Range(func(k, _ any) bool {
+		b.sub.Delete(k)
+		return true
+	})
+	b.derived.Range(func(k, _ any) bool {
+		b.derived.Delete(k)
+		return true
+	})
+	telemetry.HostCounterAdd("artifact.corrupted", 1)
 }
 
 // ResetForTest drops the intern table so tests start clean. Existing

@@ -157,7 +157,7 @@ func (o *Owner) HandleReport(reportBytes, guestPub []byte) (*SecretBundle, error
 		return nil, err
 	}
 	if err := psp.VerifyReport(o.platformKey, r); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSignature, err)
+		return nil, fmt.Errorf("%w: %w", ErrSignature, err)
 	}
 	if !o.allowed[r.Measurement] {
 		return nil, fmt.Errorf("%w: %x", ErrMeasurement, r.Measurement[:8])
@@ -265,7 +265,7 @@ func (o *Owner) HandleReportWithChain(reportBytes, chainBytes, guestPub []byte) 
 	}
 	chain, _, err := o.verifier.VerifyChain(chainBytes)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSignature, err)
+		return nil, fmt.Errorf("%w: %w", ErrSignature, err)
 	}
 	restore := o.platformKey
 	o.platformKey = chain.VCEK.Key()

@@ -224,13 +224,13 @@ func DecompressPayload(payload []byte) ([]byte, error) {
 		}
 		out, err := lz4.DecompressBlock(data, usize)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadPayload, err)
 		}
 		return out, nil
 	case CodecGzip:
 		zr, err := gzip.NewReader(bytes.NewReader(data))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadPayload, err)
 		}
 		// Decompress straight into a buffer preallocated from the declared
 		// size (no append-doubling): a short stream fails ReadFull, and a
@@ -238,7 +238,7 @@ func DecompressPayload(payload []byte) ([]byte, error) {
 		// it can balloon past the declared size.
 		out := make([]byte, usize)
 		if _, err := io.ReadFull(zr, out); err != nil {
-			return nil, fmt.Errorf("%w: gzip payload size mismatch (%v)", ErrBadPayload, err)
+			return nil, fmt.Errorf("%w: gzip payload size mismatch: %w", ErrBadPayload, err)
 		}
 		var probe [1]byte
 		if n, _ := zr.Read(probe[:]); n != 0 {

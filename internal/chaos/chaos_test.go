@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// TestCampaignZeroEscapes is the headline acceptance run: a fixed-seed
+// campaign across every family must end with zero ESCAPEs — every tamper
+// is either caught by the layer that owns it or provably without effect.
+func TestCampaignZeroEscapes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rep, err := Run(Config{Seed: 42, Boots: 3, Trials: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) == 0 {
+		t.Fatal("campaign ran no trials")
+	}
+	fams := make(map[string]bool)
+	for _, tr := range rep.Trials {
+		fams[tr.Family] = true
+		if tr.Outcome == Escape {
+			t.Errorf("ESCAPE: %s/%s (%s): %s", tr.Family, tr.Name, tr.Params, tr.Detail)
+		}
+		if tr.Outcome == Unexpected {
+			t.Errorf("unexpected detection: %s/%s (%s): %s", tr.Family, tr.Name, tr.Params, tr.Detail)
+		}
+	}
+	for _, f := range AllFamilies {
+		if !fams[f] {
+			t.Errorf("family %q ran no trials", f)
+		}
+	}
+	if rep.Escapes != 0 {
+		t.Fatalf("campaign reports %d escapes; outcomes: %v", rep.Escapes, rep.Outcomes)
+	}
+	if rep.Outcomes[Caught] == 0 {
+		t.Fatalf("no mutation was caught — the adversary isn't biting: %v", rep.Outcomes)
+	}
+	// Campaign telemetry: one trial counter and one span per trial.
+	sum := reg.Summarize()
+	var counted int64
+	for name, c := range sum.Counters {
+		if len(name) >= len("severifast_chaos_trials_total") && name[:len("severifast_chaos_trials_total")] == "severifast_chaos_trials_total" {
+			counted += c
+		}
+	}
+	if counted != int64(len(rep.Trials)) {
+		t.Fatalf("chaos trial counters sum to %d, want %d", counted, len(rep.Trials))
+	}
+	if got := sum.SpansByName["chaos.trial"]; got != len(rep.Trials) {
+		t.Fatalf("chaos.trial spans %d, want %d", got, len(rep.Trials))
+	}
+}
+
+// TestCampaignDeterminism: two campaigns from the same seed must marshal
+// to byte-identical reports — schedules, outcomes, virtual end times and
+// all. A third campaign from a different seed must draw different
+// parameters (same shape, different bytes).
+func TestCampaignDeterminism(t *testing.T) {
+	run := func(seed int64) []byte {
+		rep, err := Run(Config{Seed: seed, Boots: 3, Trials: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed campaigns diverged:\n%s\n---\n%s", a, b)
+	}
+	c := run(43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical reports — the seed is not reaching the draws")
+	}
+}
+
+// TestWeakenedVerifierEscapes is the oracle self-test: with the digest
+// check and broker gate disabled and every launch digest tampered, the
+// tampered boots go live — and the oracle MUST say ESCAPE. If it cannot
+// fail here, its zero-escape verdicts elsewhere mean nothing.
+func TestWeakenedVerifierEscapes(t *testing.T) {
+	rep, err := Run(Config{Seed: 42, Boots: 3, Weakened: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Escapes == 0 {
+		t.Fatalf("weakened verifier produced no ESCAPE; outcomes: %v", rep.Outcomes)
+	}
+	for _, tr := range rep.Trials {
+		if tr.Outcome == Escape {
+			t.Logf("expected escape observed: %s/%s: %s", tr.Family, tr.Name, tr.Detail)
+		}
+	}
+}
+
+// TestSingleFamilyCampaign: family selection restricts the catalog.
+func TestSingleFamilyCampaign(t *testing.T) {
+	rep, err := Run(Config{Seed: 7, Boots: 2, Trials: 1, Families: []string{"snapshot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trials) != 5 {
+		t.Fatalf("snapshot-only campaign ran %d trials, want 5", len(rep.Trials))
+	}
+	for _, tr := range rep.Trials {
+		if tr.Family != "snapshot" {
+			t.Fatalf("foreign family in restricted campaign: %s/%s", tr.Family, tr.Name)
+		}
+		if tr.Outcome == Escape || tr.Outcome == Unexpected {
+			t.Fatalf("%s/%s: %s: %s", tr.Family, tr.Name, tr.Outcome, tr.Detail)
+		}
+	}
+}

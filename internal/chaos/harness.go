@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// chaosTCB is the enrolled platform's TCB, also the broker's floor.
+var chaosTCB = kbs.TCB{BootLoader: 2, TEE: 1, SNP: 8, Microcode: 115}
+
+// Harness is one trial's world: a fresh engine, host, broker, cache,
+// telemetry registry, and fleet configuration, all seeded identically for
+// every trial so that the only difference between runs is the armed
+// mutation. Mutations reach into it from Arm: schedule virtual-time
+// events on Eng, install PSP tamper hooks via Host.PSP, observe machines
+// via OnMachine, wrap Service, or subscribe to Cfg.Cache.
+type Harness struct {
+	Eng    *sim.Engine
+	Host   *kvm.Host
+	Broker *kbs.Broker
+	// Service is what the fleet actually speaks to; mutations may replace
+	// it with a decorator around Broker (evidence corruption, delivery
+	// delay, duplication, outages).
+	Service kbs.Service
+	Reg     *telemetry.Registry
+	Cfg     fleet.Config
+	Preset  kernelgen.Preset
+	Initrd  []byte
+	// Kernel is the canonical kernel image every boot stages — the
+	// process-interned artifact buffer the artifact family corrupts.
+	Kernel []byte
+
+	weakened bool
+	hooks    []func(*kvm.Machine)
+	served   []servedBoot
+}
+
+// servedBoot is one boot that went live: its tier and the launch digest
+// the PSP actually measured, captured through fleet.Config.OnServed after
+// the attestation gate.
+type servedBoot struct {
+	Tier   fleet.Tier
+	Digest [32]byte
+}
+
+// newHarness assembles a trial world. The weakened variant models a
+// deliberately broken verifier — no digest check, no degraded fallback,
+// no key-broker gate — so tampered boots go live and the oracle's ESCAPE
+// verdict can be demonstrated.
+func newHarness(initrd []byte, weakened bool) (*Harness, error) {
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	host.Telemetry = reg
+
+	preset := kernelgen.Lupine()
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building kernel artifacts: %w", err)
+	}
+
+	h := &Harness{
+		Eng:      eng,
+		Host:     host,
+		Reg:      reg,
+		Preset:   preset,
+		Initrd:   initrd,
+		Kernel:   art.BzImageLZ4,
+		weakened: weakened,
+	}
+	host.OnNewMachine = func(m *kvm.Machine) {
+		for _, fn := range h.hooks {
+			fn(m)
+		}
+	}
+
+	h.Cfg = fleet.Config{
+		Workers:      2,
+		Retry:        fleet.RetryPolicy{Max: 2, Backoff: time.Millisecond},
+		BootDeadline: 30 * time.Second,
+		Breaker:      fleet.BreakerPolicy{Threshold: 3, Cooldown: 20 * time.Millisecond},
+		Cache:        fleet.NewCache(),
+		Telemetry:    reg,
+	}
+	if weakened {
+		h.Cfg.InsecureSkipDigestCheck = true
+		return h, nil
+	}
+	h.Cfg.DegradedFallback = true
+
+	auth := kbs.NewAuthority(99)
+	enr := auth.Enroll(host.PSP, "chip-chaos", chaosTCB)
+	h.Broker = kbs.NewBroker(auth.Root(), kbs.Config{
+		MinTCB:   chaosTCB,
+		NonceTTL: time.Second,
+		Seed:     7,
+	})
+	h.Broker.AddTenant("t0", []byte("tenant secret"))
+	h.Service = h.Broker
+	h.Cfg.Enrollment = enr
+	h.Cfg.AgentSeed = 1000
+	return h, nil
+}
+
+// OnMachine registers an observer for every machine the host creates,
+// in creation order. Mutations use it to target guest memory mid-boot.
+func (h *Harness) OnMachine(fn func(*kvm.Machine)) {
+	h.hooks = append(h.hooks, fn)
+}
+
+// RunResult is everything the oracle compares: per-boot outcomes in
+// submission order, the served launch digests, the fleet metrics, the
+// virtual end time, and the full deterministic telemetry summary.
+type RunResult struct {
+	BootErrs []error
+	Served   []servedBoot
+	Metrics  *fleet.Metrics
+	End      sim.Time
+	Summary  []byte
+}
+
+// failures returns the non-nil boot errors.
+func (r *RunResult) failures() []error {
+	var out []error
+	for _, e := range r.BootErrs {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// foreignDigest reports the first served boot whose launch digest the
+// clean run never produced — a tamper that went live.
+func (r *RunResult) foreignDigest(clean *RunResult) (int, [32]byte, bool) {
+	honest := make(map[[32]byte]bool, len(clean.Served))
+	for _, s := range clean.Served {
+		honest[s.Digest] = true
+	}
+	for i, s := range r.Served {
+		if !honest[s.Digest] {
+			return i, s.Digest, true
+		}
+	}
+	return 0, [32]byte{}, false
+}
+
+// fingerprint hashes the run's observable state. Two runs with equal
+// fingerprints behaved identically boot for boot, span for span, counter
+// for counter — in virtual time, not just in outcome.
+func (r *RunResult) fingerprint() string {
+	hsh := sha256.New()
+	for _, e := range r.BootErrs {
+		if e == nil {
+			hsh.Write([]byte("ok;"))
+		} else {
+			fmt.Fprintf(hsh, "err:%s;", e.Error())
+		}
+	}
+	for _, s := range r.Served {
+		fmt.Fprintf(hsh, "served:%s:%x;", s.Tier, s.Digest)
+	}
+	fmt.Fprintf(hsh, "end:%d;", int64(r.End))
+	hsh.Write(r.Summary)
+	return fmt.Sprintf("%x", hsh.Sum(nil))
+}
+
+// Run registers the image, submits boots at fixed virtual-time spacing,
+// and drives the engine to quiescence. The orchestrator is built here —
+// after Arm — so mutations that edit Cfg (breaker policy, cache
+// subscriptions, Service wrappers) take effect.
+func (h *Harness) Run(boots int) (*RunResult, error) {
+	cfg := h.Cfg
+	cfg.KBS = h.Service
+	if h.weakened {
+		cfg.KBS = nil
+	}
+	res := &RunResult{BootErrs: make([]error, boots)}
+	cfg.OnServed = func(p *sim.Proc, m *kvm.Machine, tier fleet.Tier) {
+		h.served = append(h.served, servedBoot{Tier: tier, Digest: m.Launch.Digest()})
+	}
+	o := fleet.New(h.Eng, h.Host, cfg)
+	img, err := o.RegisterImage("fn", h.Preset, h.Initrd)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: registering image: %w", err)
+	}
+	h.Eng.Go("chaos-arrivals", func(p *sim.Proc) {
+		for i := 0; i < boots; i++ {
+			i := i
+			err := o.Submit(p, fleet.Request{
+				Tenant: "t0",
+				Image:  img,
+				Done: func(dp *sim.Proc, tier fleet.Tier, err error) {
+					res.BootErrs[i] = err
+				},
+			})
+			if err != nil {
+				res.BootErrs[i] = err
+			}
+			p.Sleep(2 * time.Millisecond)
+		}
+		o.Close()
+	})
+	h.Eng.Run()
+
+	res.Served = h.served
+	res.Metrics = o.Metrics()
+	res.End = h.Eng.Now()
+	sum, err := json.Marshal(h.Reg.Summarize())
+	if err != nil {
+		return nil, fmt.Errorf("chaos: marshaling telemetry summary: %w", err)
+	}
+	res.Summary = sum
+	return res, nil
+}

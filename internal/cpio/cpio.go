@@ -91,7 +91,7 @@ func Parse(archive []byte) ([]File, error) {
 		for i := range fields {
 			v, err := strconv.ParseUint(string(hdr[6+8*i:6+8*i+8]), 16, 32)
 			if err != nil {
-				return nil, fmt.Errorf("%w: bad header field %d: %v", ErrCorrupt, i, err)
+				return nil, fmt.Errorf("%w: bad header field %d: %w", ErrCorrupt, i, err)
 			}
 			fields[i] = v
 		}

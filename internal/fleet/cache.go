@@ -103,7 +103,10 @@ type CacheStats struct {
 	// HashedBytes counts image bytes hashed by measurement passes (the
 	// uncached cold boots' in-band hashing work).
 	HashedBytes uint64
-	Entries     int
+	// Evictions counts entries removed by Evict — the degraded-mode
+	// policy discarding entries it proved poisoned.
+	Evictions uint64
+	Entries   int
 }
 
 // HitRatio is Hits / (Hits + Misses).
@@ -198,6 +201,22 @@ func (c *Cache) Plan(key Key, hashes measure.ComponentHashes, spec ImageSpec) (*
 		fn(mi)
 	}
 	return mi, nil
+}
+
+// Evict removes a published entry, reporting whether it was present. The
+// degraded-mode boot policy uses it to discard an entry it has proved
+// poisoned (the entry's prediction disagrees with a launch measured from
+// bytes that still match their registration hashes); the next boot of the
+// key replans from ground truth.
+func (c *Cache) Evict(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.stats.Evictions++
+	return true
 }
 
 // Subscribe registers fn to run for every measured image the cache holds:

@@ -39,6 +39,16 @@ var (
 	// ErrDigestMismatch reports a PSP-measured launch digest that differs
 	// from the measured-image cache's prediction.
 	ErrDigestMismatch = errors.New("fleet: launch digest mismatch")
+	// ErrDeadlineExceeded reports a boot abandoned because its per-request
+	// virtual-time budget (Config.BootDeadline) ran out before an attempt
+	// could finish — including when the remaining budget cannot cover the
+	// next retry backoff.
+	ErrDeadlineExceeded = errors.New("fleet: boot deadline exceeded")
+	// ErrKBSUnreachable marks a key-broker transport failure: the broker
+	// did not answer at all (as opposed to answering with a denial). It is
+	// transient — the retry loop retries it like an injected fault — and
+	// it feeds the circuit breaker's failure count.
+	ErrKBSUnreachable = errors.New("fleet: key broker unreachable")
 )
 
 // Config sizes the orchestrator.
@@ -68,6 +78,35 @@ type Config struct {
 	// (sim.Engine.SetTracer) to get the full per-boot span trees and the
 	// PSP queueing picture in one trace. Nil disables the mirror.
 	Telemetry *telemetry.Registry
+
+	// BootDeadline, when positive, is each request's virtual-time budget
+	// from admission to VM up. A request whose budget is spent — or whose
+	// remaining budget cannot cover the next retry backoff — fails with
+	// ErrDeadlineExceeded instead of holding a worker.
+	BootDeadline time.Duration
+	// Breaker, when Threshold > 0, arms the key-broker circuit breaker:
+	// consecutive broker transport failures open it, and while open every
+	// exchange fails fast with a kbs "unavailable" denial instead of
+	// burning the retry budget against a dead broker.
+	Breaker BreakerPolicy
+	// DegradedFallback enables the degraded-mode boot policy: on a launch
+	// digest mismatch the orchestrator re-hashes the canonical image bytes
+	// against the registration-time component hashes; if they are intact
+	// the measured-image cache entry itself was poisoned, so the entry is
+	// evicted and the boot retried once on the cold path with a fresh
+	// plan. Mismatching image bytes still fail the boot — only provable
+	// cache poisoning is recovered.
+	DegradedFallback bool
+	// InsecureSkipDigestCheck disables the launch-digest comparison
+	// against the measured-image cache's prediction. It exists only so
+	// tests and the chaos harness can model a broken verifier and prove
+	// the tamper oracle reports an ESCAPE; never set it in real
+	// configurations.
+	InsecureSkipDigestCheck bool
+	// OnServed, when set, observes every successfully served boot with
+	// its machine, after attestation. Tests and the chaos oracle use it
+	// to audit the launch digests of boots that actually went live.
+	OnServed func(p *sim.Proc, m *kvm.Machine, tier Tier)
 
 	// KBS, when set, gates every boot behind an attest→key-release
 	// exchange against the key broker: the guest requests a challenge,
@@ -161,6 +200,7 @@ type Orchestrator struct {
 	host *kvm.Host
 	cfg  Config
 	met  *Metrics
+	brk  *breaker
 
 	queues map[string][]*request // per-tenant FIFO
 	ring   []string              // tenant round-robin order
@@ -198,6 +238,7 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 		queues:   make(map[string][]*request),
 		planning: make(map[Key]*sim.Signal),
 	}
+	o.brk = newBreaker(cfg.Breaker, o.met)
 	if cfg.KBS != nil {
 		// Derive the broker's reference-value store from the measured
 		// image cache: every digest the fleet can boot is provisioned as
@@ -358,12 +399,25 @@ func (o *Orchestrator) worker(p *sim.Proc) {
 	}
 }
 
-// serve runs one request to completion: boot (with retry on injected
-// faults), then hand execution off to a spawned process so the worker
-// slot frees up for the next boot.
+// serve runs one request to completion: boot (with retry on transient
+// faults) under the per-request deadline budget, then hand execution off
+// to a spawned process so the worker slot frees up for the next boot.
 func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 	o.met.queueWait(p.Now().Sub(r.admitted))
+	budget := sim.Budget{Start: r.admitted, Limit: o.cfg.BootDeadline}
+	giveUp := func(tier Tier, err error) {
+		o.met.failed(r.Tenant)
+		if r.Done != nil {
+			r.Done(p, tier, err)
+		}
+	}
 	for attempt := 0; ; attempt++ {
+		if budget.Exceeded(p.Now()) {
+			o.met.deadline()
+			giveUp(TierCold, fmt.Errorf("%w: %v budget spent before attempt %d",
+				ErrDeadlineExceeded, o.cfg.BootDeadline, attempt+1))
+			return
+		}
 		attemptStart := p.Now()
 		tier, err := o.bootOnce(p, r)
 		if err == nil {
@@ -381,27 +435,37 @@ func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 			o.finish(p, r)
 			return
 		}
-		if !errors.Is(err, ErrInjected) {
+		if !retryable(err) {
 			if o.firstErr == nil {
 				o.firstErr = err
 			}
-			o.met.failed(r.Tenant)
-			if r.Done != nil {
-				r.Done(p, tier, err)
-			}
+			giveUp(tier, err)
 			return
 		}
 		o.met.fault()
 		if attempt >= o.cfg.Retry.Max {
-			o.met.failed(r.Tenant)
-			if r.Done != nil {
-				r.Done(p, tier, err)
-			}
+			giveUp(tier, err)
 			return
 		}
-		p.Sleep(o.cfg.Retry.delay(attempt))
+		delay := o.cfg.Retry.delay(attempt)
+		if !budget.Unlimited() && delay >= budget.Remaining(p.Now()) {
+			// The backoff alone would blow the deadline: give up now
+			// rather than sleep into certain failure.
+			o.met.deadline()
+			giveUp(tier, fmt.Errorf("%w: %v backoff exceeds remaining budget: %w",
+				ErrDeadlineExceeded, delay, err))
+			return
+		}
+		p.Sleep(delay)
 		o.met.retry()
 	}
+}
+
+// retryable reports whether a boot-attempt error is transient: injected
+// faults and key-broker transport failures are retried with backoff; any
+// other error is deterministic and fails the request immediately.
+func retryable(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrKBSUnreachable)
 }
 
 // finish runs the function body off-worker and records end-to-end latency.
@@ -429,7 +493,7 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 		if err != nil {
 			return TierWarm, err
 		}
-		return TierWarm, o.attestExchange(p, r, m)
+		return TierWarm, o.admit(p, r, TierWarm, m)
 	}
 
 	// Tiers 2/3: cold boot; the cache decides whether the measurement
@@ -466,26 +530,17 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 		return tier, o.injectFault(p)
 	}
 
-	res, err := firecracker.Boot(p, o.host, firecracker.Config{
-		Preset:          img.preset,
-		Artifacts:       img.art,
-		Initrd:          img.spec.Initrd,
-		Cmdline:         img.spec.Cmdline,
-		VCPUs:           img.spec.VCPUs,
-		MemSize:         img.spec.MemSize,
-		Level:           img.spec.Level,
-		Scheme:          o.cfg.Scheme,
-		Hashes:          &mi.Hashes,
-		Plan:            mi.Regions,
-		VerifierSeed:    img.spec.VerifierSeed,
-		AllowKeySharing: o.cfg.EnableWarm,
-	})
+	res, err := o.bootMachine(p, img, mi)
 	if err != nil {
 		return tier, err
 	}
-	if res.LaunchDigest != mi.Digest {
-		return tier, fmt.Errorf("%w for image %q: cache predicts %x, PSP measured %x",
+	if !o.cfg.InsecureSkipDigestCheck && res.LaunchDigest != mi.Digest {
+		mismatch := fmt.Errorf("%w for image %q: cache predicts %x, PSP measured %x",
 			ErrDigestMismatch, img.Name, mi.Digest[:8], res.LaunchDigest[:8])
+		if o.cfg.DegradedFallback {
+			return o.degradedRecover(p, r, img, mismatch)
+		}
+		return tier, mismatch
 	}
 
 	// Seed the warm tier: first successful cold boot donates a snapshot.
@@ -506,7 +561,73 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 			}
 		}
 	}
-	return tier, o.attestExchange(p, r, res.Machine)
+	return tier, o.admit(p, r, tier, res.Machine)
+}
+
+// bootMachine performs one cold launch of an image from its measured
+// artifacts.
+func (o *Orchestrator) bootMachine(p *sim.Proc, img *Image, mi *MeasuredImage) (*firecracker.Result, error) {
+	return firecracker.Boot(p, o.host, firecracker.Config{
+		Preset:          img.preset,
+		Artifacts:       img.art,
+		Initrd:          img.spec.Initrd,
+		Cmdline:         img.spec.Cmdline,
+		VCPUs:           img.spec.VCPUs,
+		MemSize:         img.spec.MemSize,
+		Level:           img.spec.Level,
+		Scheme:          o.cfg.Scheme,
+		Hashes:          &mi.Hashes,
+		Plan:            mi.Regions,
+		VerifierSeed:    img.spec.VerifierSeed,
+		AllowKeySharing: o.cfg.EnableWarm,
+	})
+}
+
+// admit finishes a successful boot: the attest→key-release gate, then the
+// OnServed observation hook for boots that actually went live.
+func (o *Orchestrator) admit(p *sim.Proc, r *request, tier Tier, m *kvm.Machine) error {
+	if err := o.attestExchange(p, r, m); err != nil {
+		return err
+	}
+	if o.cfg.OnServed != nil {
+		o.cfg.OnServed(p, m, tier)
+	}
+	return nil
+}
+
+// degradedRecover handles a launch-digest mismatch under the degraded-mode
+// policy. The mismatch has two possible roots: the measured-image cache
+// entry was poisoned (its prediction lies) or the canonical image bytes
+// were tampered with (the PSP honestly measured hostile bytes). The policy
+// re-hashes the image bytes — charged in virtual time like any measurement
+// pass — and compares against the registration-time component hashes, the
+// tenant's out-of-band ground truth. Only a provably poisoned cache entry
+// is recovered: the entry is evicted, replanned from ground truth, and the
+// boot retried once on the cold path. Tampered image bytes fail the boot
+// with the original mismatch in the chain.
+func (o *Orchestrator) degradedRecover(p *sim.Proc, r *request, img *Image, mismatch error) (Tier, error) {
+	p.Sleep(o.host.Model.Hash(len(img.spec.Kernel)) + o.host.Model.Hash(len(img.spec.Initrd)))
+	fresh := measure.HashComponents(img.spec.Kernel, img.spec.Initrd, img.spec.Cmdline)
+	if fresh != img.hashes {
+		return TierCold, fmt.Errorf("fleet: degraded-mode check: image bytes diverge from registration hashes: %w", mismatch)
+	}
+	o.cfg.Cache.Evict(img.key)
+	o.met.degraded()
+	mi, err := o.cfg.Cache.Plan(img.key, img.hashes, img.spec)
+	if err != nil {
+		return TierCold, err
+	}
+	res, err := o.bootMachine(p, img, mi)
+	if err != nil {
+		return TierCold, err
+	}
+	if res.LaunchDigest != mi.Digest {
+		// Still mismatching against a freshly planned prediction from
+		// intact bytes: the launch path itself is hostile. Surface the
+		// original error; no further recovery.
+		return TierCold, fmt.Errorf("%w (persists after degraded replan)", mismatch)
+	}
+	return TierCold, o.admit(p, r, TierCold, res.Machine)
 }
 
 // warmRestore clones a guest from the image's donor snapshot: shared-key
@@ -580,6 +701,14 @@ func (o *Orchestrator) attestExchange(p *sim.Proc, r *request, m *kvm.Machine) e
 	if o.cfg.Enrollment == nil {
 		return errors.New("fleet: Config.KBS set without Enrollment")
 	}
+	if o.brk != nil && !o.brk.allow(p.Now()) {
+		// Breaker open: refuse the exchange without touching the broker.
+		// The refusal is a kbs "unavailable" denial — deterministic, so
+		// the request fails fast instead of burning its retry budget.
+		o.met.breakerFastFail()
+		o.met.denial(string(kbs.ReasonUnavailable))
+		return fmt.Errorf("fleet: circuit breaker open: %w", kbs.ErrUnavailable)
+	}
 	start := p.Now()
 	m.Timeline.Begin("attest", start)
 	m.Timeline.Record(start, sev.EvAttestStart)
@@ -613,7 +742,7 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 	p.Sleep(o.host.Model.AttestNetwork)
 	ch, err := o.cfg.KBS.Challenge(r.Tenant, p.Now())
 	if err != nil {
-		return o.denied(err, false, site)
+		return o.brokerErr(p, err, false, site)
 	}
 
 	// The guest agent's ephemeral key is generated inside encrypted
@@ -642,7 +771,10 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 	p.Sleep(o.host.Model.AttestNetwork)
 	res, err := o.cfg.KBS.Redeem(req, p.Now())
 	if err != nil {
-		return o.denied(err, tampered, site)
+		return o.brokerErr(p, err, tampered, site)
+	}
+	if o.brk != nil {
+		o.brk.success()
 	}
 	if !res.ChainCached {
 		// The broker walked the full VCEK→ASK→ARK chain; hot boots whose
@@ -654,7 +786,7 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 		// replaying the consumed nonce.
 		p.Sleep(o.host.Model.AttestNetwork)
 		if _, err := o.cfg.KBS.Redeem(req, p.Now()); err != nil {
-			return o.denied(err, true, site)
+			return o.brokerErr(p, err, true, site)
 		}
 		return errors.New("fleet: broker accepted a replayed nonce")
 	}
@@ -662,6 +794,24 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 		return fmt.Errorf("fleet: unwrapping released secret: %w", err)
 	}
 	return nil
+}
+
+// brokerErr classifies a failed broker call. A denial is a verdict from a
+// live broker: it resets the breaker's failure count and is accounted by
+// reason. Anything else is a transport failure: it feeds the breaker and
+// comes back wrapped in ErrKBSUnreachable, which the retry loop treats as
+// transient.
+func (o *Orchestrator) brokerErr(p *sim.Proc, err error, injected bool, site FaultSite) error {
+	if !errors.Is(err, kbs.ErrDenied) {
+		if o.brk != nil {
+			o.brk.failure(p.Now())
+		}
+		return fmt.Errorf("%w: %w", ErrKBSUnreachable, err)
+	}
+	if o.brk != nil {
+		o.brk.success()
+	}
+	return o.denied(err, injected, site)
 }
 
 // denied accounts a broker refusal by reason and classifies it: denials

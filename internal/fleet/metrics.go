@@ -76,6 +76,20 @@ type Metrics struct {
 	// injected and genuine alike.
 	Denials map[string]int
 
+	// DeadlineExceeded counts requests abandoned because their per-boot
+	// virtual-time budget (Config.BootDeadline) ran out.
+	DeadlineExceeded int
+	// Degraded counts launch-digest mismatches the degraded-mode policy
+	// attributed to a poisoned measured-image cache entry and recovered
+	// from on the cold path (Config.DegradedFallback).
+	Degraded int
+	// BreakerFastFails counts exchanges refused outright while the KBS
+	// circuit breaker was open.
+	BreakerFastFails int
+	// BreakerTransitions counts breaker state entries by state name
+	// ("open", "half-open", "closed").
+	BreakerTransitions map[string]int
+
 	// reg, when non-nil, mirrors every field above into the shared
 	// telemetry registry under severifast_fleet_* metric names, so a
 	// fleet run exports the same numbers Report prints. Nil is inert.
@@ -158,6 +172,29 @@ func (m *Metrics) denial(reason string) {
 	m.reg.Counter("severifast_fleet_denials_total", telemetry.A("reason", reason)).Inc()
 }
 
+func (m *Metrics) deadline() {
+	m.DeadlineExceeded++
+	m.reg.Counter("severifast_fleet_deadline_exceeded_total").Inc()
+}
+
+func (m *Metrics) degraded() {
+	m.Degraded++
+	m.reg.Counter("severifast_fleet_degraded_total").Inc()
+}
+
+func (m *Metrics) breakerFastFail() {
+	m.BreakerFastFails++
+	m.reg.Counter("severifast_fleet_breaker_fastfail_total").Inc()
+}
+
+func (m *Metrics) breakerTransition(to string) {
+	if m.BreakerTransitions == nil {
+		m.BreakerTransitions = make(map[string]int)
+	}
+	m.BreakerTransitions[to]++
+	m.reg.Counter("severifast_fleet_breaker_transitions_total", telemetry.A("to", to)).Inc()
+}
+
 // TotalBoots sums completed boots across tiers.
 func (m *Metrics) TotalBoots() int {
 	n := 0
@@ -194,6 +231,22 @@ func (m *Metrics) Report(cache CacheStats, width int) string {
 	if m.Faults > 0 || m.Retries > 0 {
 		fmt.Fprintf(&sb, "  faults: %d injected, %d retries, %d requests failed\n",
 			m.Faults, m.Retries, m.Failed)
+	}
+	if m.DeadlineExceeded > 0 || m.Degraded > 0 {
+		fmt.Fprintf(&sb, "  robustness: %d deadline-exceeded, %d degraded recoveries\n",
+			m.DeadlineExceeded, m.Degraded)
+	}
+	if len(m.BreakerTransitions) > 0 || m.BreakerFastFails > 0 {
+		states := make([]string, 0, len(m.BreakerTransitions))
+		for s := range m.BreakerTransitions {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		fmt.Fprintf(&sb, "  breaker: %d fast-fails, transitions", m.BreakerFastFails)
+		for _, s := range states {
+			fmt.Fprintf(&sb, " %s=%d", s, m.BreakerTransitions[s])
+		}
+		sb.WriteByte('\n')
 	}
 	if m.Attested > 0 {
 		fmt.Fprintf(&sb, "  attest: %d granted, p50 %v p99 %v\n", m.Attested,

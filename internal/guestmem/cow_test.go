@@ -250,3 +250,72 @@ func TestExportPagesMatchesHostRead(t *testing.T) {
 		}
 	}
 }
+
+// TestCoWProvenanceUnderTampering: when the canonical artifact buffer is
+// corrupted after interning (the chaos engine's artifact family), every
+// digest path — the buffer's own memoized digests and the guest-side
+// range digest over aliased pages — must recompute from the tampered
+// bytes. A stale memo here would be a measurement lying about hostile
+// content, the exact failure the boot verifier exists to prevent.
+func TestCoWProvenanceUnderTampering(t *testing.T) {
+	data, buf := internedBuf(33, 4*PageSize)
+	clean := sha256.Sum256(append([]byte(nil), data...))
+	m := New(1 << 20)
+	if err := m.HostWriteAliased(0x4000, data); err != nil {
+		t.Fatal(err)
+	}
+	if d := buf.Digest(); d != clean {
+		t.Fatal("canonical digest differs from plain SHA-256")
+	}
+	if d, err := m.PlainRangeDigest(0x4000, len(data)); err != nil || d != clean {
+		t.Fatalf("aliased range digest %x (err=%v), want clean digest", d[:8], err)
+	}
+
+	// Tamper the canonical bytes. XOR is self-inverting: restore after.
+	const off, mask = 2*PageSize + 123, byte(0x5a)
+	buf.Corrupt(off, mask)
+	defer buf.Corrupt(off, mask)
+	dirty := sha256.Sum256(buf.Bytes())
+	if dirty == clean {
+		t.Fatal("corruption did not change the bytes")
+	}
+	if d := buf.Digest(); d != dirty {
+		t.Fatalf("memoized full digest served stale hash after tamper: %x", d[:8])
+	}
+	if d := buf.RangeDigest(2*PageSize, PageSize); d != sha256.Sum256(buf.Bytes()[2*PageSize:3*PageSize]) {
+		t.Fatal("memoized range digest served stale hash after tamper")
+	}
+	if d, err := m.PlainRangeDigest(0x4000, len(data)); err != nil || d != dirty {
+		t.Fatalf("guest range digest %x (err=%v), want tampered digest %x", d[:8], err, dirty[:8])
+	}
+
+	// A second guest aliasing the same artifact sees the same tampered
+	// bytes — one canonical copy, one truth.
+	m2 := New(1 << 20)
+	if err := m2.HostWriteAliased(0x8000, data); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := m2.PlainRangeDigest(0x8000, len(data)); err != nil || d != dirty {
+		t.Fatalf("second guest digest %x (err=%v), want %x", d[:8], err, dirty[:8])
+	}
+
+	// Breaking the alias in one guest (a host write to an aliased page)
+	// must copy-on-write: that guest diverges, the canonical buffer and
+	// the other guest do not.
+	if err := m.HostWrite(0x4000, []byte{0xff, 0xfe}); err != nil {
+		t.Fatal(err)
+	}
+	private, err := m.PlainRangeDigest(0x4000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private == dirty {
+		t.Fatal("host write did not change the writing guest's view")
+	}
+	if d := buf.Digest(); d != dirty {
+		t.Fatal("alias-breaking write leaked into the canonical buffer")
+	}
+	if d, err := m2.PlainRangeDigest(0x8000, len(data)); err != nil || d != dirty {
+		t.Fatalf("alias-breaking write in one guest leaked into another: %x (err=%v)", d[:8], err)
+	}
+}

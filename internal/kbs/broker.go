@@ -229,7 +229,7 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 
 	r, err := psp.UnmarshalReport(req.Report)
 	if err != nil {
-		return nil, deny(ReasonMalformed, "report: %v", err)
+		return nil, denyCause(ReasonMalformed, err, "report: %v", err)
 	}
 
 	// Policy/TCB/measurement verdict, cached per (chip, TCB, digest,
@@ -267,7 +267,7 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	// chain's VCEK, and the binding of nonce + guest key into the
 	// report's user data.
 	if err := psp.VerifyReport(chain.VCEK.Key(), r); err != nil {
-		return nil, deny(ReasonForged, "%v", err)
+		return nil, denyCause(ReasonForged, err, "%v", err)
 	}
 	if r.ReportData != BindReportData(req.Nonce, req.GuestPub) {
 		return nil, deny(ReasonBinding, "report data does not bind nonce and guest key")

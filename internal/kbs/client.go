@@ -91,15 +91,15 @@ func (c *Client) Redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	}
 	ownerPub, err := hex.DecodeString(resp.OwnerPub)
 	if err != nil {
-		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+		return nil, fmt.Errorf("kbs: server bundle malformed: %w", err)
 	}
 	nonce, err := hex.DecodeString(resp.Nonce)
 	if err != nil {
-		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+		return nil, fmt.Errorf("kbs: server bundle malformed: %w", err)
 	}
 	ct, err := hex.DecodeString(resp.Ciphertext)
 	if err != nil {
-		return nil, fmt.Errorf("kbs: server bundle malformed: %v", err)
+		return nil, fmt.Errorf("kbs: server bundle malformed: %w", err)
 	}
 	return &RedeemResult{
 		Bundle:        &Bundle{OwnerPub: ownerPub, Nonce: nonce, Ciphertext: ct},

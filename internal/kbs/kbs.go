@@ -46,6 +46,13 @@ const (
 	ReasonPolicy      Reason = "policy"      // guest policy/level below the floor
 	ReasonMeasurement Reason = "measurement" // launch digest not in the reference store
 	ReasonBinding     Reason = "binding"     // report data does not bind nonce+guest key
+	// ReasonUnavailable is not a broker verdict: it marks an exchange the
+	// caller refused to attempt because the broker is considered down
+	// (the fleet's circuit breaker fast-failing while open). It lives in
+	// the denial taxonomy so breaker refusals classify as attestation
+	// denials — the boot was refused a key — while staying countable
+	// apart from genuine policy verdicts.
+	ReasonUnavailable Reason = "unavailable"
 )
 
 // ErrDenied matches every broker denial: errors.Is(err, ErrDenied) is
@@ -66,6 +73,7 @@ var (
 	ErrPolicy      = &Denial{Reason: ReasonPolicy}
 	ErrMeasurement = &Denial{Reason: ReasonMeasurement}
 	ErrBinding     = &Denial{Reason: ReasonBinding}
+	ErrUnavailable = &Denial{Reason: ReasonUnavailable}
 )
 
 // Denial is a refusal with its reason. It matches ErrDenied and any
@@ -73,6 +81,11 @@ var (
 type Denial struct {
 	Reason Reason
 	Detail string
+	// Cause, when non-nil, is the underlying error behind the refusal
+	// (e.g. the parse failure behind a malformed denial), reachable
+	// through errors.Is/As via Unwrap. Detail stays the stable wire/log
+	// string; Cause preserves the chain for programmatic classification.
+	Cause error
 }
 
 // Error implements error.
@@ -92,9 +105,19 @@ func (d *Denial) Is(target error) bool {
 	return ok && t.Reason == d.Reason
 }
 
+// Unwrap exposes the underlying cause, if any.
+func (d *Denial) Unwrap() error { return d.Cause }
+
 // deny builds a reasoned denial.
 func deny(r Reason, format string, args ...any) error {
 	return &Denial{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}
+
+// denyCause builds a reasoned denial that keeps err reachable through
+// the error chain, so callers can classify by the root failure (e.g.
+// psp parse sentinels behind a malformed denial) and not only by reason.
+func denyCause(r Reason, err error, format string, args ...any) error {
+	return &Denial{Reason: r, Detail: fmt.Sprintf(format, args...), Cause: err}
 }
 
 // ReasonOf extracts the denial reason from an error chain, or "" if the

@@ -62,7 +62,7 @@ func ParseTCB(s string) (TCB, error) {
 	for i, p := range parts {
 		n, err := strconv.ParseUint(p, 10, 8)
 		if err != nil {
-			return TCB{}, fmt.Errorf("kbs: TCB %q: component %d: %v", s, i, err)
+			return TCB{}, fmt.Errorf("kbs: TCB %q: component %d: %w", s, i, err)
 		}
 		v[i] = uint8(n)
 	}

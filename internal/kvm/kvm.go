@@ -37,6 +37,13 @@ type Host struct {
 	// on the booting proc's track. Install it with eng.SetTracer too so
 	// PSP queueing shows up in the same registry.
 	Telemetry *telemetry.Registry
+
+	// OnNewMachine, when set, observes every machine created on this
+	// host, synchronously from NewMachine before any staging happens.
+	// The chaos engine uses it to find booting guests and schedule
+	// host-side tampering against their memory at chosen virtual times;
+	// production hosts leave it nil.
+	OnNewMachine func(*Machine)
 }
 
 // NewHost assembles a host with a deterministic PSP identity.
@@ -100,6 +107,9 @@ func (h *Host) NewMachine(proc *sim.Proc, size uint64, level sev.Level) *Machine
 		Mem:      guestmem.New(size),
 		Level:    level,
 		Timeline: trace.NewScoped(h.Telemetry, proc.Name(), proc.Now()),
+	}
+	if h.OnNewMachine != nil {
+		h.OnNewMachine(m)
 	}
 	return m
 }

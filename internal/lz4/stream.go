@@ -150,7 +150,7 @@ func (zr *Reader) nextBlock() error {
 	}
 	block := zr.blockBuf[:compLen]
 	if _, err := io.ReadFull(zr.r, block); err != nil {
-		return fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: truncated block: %w", ErrCorrupt, err)
 	}
 	if compLen == rawLen {
 		zr.cur = block // stored

@@ -223,7 +223,7 @@ func SignCert(c *Cert, issuer *ecdsa.PrivateKey, rng io.Reader) error {
 	sum := sha512.Sum384(c.body())
 	r, s, err := ecdsa.Sign(rng, issuer, sum[:])
 	if err != nil {
-		return fmt.Errorf("psp: cert signing: %v", err)
+		return fmt.Errorf("psp: cert signing: %w", err)
 	}
 	c.SigR, c.SigS = r, s
 	return nil

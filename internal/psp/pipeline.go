@@ -90,6 +90,13 @@ func (b *UpdateBatch) Stage(proc *sim.Proc, gpa uint64, data []byte, pt sev.Page
 	if err := b.ctx.mem.HostWrite(gpa, data); err != nil {
 		return err
 	}
+	if b.ctx.psp.PreEncryptTamper != nil {
+		// Same hostile-host window as the sequential path: the scribble
+		// lands after staging and before the flip, so the deferred content
+		// hash (and therefore the digest chain) measures the tampered
+		// bytes, exactly as the real PSP would.
+		b.ctx.psp.PreEncryptTamper(b.ctx.mem, gpa, len(data))
+	}
 	b.ctx.psp.run(proc, b.ctx.psp.model.PreEncrypt(len(data)), "LAUNCH_UPDATE_DATA")
 	if err := b.ctx.mem.LaunchUpdateFlip(gpa, len(data)); err != nil {
 		return err

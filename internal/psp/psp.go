@@ -66,6 +66,21 @@ type PSP struct {
 
 	// CommandCount tallies completed commands, for utilization reporting.
 	CommandCount uint64
+
+	// PreEncryptTamper, when set, runs immediately before each
+	// LAUNCH_UPDATE_DATA measures and encrypts [gpa, gpa+n): a hostile
+	// host scribbling on a launch page in the window between staging and
+	// pre-encryption. Whatever it writes is what the PSP measures — the
+	// digest stays honest about the (tampered) contents, which is exactly
+	// how the real device behaves. Installed only by the chaos engine;
+	// production hosts leave it nil.
+	PreEncryptTamper func(mem *guestmem.Memory, gpa uint64, n int)
+
+	// DigestTamper, when set, transforms the final launch digest at
+	// LAUNCH_FINISH — a hostile-firmware model (e.g. digest truncation)
+	// used by the chaos engine to prove downstream digest comparisons
+	// actually bite. Production hosts leave it nil.
+	DigestTamper func([32]byte) [32]byte
 }
 
 // New creates a PSP with a deterministic identity derived from seed.
@@ -185,6 +200,9 @@ func (ctx *GuestContext) LaunchUpdateData(proc *sim.Proc, gpa uint64, n int, pt 
 	if ctx.state != StateLaunching {
 		return fmt.Errorf("%w: LAUNCH_UPDATE_DATA in state %d", ErrState, ctx.state)
 	}
+	if ctx.psp.PreEncryptTamper != nil {
+		ctx.psp.PreEncryptTamper(ctx.mem, gpa, n)
+	}
 	ctx.psp.run(proc, ctx.psp.model.PreEncrypt(n), "LAUNCH_UPDATE_DATA")
 	if err := ctx.mem.LaunchUpdateFlip(gpa, n); err != nil {
 		return err
@@ -220,6 +238,9 @@ func (ctx *GuestContext) LaunchFinish(proc *sim.Proc) ([32]byte, error) {
 	}
 	ctx.psp.run(proc, ctx.psp.model.PSPLaunchFinish, "LAUNCH_FINISH")
 	ctx.state = StateRunning
+	if ctx.psp.DigestTamper != nil {
+		ctx.digest = ctx.psp.DigestTamper(ctx.digest)
+	}
 	return ctx.digest, nil
 }
 
@@ -343,7 +364,7 @@ func (r *Report) Sign(rng io.Reader, key *ecdsa.PrivateKey) error {
 	sum := sha512.Sum384(r.reportBody())
 	sigR, sigS, err := ecdsa.Sign(rng, key, sum[:])
 	if err != nil {
-		return fmt.Errorf("psp: signing report: %v", err)
+		return fmt.Errorf("psp: signing report: %w", err)
 	}
 	r.SigR, r.SigS = sigR, sigS
 	return nil

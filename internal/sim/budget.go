@@ -1,0 +1,37 @@
+package sim
+
+import "time"
+
+// Budget is a virtual-time allowance anchored at a start instant: work
+// that begins at Start must conclude by Start+Limit. It is the unit the
+// fleet's per-boot deadline is charged in — entirely virtual, so a
+// budgeted run is as reproducible as an unbudgeted one. A non-positive
+// Limit means unlimited.
+type Budget struct {
+	Start Time
+	Limit time.Duration
+}
+
+// Unlimited reports whether the budget never expires.
+func (b Budget) Unlimited() bool { return b.Limit <= 0 }
+
+// Deadline returns the instant the budget expires. Only meaningful when
+// the budget is limited.
+func (b Budget) Deadline() Time { return b.Start.Add(b.Limit) }
+
+// Exceeded reports whether the budget has run out as of now.
+func (b Budget) Exceeded(now Time) bool {
+	return !b.Unlimited() && now >= b.Deadline()
+}
+
+// Remaining returns the virtual time left before the deadline, clamped
+// at zero. Unlimited budgets report the maximum duration.
+func (b Budget) Remaining(now Time) time.Duration {
+	if b.Unlimited() {
+		return time.Duration(1<<63 - 1)
+	}
+	if r := b.Deadline().Sub(now); r > 0 {
+		return r
+	}
+	return 0
+}

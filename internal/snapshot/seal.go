@@ -1,0 +1,46 @@
+package snapshot
+
+// The sealed container wraps the wire format with an integrity trailer,
+// for snapshots that leave the process (warm pools on disk, shipping
+// between hosts). Decode already rejects structurally invalid bytes; the
+// seal additionally rejects structurally *valid* bytes that are not the
+// bytes that were written — a bit flip inside page data would otherwise
+// decode cleanly and restore a silently torn guest. The trailer is a
+// plain SHA-256 over the payload: this is tamper *detection* for the
+// snapshot transport, not authentication — a host that can rewrite the
+// snapshot can rewrite the trailer, and catching that host is the launch
+// measurement's job, not the container's.
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+)
+
+const sealTrailerLen = sha256.Size
+
+// EncodeSealed serializes an image and appends the SHA-256 of the payload
+// as a trailer. DecodeSealed is its inverse.
+func EncodeSealed(img *Image) ([]byte, error) {
+	payload, err := Encode(img)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return append(payload, sum[:]...), nil
+}
+
+// DecodeSealed verifies the integrity trailer and decodes the payload.
+// Any truncation, extension, or bit flip anywhere in the container —
+// header, page data, or trailer — fails with ErrCorrupt.
+func DecodeSealed(b []byte) (*Image, error) {
+	if len(b) < sealTrailerLen {
+		return nil, fmt.Errorf("%w: %d bytes, want at least the %d-byte seal trailer", ErrCorrupt, len(b), sealTrailerLen)
+	}
+	payload, trailer := b[:len(b)-sealTrailerLen], b[len(b)-sealTrailerLen:]
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], trailer) != 1 {
+		return nil, fmt.Errorf("%w: seal digest mismatch", ErrCorrupt)
+	}
+	return Decode(payload)
+}

@@ -32,6 +32,13 @@ var wireMagic = [8]byte{'S', 'V', 'F', 'S', 'N', 'A', 'P', '1'}
 const wireHeaderLen = 8 + 1 + 8 + 4
 const wireRecordLen = 8 + 1 + guestmem.PageSize
 
+// maxWireGuestSize caps the declared guest size a decoder will accept
+// (1 TiB). The size field is attacker-controlled input; without a cap an
+// oversized value silently legitimizes absurd page counts and, on 32-bit
+// hosts, overflows the expected-length arithmetic. No simulated guest
+// approaches it.
+const maxWireGuestSize = 1 << 40
+
 // Encode serializes an image. Captured pages are always whole pages, so
 // every record is fixed-size.
 func Encode(img *Image) ([]byte, error) {
@@ -91,23 +98,29 @@ func Decode(b []byte) (*Image, error) {
 	if size == 0 || size%guestmem.PageSize != 0 {
 		return nil, fmt.Errorf("%w: guest size %d is not a positive page multiple", ErrCorrupt, size)
 	}
-	npages := int(le.Uint32(b[17:]))
-	if uint64(npages) > size/guestmem.PageSize {
+	if size > maxWireGuestSize {
+		return nil, fmt.Errorf("%w: guest size %d exceeds the %d-byte cap", ErrCorrupt, size, uint64(maxWireGuestSize))
+	}
+	npages := uint64(le.Uint32(b[17:]))
+	if npages > size/guestmem.PageSize {
 		return nil, fmt.Errorf("%w: %d pages exceeds guest capacity %d", ErrCorrupt, npages, size/guestmem.PageSize)
 	}
-	if want := wireHeaderLen + npages*wireRecordLen; len(b) != want {
+	// Expected-length arithmetic stays in uint64: npages is bounded by the
+	// size cap above (≤ 2^28), so the product cannot overflow, and a
+	// truncated or padded buffer fails here before any record is touched.
+	if want := uint64(wireHeaderLen) + npages*uint64(wireRecordLen); uint64(len(b)) != want {
 		return nil, fmt.Errorf("%w: %d bytes for %d pages, want %d", ErrCorrupt, len(b), npages, want)
 	}
 
 	img := &Image{
 		Size:    size,
-		Pages:   make(map[uint64][]byte, npages),
-		Private: make(map[uint64]bool, npages),
+		Pages:   make(map[uint64][]byte, int(npages)),
+		Private: make(map[uint64]bool, int(npages)),
 		SEV:     flags&1 != 0,
 	}
 	prev := int64(-1)
-	for i := 0; i < npages; i++ {
-		rec := b[wireHeaderLen+i*wireRecordLen:]
+	for i := uint64(0); i < npages; i++ {
+		rec := b[uint64(wireHeaderLen)+i*uint64(wireRecordLen):]
 		pn := le.Uint64(rec)
 		if pn >= size/guestmem.PageSize {
 			return nil, fmt.Errorf("%w: page %d outside guest of %d pages", ErrCorrupt, pn, size/guestmem.PageSize)

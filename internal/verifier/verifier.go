@@ -180,8 +180,10 @@ func Run(proc *sim.Proc, m *kvm.Machine, in Inputs) (*Handoff, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verifier: reading pre-encrypted page tables: %w", err)
 		}
-		if _, gotC, err := pagetable.Walk(raw, ptCfg, 0x200000); err != nil || gotC != cbit {
-			return nil, fmt.Errorf("verifier: pre-encrypted page tables invalid (err=%v)", err)
+		if _, gotC, err := pagetable.Walk(raw, ptCfg, 0x200000); err != nil {
+			return nil, fmt.Errorf("%w: pre-encrypted page tables invalid: %w", ErrVerification, err)
+		} else if gotC != cbit {
+			return nil, fmt.Errorf("%w: pre-encrypted page tables map C-bit %v, want %v", ErrVerification, gotC, cbit)
 		}
 	} else {
 		table := pagetable.Build(ptCfg)
@@ -200,7 +202,9 @@ func Run(proc *sim.Proc, m *kvm.Machine, in Inputs) (*Handoff, error) {
 		}
 		hashes, err = measure.ParseHashPage(page)
 		if err != nil {
-			return nil, fmt.Errorf("verifier: %w", err)
+			// A hash page that fails to parse is a failed verification
+			// root, not an I/O problem: classify it as such.
+			return nil, fmt.Errorf("%w: %w", ErrVerification, err)
 		}
 	}
 

@@ -39,6 +39,7 @@ import (
 	"github.com/severifast/severifast/internal/bzimage"
 	"github.com/severifast/severifast/internal/costmodel"
 	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/fleet"
 	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
@@ -69,6 +70,9 @@ var (
 	// ErrAttestationDenied reports that a relying party (guest owner or
 	// key broker) refused the attestation evidence.
 	ErrAttestationDenied = errors.New("severifast: attestation denied")
+	// ErrDeadlineExceeded reports a boot abandoned because its
+	// virtual-time budget ran out (the fleet's per-request deadline).
+	ErrDeadlineExceeded = errors.New("severifast: boot deadline exceeded")
 )
 
 // classifyErr wraps internal failures with the facade's sentinels so
@@ -79,13 +83,16 @@ func classifyErr(err error) error {
 		return nil
 	}
 	switch {
-	case errors.Is(err, ErrMeasurementMismatch), errors.Is(err, ErrAttestationDenied):
+	case errors.Is(err, ErrMeasurementMismatch), errors.Is(err, ErrAttestationDenied),
+		errors.Is(err, ErrDeadlineExceeded):
 		return err // already classified
 	case errors.Is(err, verifier.ErrVerification), errors.Is(err, attest.ErrMeasurement),
-		errors.Is(err, kbs.ErrMeasurement):
+		errors.Is(err, kbs.ErrMeasurement), errors.Is(err, fleet.ErrDigestMismatch):
 		return fmt.Errorf("%w: %w", ErrMeasurementMismatch, err)
 	case errors.Is(err, attest.ErrDenied), errors.Is(err, kbs.ErrDenied):
 		return fmt.Errorf("%w: %w", ErrAttestationDenied, err)
+	case errors.Is(err, fleet.ErrDeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
 	case errors.Is(err, kernelgen.ErrUnknownPreset):
 		return fmt.Errorf("%w: %w", ErrUnknownKernel, err)
 	}
