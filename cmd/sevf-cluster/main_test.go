@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// smokeArgs is the CI smoke scenario and the acceptance scenario in one:
+// 8 hosts, 512 Zipf-trace boots, random vs cache-affinity on the
+// identical arrival schedule, machine-readable output.
+var smokeArgs = []string{"-policy", "random,cache-affinity", "-summary-out", "-"}
+
+// TestGoldenSmoke pins the full acceptance run: the summaries must be
+// byte-identical across repeated runs AND match the checked-in golden
+// file, and cache-affinity must show a measurably higher warm/cached-
+// cold hit rate than random placement on the same trace.
+func TestGoldenSmoke(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(smokeArgs, &a); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if err := run(smokeArgs, &b); err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("summaries differ across identical runs — determinism broken")
+	}
+	path := filepath.Join("testdata", "cluster_smoke_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, a.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read golden (run with -update-golden to create): %v", err)
+		}
+		if !bytes.Equal(a.Bytes(), want) {
+			t.Errorf("output diverged from golden %s (re-run with -update-golden if intentional)", path)
+		}
+	}
+
+	var out Output
+	if err := json.Unmarshal(a.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(out.Runs))
+	}
+	random, affinity := out.Runs[0], out.Runs[1]
+	if random.Policy != "random" || affinity.Policy != "cache-affinity" {
+		t.Fatalf("unexpected run order: %s, %s", random.Policy, affinity.Policy)
+	}
+	if random.Served != out.Trace.Arrivals || affinity.Served != out.Trace.Arrivals {
+		t.Errorf("served %d/%d of %d arrivals", random.Served, affinity.Served, out.Trace.Arrivals)
+	}
+	// The acceptance comparison: placement locality must be visible in
+	// the hit rate, with real margin, and in the transfer accounting.
+	if affinity.HitRate < random.HitRate+0.05 {
+		t.Errorf("cache-affinity hit rate %.4f not measurably above random %.4f",
+			affinity.HitRate, random.HitRate)
+	}
+	affBytes := affinity.Replication.PeerBytes + affinity.Replication.OriginBytes
+	randBytes := random.Replication.PeerBytes + random.Replication.OriginBytes
+	if affBytes >= randBytes {
+		t.Errorf("cache-affinity moved %d replicated bytes, random %d — affinity should move less",
+			affBytes, randBytes)
+	}
+}
+
+// TestReportDeterminism covers the human-readable path on a smaller
+// scenario, including the per-tier CDF charts.
+func TestReportDeterminism(t *testing.T) {
+	args := []string{"-hosts", "4", "-arrivals", "64", "-images", "6", "-mean", "10ms",
+		"-trace", "bursty", "-warm", "-width", "40"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("text reports differ across identical runs")
+	}
+	if !strings.Contains(a.String(), "cluster report: policy cache-affinity, 4 hosts") {
+		t.Errorf("report header missing:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "warm pool:") {
+		t.Error("report lacks warm pool accounting")
+	}
+}
+
+// TestKBSGatedRun drives the attestation-gated path end to end: every
+// served boot on every host must have attested.
+func TestKBSGatedRun(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-hosts", "2", "-arrivals", "24", "-images", "2", "-mean", "5ms",
+		"-kbs", "-summary-out", "-"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var out Output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	sum := out.Runs[0]
+	if sum.Served != 24 || sum.Failed != 0 {
+		t.Fatalf("served %d, failed %d, want 24/0", sum.Served, sum.Failed)
+	}
+	attested := 0
+	for _, h := range sum.PerHost {
+		attested += h.Attested
+	}
+	if attested != 24 {
+		t.Errorf("attested %d of 24 gated boots", attested)
+	}
+}
+
+// TestFlagValidation exercises the rejection paths.
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-policy", "teleport"},
+		{"-trace", "sawtooth"},
+		{"-preset", "plan9"},
+		{"-kbs", "-tcb", "3.8"},
+		{"-zipf-s", "0.5"},
+		{"-arrivals", "0"},
+	}
+	for _, args := range bad {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// asidPool models a host's SEV ASID budget: the BIOS-configured count of
+// address-space IDs the memory controller can hold encryption keys for
+// (the SEV-ES limit the original artifact works under). Every live
+// encrypted guest pins one ASID from launch to teardown, so the pool is
+// the cluster scheduler's hard per-host admission gate — a host with no
+// free ASID cannot accept a boot no matter how idle its PSP is.
+//
+// Occupancy is mirrored into the telemetry registry as gauges
+// (severifast_cluster_asid_in_use / _peak, labeled by host) so the
+// scheduler's pressure signal is observable in Prometheus exports.
+type asidPool struct {
+	host  string
+	cap   int
+	inUse int
+	peak  int
+	reg   *telemetry.Registry
+}
+
+func newASIDPool(host string, capacity int, reg *telemetry.Registry) *asidPool {
+	if capacity < 1 {
+		panic("cluster: ASID pool capacity must be >= 1")
+	}
+	return &asidPool{host: host, cap: capacity, reg: reg}
+}
+
+func (a *asidPool) free() int { return a.cap - a.inUse }
+
+func (a *asidPool) acquire() {
+	if a.inUse >= a.cap {
+		panic(fmt.Sprintf("cluster: ASID over-allocation on %s (%d in use, cap %d)", a.host, a.inUse, a.cap))
+	}
+	a.inUse++
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+	a.mirror()
+}
+
+func (a *asidPool) release() {
+	if a.inUse <= 0 {
+		panic("cluster: ASID release on empty pool " + a.host)
+	}
+	a.inUse--
+	a.mirror()
+}
+
+func (a *asidPool) mirror() {
+	h := telemetry.A("host", a.host)
+	a.reg.Gauge("severifast_cluster_asid_in_use", h).Set(float64(a.inUse))
+	a.reg.Gauge("severifast_cluster_asid_peak", h).Max(float64(a.inUse))
+}

@@ -1,0 +1,592 @@
+// Package cluster models a datacenter of simulated SEV hosts inside one
+// virtual-time domain. Each host shard is a full machine — its own PSP
+// command queue (the paper's Fig. 12 serialization point), its own RMP,
+// a BIOS-limited ASID pool, a private measured-image cache, and a fleet
+// orchestrator with a per-host key-broker circuit breaker. Above the
+// shards sits a cluster scheduler: boots arrive open-loop into a bounded
+// admission queue, a dispatcher places each one through a pluggable
+// policy (random, binpack, asid-pressure, cache-affinity), and the
+// chosen host pays for whatever image state it is missing through the
+// artifact replication layer — raw kernel/initrd bytes for a cold boot,
+// or a sealed warm-snapshot blob from the cross-host warm pool.
+//
+// Everything runs on one sim.Engine, so an 8-host, 512-boot run is a
+// single deterministic event sequence: same seed, same placement, same
+// makespan, bit for bit.
+package cluster
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/artifact"
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/snapshot"
+	"github.com/severifast/severifast/internal/telemetry"
+	"github.com/severifast/severifast/internal/trace"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull is cluster-level backpressure: the admission queue is
+	// at capacity and the request is shed.
+	ErrQueueFull = errors.New("cluster: admission queue full")
+	// ErrClosed reports submission after Close.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// Config sizes the cluster.
+type Config struct {
+	// Hosts is the number of simulated machines. Defaults to 1.
+	Hosts int
+	// ASIDsPerHost is each host's SEV ASID budget — the hard cap on
+	// concurrently live encrypted guests (BIOS SEV-ES limit). Defaults
+	// to 8.
+	ASIDsPerHost int
+	// WorkersPerHost is each shard's boot concurrency. Defaults to 2.
+	WorkersPerHost int
+	// QueueDepth bounds the cluster admission queue; submissions beyond
+	// it are shed. 0 means unbounded.
+	QueueDepth int
+	// Policy places boots onto hosts. Defaults to asid-pressure.
+	Policy Policy
+	// EnableWarm turns on warm tiers everywhere and the cross-host warm
+	// pool: the first host to capture an image's snapshot publishes it
+	// sealed, and other hosts adopt it over the fabric instead of cold
+	// booting.
+	EnableWarm bool
+	// Transfer prices cross-host and origin blob movement; the zero
+	// value means artifact.DefaultTransferCost.
+	Transfer artifact.TransferCost
+	// FabricSlots bounds concurrent transfers cluster-wide. Defaults
+	// to 4.
+	FabricSlots int
+	// Seed drives per-host PSP identities and randomized placement.
+	Seed int64
+	// Telemetry, when set, receives cluster gauges (ASID occupancy, PSP
+	// queue depth), replication counters, and every shard's fleet
+	// instruments. Nil disables the mirror.
+	Telemetry *telemetry.Registry
+	// Model is the shared cost model; the zero value means
+	// costmodel.Default.
+	Model costmodel.Model
+
+	// KBS, when set, gates every boot on every host behind the
+	// attest→key-release exchange. Authority must be set too; each host
+	// is enrolled as its own platform ("chip-h<i>") so per-host TCB
+	// state is distinguishable at the broker.
+	KBS       kbs.Service
+	Authority *kbs.Authority
+	// TCB is the firmware level hosts are enrolled at.
+	TCB kbs.TCB
+	// WrapKBS, when set, wraps each host's view of the broker — the
+	// hook tests use to break one host's transport without touching the
+	// others' (per-host circuit breaker isolation).
+	WrapKBS func(host int, svc kbs.Service) kbs.Service
+	// AgentSeed derives guest attestation agent keys; each host offsets
+	// it so agents are unique cluster-wide.
+	AgentSeed int64
+	// Breaker arms each shard's own key-broker circuit breaker. Per
+	// host, deliberately: one degraded host's transport failures must
+	// not open the breaker for the whole cluster.
+	Breaker fleet.BreakerPolicy
+	// Retry bounds per-boot recovery from transient faults.
+	Retry fleet.RetryPolicy
+	// BootDeadline is each boot's virtual-time budget on its shard.
+	BootDeadline time.Duration
+
+	// Launch parameters applied to every image on every host.
+	Level   sev.Level
+	Scheme  firecracker.Scheme
+	VCPUs   int
+	MemSize uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Hosts <= 0 {
+		c.Hosts = 1
+	}
+	if c.ASIDsPerHost <= 0 {
+		c.ASIDsPerHost = 8
+	}
+	if c.WorkersPerHost <= 0 {
+		c.WorkersPerHost = 2
+	}
+	if c.FabricSlots <= 0 {
+		c.FabricSlots = 4
+	}
+	if c.Transfer == (artifact.TransferCost{}) {
+		c.Transfer = artifact.DefaultTransferCost()
+	}
+	if c.Model == (costmodel.Model{}) {
+		c.Model = costmodel.Default()
+	}
+	if c.Policy == nil {
+		c.Policy, _ = PolicyByName("asid-pressure", c.Seed)
+	}
+}
+
+// HostShard is one simulated machine: a kvm.Host (PSP, RMP, cost model)
+// plus the per-host scheduling state the cluster adds on top.
+type HostShard struct {
+	Index int
+	// Name is "h<index>", used as the host label everywhere: process
+	// names, telemetry attributes, the renamed PSP resource track.
+	Name string
+	Host *kvm.Host
+	Orch *fleet.Orchestrator
+	// Cache is this host's private measured-image cache (per-host by
+	// design: measurement amortization is a host-local effect the
+	// cache-affinity policy exploits).
+	Cache *fleet.Cache
+
+	asid  *asidPool
+	boots int
+	tiers [3]int
+}
+
+func (s *HostShard) pspQueue() int { return s.Host.PSP.Resource().QueueLen() }
+
+// Image is a cluster-registered function image: one fleet.Image per
+// host (same content address everywhere) plus the replication-layer
+// identities of its artifacts and, once captured, its sealed warm
+// snapshot.
+type Image struct {
+	Name string
+
+	perHost []*fleet.Image
+	key     fleet.Key
+
+	kernelKey  artifact.BlobKey
+	kernelSize int
+	initrdKey  artifact.BlobKey
+	initrdSize int
+
+	// Warm-pool state, set once by the first host to capture.
+	published  bool
+	sealed     []byte
+	sealedKey  artifact.BlobKey
+	sealedSize int
+	donor      *kvm.Machine
+}
+
+// Request is one boot demand against the cluster.
+type Request struct {
+	Tenant string
+	Image  *Image
+	// Exec is the function service time once the VM is up; the guest
+	// holds its ASID until it finishes.
+	Exec time.Duration
+}
+
+type pending struct {
+	Request
+	admitted sim.Time
+	id       int
+}
+
+// Cluster is the datacenter scheduler. Like the fleet orchestrator, all
+// mutable state is touched only by simulation processes of one engine,
+// so it needs no locking.
+type Cluster struct {
+	eng    *sim.Engine
+	cfg    Config
+	shards []*HostShard
+	repl   *artifact.Replicator
+	images []*Image
+
+	queue    []*pending
+	queueMax int
+	closed   bool
+	prepping int
+	nextID   int
+
+	disp       *sim.Proc
+	dispParked bool
+
+	submitted int
+	shed      int
+	served    int
+	failed    int
+	tierLat   [3]trace.Series
+	allLat    trace.Series
+
+	captures       int
+	adoptions      int
+	publishedBytes int64
+
+	firstErr error
+}
+
+// New assembles the hosts and spawns the dispatcher on eng. Submit work
+// from arrival processes, call Close after the last submission, then
+// eng.Run drains everything.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	if cfg.KBS != nil && cfg.Authority == nil {
+		return nil, errors.New("cluster: Config.KBS set without Authority")
+	}
+	c := &Cluster{
+		eng:  eng,
+		cfg:  cfg,
+		repl: artifact.NewReplicator(cfg.Hosts, cfg.FabricSlots, cfg.Transfer, cfg.Telemetry),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("h%d", i)
+		// Per-host PSP identity: distinct seed, distinct chip.
+		host := kvm.NewHost(eng, cfg.Model, cfg.Seed+int64(i+1))
+		host.Telemetry = cfg.Telemetry
+		host.PSP.Resource().Rename("psp-" + name)
+		cache := fleet.NewCache()
+		fcfg := fleet.Config{
+			Name:         name,
+			Workers:      cfg.WorkersPerHost,
+			EnableWarm:   cfg.EnableWarm,
+			Cache:        cache,
+			Telemetry:    cfg.Telemetry,
+			Breaker:      cfg.Breaker,
+			Retry:        cfg.Retry,
+			BootDeadline: cfg.BootDeadline,
+			AgentSeed:    cfg.AgentSeed + int64(i)<<20,
+			Level:        cfg.Level,
+			Scheme:       cfg.Scheme,
+			VCPUs:        cfg.VCPUs,
+			MemSize:      cfg.MemSize,
+		}
+		if cfg.KBS != nil {
+			svc := cfg.KBS
+			if cfg.WrapKBS != nil {
+				svc = cfg.WrapKBS(i, svc)
+			}
+			fcfg.KBS = svc
+			fcfg.Enrollment = cfg.Authority.Enroll(host.PSP, "chip-"+name, cfg.TCB)
+		}
+		c.shards = append(c.shards, &HostShard{
+			Index: i,
+			Name:  name,
+			Host:  host,
+			Orch:  fleet.New(eng, host, fcfg),
+			Cache: cache,
+			asid:  newASIDPool(name, cfg.ASIDsPerHost, cfg.Telemetry),
+		})
+	}
+	eng.Go("cluster-dispatch", c.dispatch)
+	return c, nil
+}
+
+// Shards exposes the hosts; read their stats after eng.Run returns.
+func (c *Cluster) Shards() []*HostShard { return c.shards }
+
+// Replication exposes the cross-host distribution directory.
+func (c *Cluster) Replication() *artifact.Replicator { return c.repl }
+
+// Err returns the first deterministic boot or provisioning error from
+// any shard. Runs that deliberately degrade a host (fault injection,
+// broker outages) will see that host's error here; consult per-shard
+// Orch.Err for attribution.
+func (c *Cluster) Err() error {
+	if c.firstErr != nil {
+		return c.firstErr
+	}
+	for _, s := range c.shards {
+		if err := s.Orch.Err(); err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// RegisterImage registers the image on every shard (one content
+// address, N host-local views) and announces its artifacts to the
+// replication layer's origin registry. No host holds the bytes locally
+// yet: the first boot on each host pays the pull.
+func (c *Cluster) RegisterImage(name string, preset kernelgen.Preset, initrd []byte) (*Image, error) {
+	img := &Image{Name: name}
+	for _, s := range c.shards {
+		fi, err := s.Orch.RegisterImage(name, preset, initrd)
+		if err != nil {
+			return nil, err
+		}
+		img.perHost = append(img.perHost, fi)
+	}
+	spec := img.perHost[0].Spec()
+	img.key = img.perHost[0].CacheKey()
+	img.kernelKey = artifact.BlobKey(artifact.Intern(spec.Kernel).Digest())
+	img.kernelSize = len(spec.Kernel)
+	c.repl.Register(img.kernelKey, img.kernelSize)
+	if len(spec.Initrd) > 0 {
+		img.initrdKey = artifact.BlobKey(artifact.Intern(spec.Initrd).Digest())
+		img.initrdSize = len(spec.Initrd)
+		c.repl.Register(img.initrdKey, img.initrdSize)
+	}
+	c.images = append(c.images, img)
+	return img, nil
+}
+
+// Submit offers a request from a simulation process. It never blocks:
+// the request is queued (waking the dispatcher) or shed with
+// ErrQueueFull / ErrClosed, and the open-loop arrival source moves on.
+func (c *Cluster) Submit(p *sim.Proc, req Request) error {
+	c.submitted++
+	c.cfg.Telemetry.Counter("severifast_cluster_submitted_total").Inc()
+	if c.closed {
+		c.shedOne()
+		return ErrClosed
+	}
+	if c.cfg.QueueDepth > 0 && len(c.queue) >= c.cfg.QueueDepth {
+		c.shedOne()
+		return ErrQueueFull
+	}
+	c.queue = append(c.queue, &pending{Request: req, admitted: p.Now(), id: c.nextID})
+	c.nextID++
+	if len(c.queue) > c.queueMax {
+		c.queueMax = len(c.queue)
+	}
+	c.cfg.Telemetry.Gauge("severifast_cluster_queue_depth_max").Max(float64(len(c.queue)))
+	c.wakeDispatch()
+	return nil
+}
+
+func (c *Cluster) shedOne() {
+	c.shed++
+	c.cfg.Telemetry.Counter("severifast_cluster_shed_total").Inc()
+}
+
+// Close stops admission; the dispatcher drains the queue and in-flight
+// preps, then closes every shard so eng.Run can terminate.
+func (c *Cluster) Close() {
+	c.closed = true
+	c.wakeDispatch()
+}
+
+// dispatch is the single placement loop: pop a request, pick a host
+// with a free ASID through the policy, pin the ASID, and hand the
+// request to a per-boot prep process. It parks when there is nothing to
+// place — no queued work, or no host with capacity — and is woken by
+// Submit, ASID releases, and prep completions.
+func (c *Cluster) dispatch(p *sim.Proc) {
+	c.disp = p
+	avail := make([]*HostShard, 0, len(c.shards))
+	for {
+		if len(c.queue) == 0 {
+			if c.closed && c.prepping == 0 {
+				for _, s := range c.shards {
+					s.Orch.Close()
+				}
+				c.disp = nil
+				return
+			}
+			c.parkDispatch(p)
+			continue
+		}
+		avail = avail[:0]
+		for _, s := range c.shards {
+			if s.asid.free() > 0 {
+				avail = append(avail, s)
+			}
+		}
+		if len(avail) == 0 {
+			// Every ASID in the datacenter is pinned: wait for a release.
+			c.parkDispatch(p)
+			continue
+		}
+		r := c.queue[0]
+		c.queue = c.queue[1:]
+		s := c.cfg.Policy.Place(c, r.Image, avail)
+		s.asid.acquire()
+		c.samplePSPDepth(s)
+		c.prepping++
+		c.eng.Go(fmt.Sprintf("%s-prep-%d", s.Name, r.id), func(pp *sim.Proc) {
+			c.prep(pp, s, r)
+		})
+	}
+}
+
+func (c *Cluster) parkDispatch(p *sim.Proc) {
+	c.dispParked = true
+	p.Park()
+}
+
+func (c *Cluster) wakeDispatch() {
+	if c.dispParked && c.disp != nil {
+		c.dispParked = false
+		c.eng.Wake(c.disp)
+	}
+}
+
+// samplePSPDepth mirrors the host's instantaneous PSP queue depth into
+// the registry, sampled at every placement and release — the moments
+// the scheduler itself reads the signal.
+func (c *Cluster) samplePSPDepth(s *HostShard) {
+	q := float64(s.pspQueue())
+	h := telemetry.A("host", s.Name)
+	c.cfg.Telemetry.Gauge("severifast_cluster_psp_queue_depth", h).Set(q)
+	c.cfg.Telemetry.Gauge("severifast_cluster_psp_queue_depth_peak", h).Max(q)
+}
+
+// prep runs on its own process so replication transfers for different
+// boots overlap: it stages whatever image state the chosen host is
+// missing, then submits the boot to the shard's orchestrator.
+func (c *Cluster) prep(p *sim.Proc, s *HostShard, r *pending) {
+	simg := r.Image.perHost[s.Index]
+	if err := c.stage(p, s, r.Image, simg); err != nil {
+		c.bootDone(p, s, r, fleet.TierCold, err)
+	} else if err := s.Orch.Submit(p, fleet.Request{
+		Tenant: r.Tenant,
+		Image:  simg,
+		Done: func(dp *sim.Proc, tier fleet.Tier, err error) {
+			c.bootDone(dp, s, r, tier, err)
+		},
+	}); err != nil {
+		c.bootDone(p, s, r, fleet.TierCold, err)
+	}
+	c.prepping--
+	c.wakeDispatch()
+}
+
+// stage makes the image bootable on the host. If the warm pool has a
+// published sealed snapshot and this host's warm tier is cold, the
+// sealed blob is replicated and adopted — integrity-checked through the
+// sealed container — and nothing else is needed: a warm restore never
+// touches the raw kernel bytes. Otherwise the cold path replicates the
+// kernel and initrd.
+func (c *Cluster) stage(p *sim.Proc, s *HostShard, img *Image, simg *fleet.Image) error {
+	if c.cfg.EnableWarm && img.published && !simg.HasWarm() {
+		if _, err := c.repl.Fetch(p, s.Index, img.sealedKey); err != nil {
+			return err
+		}
+		// Seal verification walks the whole container (SHA-256 trailer):
+		// host-side hashing, charged like any measurement pass.
+		p.Sleep(c.cfg.Model.Hash(img.sealedSize))
+		snap, err := snapshot.DecodeSealed(img.sealed)
+		if err != nil {
+			return fmt.Errorf("cluster: adopting warm snapshot on %s: %w", s.Name, err)
+		}
+		if !simg.HasWarm() {
+			simg.AdoptWarm(snap, img.donor)
+			c.adoptions++
+			c.cfg.Telemetry.Counter("severifast_cluster_warm_adoptions_total",
+				telemetry.A("host", s.Name)).Inc()
+		}
+		return nil
+	}
+	if simg.HasWarm() {
+		return nil
+	}
+	if _, err := c.repl.Fetch(p, s.Index, img.kernelKey); err != nil {
+		return err
+	}
+	if img.initrdSize > 0 {
+		if _, err := c.repl.Fetch(p, s.Index, img.initrdKey); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bootDone concludes a boot on the shard worker (or prep) process:
+// account the outcome, publish the warm pool if this host just seeded
+// it, and hold the ASID through function execution on a spawned guest
+// process.
+func (c *Cluster) bootDone(p *sim.Proc, s *HostShard, r *pending, tier fleet.Tier, err error) {
+	if err != nil {
+		c.failed++
+		c.cfg.Telemetry.Counter("severifast_cluster_failed_total",
+			telemetry.A("host", s.Name)).Inc()
+		c.release(s)
+		return
+	}
+	lat := p.Now().Sub(r.admitted)
+	c.served++
+	c.tierLat[tier] = append(c.tierLat[tier], lat)
+	c.allLat = append(c.allLat, lat)
+	s.boots++
+	s.tiers[tier]++
+	c.maybePublishWarm(p, s, r.Image)
+	if r.Exec <= 0 {
+		c.release(s)
+		return
+	}
+	c.eng.Go(fmt.Sprintf("%s-vm-%d", s.Name, r.id), func(ep *sim.Proc) {
+		ep.Sleep(r.Exec)
+		c.samplePSPDepth(s)
+		c.release(s)
+	})
+}
+
+func (c *Cluster) release(s *HostShard) {
+	s.asid.release()
+	c.wakeDispatch()
+}
+
+// maybePublishWarm puts a freshly captured warm snapshot into the
+// cross-host pool: sealed once (the hash pass is charged on the worker
+// that captured it), announced to the replication layer so other hosts
+// fetch it as a peer blob. Only the first capture cluster-wide
+// publishes; the sealed bytes and donor context are shared state under
+// the single-engine discipline.
+func (c *Cluster) maybePublishWarm(p *sim.Proc, s *HostShard, img *Image) {
+	if !c.cfg.EnableWarm || img.published {
+		return
+	}
+	simg := img.perHost[s.Index]
+	if !simg.HasWarm() {
+		return
+	}
+	snap, donor := simg.WarmState()
+	sealed, err := snapshot.EncodeSealed(snap)
+	if err != nil {
+		if c.firstErr == nil {
+			c.firstErr = fmt.Errorf("cluster: sealing warm snapshot of %q: %w", img.Name, err)
+		}
+		return
+	}
+	// Commit the publication before charging the seal pass: the Sleep
+	// below yields the engine, and a second boot concluding meanwhile
+	// must see published set or it would seal and publish again.
+	img.sealed = sealed
+	img.sealedKey = artifact.BlobKey(sha256.Sum256(sealed))
+	img.sealedSize = len(sealed)
+	img.donor = donor
+	img.published = true
+	c.captures++
+	c.publishedBytes += int64(len(sealed))
+	c.repl.Publish(s.Index, img.sealedKey, len(sealed))
+	c.cfg.Telemetry.Counter("severifast_cluster_warm_publishes_total",
+		telemetry.A("host", s.Name)).Inc()
+	p.Sleep(c.cfg.Model.Hash(len(sealed)))
+}
+
+// Play spawns an open-loop arrival process that replays a generated
+// trace against the cluster and closes it after the last submission.
+// Arrival image indices are taken modulo the registered image count.
+func (c *Cluster) Play(arrivals []Arrival, images []*Image, exec time.Duration) error {
+	if len(images) == 0 {
+		return errors.New("cluster: Play needs at least one image")
+	}
+	c.eng.Go("cluster-arrivals", func(p *sim.Proc) {
+		var at time.Duration
+		for _, a := range arrivals {
+			if gap := a.At - at; gap > 0 {
+				p.Sleep(gap)
+			}
+			at = a.At
+			_ = c.Submit(p, Request{
+				Tenant: fmt.Sprintf("t%d", a.Tenant),
+				Image:  images[a.Image%len(images)],
+				Exec:   exec,
+			})
+		}
+		c.Close()
+	})
+	return nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy decides which host serves a boot. Place is called from the
+// dispatcher process with the candidate shards that have a free ASID
+// (never empty) and must return one of them. Policies are consulted in
+// virtual time and must be deterministic for a given cluster seed.
+type Policy interface {
+	Name() string
+	Place(c *Cluster, img *Image, avail []*HostShard) *HostShard
+}
+
+// PolicyByName builds a placement policy. seed drives any randomized
+// tie-breaking (only the random policy uses it today).
+func PolicyByName(name string, seed int64) (Policy, error) {
+	switch name {
+	case "random":
+		return &randomPolicy{rng: rand.New(rand.NewSource(seed ^ 0x9e3779b9))}, nil
+	case "binpack":
+		return binpackPolicy{}, nil
+	case "asid-pressure":
+		return asidPressurePolicy{}, nil
+	case "cache-affinity":
+		return affinityPolicy{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want random, binpack, asid-pressure, or cache-affinity)", name)
+}
+
+// PolicyNames lists the built-in policies in comparison order.
+func PolicyNames() []string {
+	return []string{"random", "binpack", "asid-pressure", "cache-affinity"}
+}
+
+// randomPolicy places uniformly at random among hosts with capacity —
+// the baseline the smarter policies are measured against.
+type randomPolicy struct{ rng *rand.Rand }
+
+func (p *randomPolicy) Name() string { return "random" }
+
+func (p *randomPolicy) Place(_ *Cluster, _ *Image, avail []*HostShard) *HostShard {
+	return avail[p.rng.Intn(len(avail))]
+}
+
+// binpackPolicy consolidates: it fills the busiest host that still has a
+// free ASID before spilling to the next, keeping the rest of the fleet
+// drained (for power-down or maintenance). Ties break to the lowest
+// host index.
+type binpackPolicy struct{}
+
+func (binpackPolicy) Name() string { return "binpack" }
+
+func (binpackPolicy) Place(_ *Cluster, _ *Image, avail []*HostShard) *HostShard {
+	best := avail[0]
+	for _, s := range avail[1:] {
+		if s.asid.inUse > best.asid.inUse {
+			best = s
+		}
+	}
+	return best
+}
+
+// asidPressurePolicy load-balances on the scheduler's two pressure
+// signals: fewest ASIDs in use first, then the shallowest PSP command
+// queue, then the lowest host index. It spreads launches so no single
+// PSP becomes the Fig. 12 serialization point.
+type asidPressurePolicy struct{}
+
+func (asidPressurePolicy) Name() string { return "asid-pressure" }
+
+func (asidPressurePolicy) Place(_ *Cluster, _ *Image, avail []*HostShard) *HostShard {
+	best := avail[0]
+	for _, s := range avail[1:] {
+		if s.asid.inUse < best.asid.inUse ||
+			(s.asid.inUse == best.asid.inUse && s.pspQueue() < best.pspQueue()) {
+			best = s
+		}
+	}
+	return best
+}
+
+// affinityPolicy routes a boot to the host where the image's derived
+// state already lives, scored warmest-first: a seeded warm snapshot
+// beats a locally present sealed warm blob, which beats a populated
+// measured-image cache entry, which beats having the raw kernel/initrd
+// bytes replicated. Ties break to the least-loaded candidate, then the
+// lowest index, so affinity degrades into load-balancing when no host
+// has an advantage.
+type affinityPolicy struct{}
+
+func (affinityPolicy) Name() string { return "cache-affinity" }
+
+func (affinityPolicy) Place(c *Cluster, img *Image, avail []*HostShard) *HostShard {
+	best, bestScore := avail[0], affinityScore(c, img, avail[0])
+	for _, s := range avail[1:] {
+		sc := affinityScore(c, img, s)
+		if sc > bestScore || (sc == bestScore && s.asid.inUse < best.asid.inUse) {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}
+
+func affinityScore(c *Cluster, img *Image, s *HostShard) int {
+	score := 0
+	if img.perHost[s.Index].HasWarm() {
+		score += 8
+	}
+	if img.published && c.repl.Present(s.Index, img.sealedKey) {
+		score += 4
+	}
+	if s.Cache.Contains(img.key) {
+		score += 2
+	}
+	if c.repl.Present(s.Index, img.kernelKey) {
+		score++
+	}
+	if img.initrdSize > 0 && c.repl.Present(s.Index, img.initrdKey) {
+		score++
+	}
+	return score
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// TraceKind selects an open-loop arrival pattern.
+type TraceKind string
+
+// The built-in workload shapes.
+const (
+	// TraceUniform draws Poisson arrivals with uniform image popularity.
+	TraceUniform TraceKind = "uniform"
+	// TraceZipf draws Poisson arrivals with Zipf-distributed image
+	// popularity — the serverless regime where a few hot functions
+	// dominate and the long tail stays cold.
+	TraceZipf TraceKind = "zipf"
+	// TraceDiurnal modulates the Poisson rate sinusoidally over a
+	// period, the day/night load swing.
+	TraceDiurnal TraceKind = "diurnal"
+	// TraceBursty alternates on/off windows, multiplying the rate
+	// during bursts — the thundering-herd arrival shape.
+	TraceBursty TraceKind = "bursty"
+)
+
+// Arrival is one trace entry: a submission instant plus the tenant and
+// image indices it targets. Times are offsets from trace start.
+type Arrival struct {
+	At     time.Duration `json:"at_ns"`
+	Tenant int           `json:"tenant"`
+	Image  int           `json:"image"`
+}
+
+// TraceSpec parameterizes a generator. Same spec (including Seed), same
+// arrival schedule, bit for bit — the golden-file tests pin this.
+type TraceSpec struct {
+	Kind TraceKind `json:"kind"`
+	// Arrivals is the total request count.
+	Arrivals int `json:"arrivals"`
+	// MeanGap is the baseline mean inter-arrival gap.
+	MeanGap time.Duration `json:"mean_gap_ns"`
+	// Images is the image population size.
+	Images int `json:"images"`
+	// Tenants round-robin across arrivals. Defaults to 1.
+	Tenants int `json:"tenants"`
+	// ZipfS is the Zipf skew exponent (> 1; larger is more skewed).
+	// Defaults to 1.1. Used by TraceZipf only.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// DiurnalPeriod and DiurnalAmplitude shape the sinusoidal rate
+	// swing: rate(t) = base * (1 + A*sin(2πt/period)), 0 <= A < 1.
+	DiurnalPeriod    time.Duration `json:"diurnal_period_ns,omitempty"`
+	DiurnalAmplitude float64       `json:"diurnal_amplitude,omitempty"`
+	// BurstFactor multiplies the rate during BurstOn windows, separated
+	// by BurstOff quiet windows.
+	BurstFactor float64       `json:"burst_factor,omitempty"`
+	BurstOn     time.Duration `json:"burst_on_ns,omitempty"`
+	BurstOff    time.Duration `json:"burst_off_ns,omitempty"`
+	// Seed fixes every draw.
+	Seed int64 `json:"seed"`
+}
+
+func (s *TraceSpec) fillDefaults() error {
+	if s.Arrivals <= 0 {
+		return fmt.Errorf("cluster: trace needs Arrivals > 0")
+	}
+	if s.MeanGap <= 0 {
+		return fmt.Errorf("cluster: trace needs MeanGap > 0")
+	}
+	if s.Images <= 0 {
+		return fmt.Errorf("cluster: trace needs Images > 0")
+	}
+	if s.Tenants <= 0 {
+		s.Tenants = 1
+	}
+	switch s.Kind {
+	case TraceUniform:
+	case TraceZipf:
+		if s.ZipfS == 0 {
+			s.ZipfS = 1.1
+		}
+		if s.ZipfS <= 1 {
+			return fmt.Errorf("cluster: zipf skew must be > 1, got %v", s.ZipfS)
+		}
+	case TraceDiurnal:
+		if s.DiurnalPeriod <= 0 {
+			s.DiurnalPeriod = time.Duration(s.Arrivals) * s.MeanGap
+		}
+		if s.DiurnalAmplitude < 0 || s.DiurnalAmplitude >= 1 {
+			return fmt.Errorf("cluster: diurnal amplitude must be in [0,1), got %v", s.DiurnalAmplitude)
+		}
+		if s.DiurnalAmplitude == 0 {
+			s.DiurnalAmplitude = 0.8
+		}
+	case TraceBursty:
+		if s.BurstFactor == 0 {
+			s.BurstFactor = 8
+		}
+		if s.BurstFactor < 1 {
+			return fmt.Errorf("cluster: burst factor must be >= 1, got %v", s.BurstFactor)
+		}
+		if s.BurstOn <= 0 {
+			s.BurstOn = 10 * s.MeanGap
+		}
+		if s.BurstOff <= 0 {
+			s.BurstOff = 40 * s.MeanGap
+		}
+	default:
+		return fmt.Errorf("cluster: unknown trace kind %q (want uniform, zipf, diurnal, or bursty)", s.Kind)
+	}
+	return nil
+}
+
+// Generate draws the arrival schedule. The spec is defaulted in place
+// so the caller sees the effective parameters (for reporting).
+func (s *TraceSpec) Generate() ([]Arrival, error) {
+	if err := s.fillDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var zipf *rand.Zipf
+	if s.Kind == TraceZipf {
+		zipf = rand.NewZipf(rng, s.ZipfS, 1, uint64(s.Images-1))
+	}
+	out := make([]Arrival, 0, s.Arrivals)
+	var t time.Duration
+	for i := 0; i < s.Arrivals; i++ {
+		// Exponential gap at the instantaneous rate: gap = Exp(mean/f(t))
+		// where f is the kind's rate modulation at the previous arrival.
+		f := 1.0
+		switch s.Kind {
+		case TraceDiurnal:
+			f = 1 + s.DiurnalAmplitude*math.Sin(2*math.Pi*float64(t)/float64(s.DiurnalPeriod))
+		case TraceBursty:
+			cycle := s.BurstOn + s.BurstOff
+			if t%cycle < s.BurstOn {
+				f = s.BurstFactor
+			}
+		}
+		t += time.Duration(-math.Log(1-rng.Float64()) * float64(s.MeanGap) / f)
+		img := 0
+		switch {
+		case zipf != nil:
+			img = int(zipf.Uint64())
+		case s.Images > 1:
+			img = rng.Intn(s.Images)
+		}
+		out = append(out, Arrival{At: t, Tenant: i % s.Tenants, Image: img})
+	}
+	return out, nil
+}

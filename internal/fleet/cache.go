@@ -152,6 +152,16 @@ func (c *Cache) Get(key Key) *MeasuredImage {
 	return nil
 }
 
+// Contains reports whether key is published, without counting a hit or
+// miss. Placement policies peek at foreign hosts' caches through it; only
+// boots that actually consume an entry should move the hit/miss counters.
+func (c *Cache) Contains(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Plan computes the measurement artifacts for a key and publishes them.
 // If another shard published the key first, its entry wins and is
 // returned, so all boots of one image share one region list.

@@ -53,6 +53,12 @@ var (
 
 // Config sizes the orchestrator.
 type Config struct {
+	// Name prefixes the orchestrator's simulation process names
+	// ("<name>-worker-3", "<name>-exec-17"). Defaults to "fleet". A
+	// cluster running one orchestrator per host gives each shard a
+	// distinct name so telemetry tracks stay per-host instead of
+	// interleaving on shared track names.
+	Name string
 	// Workers is the boot concurrency (pool size). Defaults to 1.
 	Workers int
 	// QueueDepth bounds queued (not yet dispatched) requests across all
@@ -130,6 +136,9 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
+	if c.Name == "" {
+		c.Name = "fleet"
+	}
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
@@ -170,6 +179,39 @@ type Image struct {
 
 // CacheKey returns the image's content address in the measured-image cache.
 func (img *Image) CacheKey() Key { return img.key }
+
+// Spec returns the image's launch spec. The Kernel/Initrd slices are the
+// canonical interned buffers; treat them as read-only.
+func (img *Image) Spec() ImageSpec { return img.spec }
+
+// HasWarm reports whether the image's warm tier is seeded: either this
+// orchestrator captured a snapshot after a cold boot, or one was adopted
+// from another host via AdoptWarm.
+func (img *Image) HasWarm() bool { return img.snap != nil }
+
+// WarmState returns the image's warm-tier snapshot and the donor machine
+// whose launch context holds the shared memory-encryption key, or nils if
+// the warm tier is not seeded. A cluster publishing the warm pool across
+// hosts seals the snapshot (snapshot.EncodeSealed) before it leaves the
+// host.
+func (img *Image) WarmState() (*snapshot.Image, *kvm.Machine) {
+	return img.snap, img.donor
+}
+
+// AdoptWarm seeds the image's warm tier from another host's capture: snap
+// is the (transferred, seal-verified) snapshot and donor the machine whose
+// launch context carries the shared key. Adoption models the sealed-channel
+// key transport of a cross-host warm pool; subsequent boots of the image on
+// this orchestrator restore warm instead of cold-booting. A warm tier that
+// is already seeded is left untouched. Callers gating boots on a KBS must
+// ensure the warm-restore reference digest was provisioned — the donor
+// host's capture does this when broker and cluster share a reference store.
+func (img *Image) AdoptWarm(snap *snapshot.Image, donor *kvm.Machine) {
+	if snap == nil || donor == nil || img.snap != nil {
+		return
+	}
+	img.snap, img.donor = snap, donor
+}
 
 // Request is one boot demand.
 type Request struct {
@@ -254,7 +296,7 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 		})
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		eng.Go(fmt.Sprintf("fleet-worker-%d", i), o.worker)
+		eng.Go(fmt.Sprintf("%s-worker-%d", o.cfg.Name, i), o.worker)
 	}
 	return o
 }
@@ -475,7 +517,7 @@ func (o *Orchestrator) finish(p *sim.Proc, r *request) {
 		return
 	}
 	admitted := r.admitted
-	o.eng.Go(fmt.Sprintf("fleet-exec-%d", r.id), func(ep *sim.Proc) {
+	o.eng.Go(fmt.Sprintf("%s-exec-%d", o.cfg.Name, r.id), func(ep *sim.Proc) {
 		ep.Sleep(r.Exec)
 		o.met.endToEnd(ep.Now().Sub(admitted))
 	})

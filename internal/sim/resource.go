@@ -31,6 +31,20 @@ func NewResource(name string, capacity int) *Resource {
 // Name returns the resource name.
 func (r *Resource) Name() string { return r.name }
 
+// Rename changes the resource's name. Multi-host models rename otherwise
+// identical resources ("psp" → "psp-h3") so tracer output and telemetry
+// tracks stay per-instance. Rename before the first Acquire; renaming a
+// resource with recorded history splits its trace across two tracks.
+func (r *Resource) Rename(name string) { r.name = name }
+
+// QueueLen returns the number of processes currently waiting for a slot —
+// an instantaneous congestion signal (contrast MaxQueue, the high-water
+// mark). Cluster schedulers read it as a per-host pressure input.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// InUse returns the number of slots currently occupied.
+func (r *Resource) InUse() int { return r.inUse }
+
 // Served returns the number of completed service periods.
 func (r *Resource) Served() uint64 { return r.served }
 
