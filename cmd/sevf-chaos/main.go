@@ -1,7 +1,8 @@
 // sevf-chaos runs deterministic adversary campaigns against the boot
 // path: guest-memory scribbles, artifact and cache poisoning, PSP launch
-// tampering, snapshot corruption, and key-broker evidence faults, each
-// classified by the invariant oracle as caught, harmless, or ESCAPE.
+// tampering, snapshot corruption, key-broker evidence faults, and
+// policy-store subversion (forged, rescoped, and revoked trust claims),
+// each classified by the invariant oracle as caught, harmless, or ESCAPE.
 //
 //	sevf-chaos                                   # all families, seed 1
 //	sevf-chaos -seed 42 -boots 4 -trials 2       # bigger fixed-seed campaign

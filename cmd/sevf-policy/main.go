@@ -1,0 +1,202 @@
+// sevf-policy lints and evaluates policy files for the trust-domain
+// engine that gates fleet and cluster admissions. A policy file declares
+// signers, trust domains, signed claims, canned evidence packages, and
+// mutations (revocations, rotations) pinned to virtual instants; the
+// tool replays the evidence through the engine and emits the decision
+// trace — every rule's outcome, the delegation chain behind every
+// contributing claim, and per-rule denial counters.
+//
+//	sevf-policy -policy policy.json               # evaluate, human-readable
+//	sevf-policy -policy policy.json -lint         # lint only, fail on findings
+//	sevf-policy -policy policy.json -trace-out -  # decision-trace JSON on stdout
+//
+// The trace is deterministic: same file, same bytes, run after run.
+// Signature material never reaches any output, so the trace is safe to
+// pin as a golden file (the CI policy-smoke job diffs it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/severifast/severifast/internal/policy"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// Decision is one evidence package's evaluation in the trace.
+type Decision struct {
+	Evidence string `json:"evidence"`
+	NowMS    int64  `json:"now_ms"`
+	// Certificate carries the decision, the full rule trace, and the
+	// delegation chains. It never contains signature bytes.
+	Certificate *policy.Certificate `json:"certificate"`
+	Denial      *DenialOut          `json:"denial,omitempty"`
+}
+
+// DenialOut is the refusal, flattened for the trace.
+type DenialOut struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Output is the machine-readable decision trace. Same policy file, same
+// bytes — the CI smoke job diffs this against a checked-in golden.
+type Output struct {
+	Tool      string     `json:"tool"`
+	Lint      []string   `json:"lint,omitempty"`
+	Decisions []Decision `json:"decisions"`
+	// Denial counters from the store, keyed "rule/reason".
+	Evals         int            `json:"evals"`
+	Grants        int            `json:"grants"`
+	Denials       int            `json:"denials"`
+	DenialsByRule map[string]int `json:"denials_by_rule"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sevf-policy", flag.ContinueOnError)
+	var (
+		path     = fs.String("policy", "", "policy file to load (required)")
+		lintOnly = fs.Bool("lint", false, "lint the file and exit; findings are fatal")
+		traceOut = fs.String("trace-out", "", "write the decision-trace JSON here ('-' = stdout, suppresses the text report)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("sevf-policy: -policy is required")
+	}
+
+	f, err := policy.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	findings := f.Lint()
+	if *lintOnly {
+		for _, finding := range findings {
+			fmt.Fprintln(out, finding)
+		}
+		if len(findings) > 0 {
+			return fmt.Errorf("sevf-policy: %d lint finding(s)", len(findings))
+		}
+		fmt.Fprintln(out, "lint: clean")
+		return nil
+	}
+
+	store, err := f.BuildStore()
+	if err != nil {
+		return err
+	}
+	eng := store.Engine()
+
+	// Mutations fire in virtual-instant order: before each evidence
+	// package, every not-yet-applied mutation whose instant has been
+	// reached is applied. Time only moves forward — a mutation, once
+	// applied, stays applied even if a later evidence entry asserts an
+	// earlier now.
+	muts := make([]policy.FileMutation, len(f.Mutations))
+	copy(muts, f.Mutations)
+	sort.SliceStable(muts, func(i, j int) bool { return muts[i].AtMS < muts[j].AtMS })
+	nextMut := 0
+
+	output := Output{Tool: "sevf-policy", Lint: findings}
+	for i := range f.Evidence {
+		e := &f.Evidence[i]
+		for nextMut < len(muts) && muts[nextMut].AtMS <= e.NowMS {
+			if err := muts[nextMut].Apply(store); err != nil {
+				return fmt.Errorf("mutation at %dms: %w", muts[nextMut].AtMS, err)
+			}
+			nextMut++
+		}
+		ev, err := e.Package()
+		if err != nil {
+			return err
+		}
+		cert, evalErr := eng.Evaluate(ev, msToTime(e.NowMS))
+		dec := Decision{Evidence: e.Name, NowMS: e.NowMS, Certificate: cert}
+		if d := policy.DenialOf(evalErr); d != nil {
+			dec.Denial = &DenialOut{Rule: d.Rule, Reason: string(d.Reason), Detail: d.Detail}
+		}
+		output.Decisions = append(output.Decisions, dec)
+	}
+	st := store.Stats()
+	output.Evals, output.Grants, output.Denials = st.Evals, st.Grants, st.Denials
+	output.DenialsByRule = st.DenialsByRule
+
+	if *traceOut != "" {
+		blob, err := json.MarshalIndent(output, "", " ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if *traceOut == "-" {
+			_, err = out.Write(blob)
+			return err
+		}
+		if err := os.WriteFile(*traceOut, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "decision trace written to %s\n", *traceOut)
+		return nil
+	}
+
+	report(out, f, &output)
+	return nil
+}
+
+// report renders the trace for a terminal.
+func report(out io.Writer, f *policy.File, o *Output) {
+	fmt.Fprintf(out, "policy: %d signer(s), %d domain(s), %d claim(s), %d mutation(s)\n",
+		len(f.Signers), len(f.Domains), len(f.Claims), len(f.Mutations))
+	if len(o.Lint) > 0 {
+		fmt.Fprintf(out, "lint: %d finding(s)\n", len(o.Lint))
+		for _, finding := range o.Lint {
+			fmt.Fprintf(out, "  %s\n", finding)
+		}
+	} else {
+		fmt.Fprintln(out, "lint: clean")
+	}
+	for _, d := range o.Decisions {
+		if d.Denial != nil {
+			fmt.Fprintf(out, "  %-24s @%6dms  deny   %s/%s: %s\n",
+				d.Evidence, d.NowMS, d.Denial.Rule, d.Denial.Reason, d.Denial.Detail)
+			continue
+		}
+		fmt.Fprintf(out, "  %-24s @%6dms  allow", d.Evidence, d.NowMS)
+		for _, r := range d.Certificate.Rules {
+			if r.Outcome == "pass" && len(r.Chain) > 0 {
+				fmt.Fprintf(out, "  %s via %v", r.Rule, r.Chain)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "evaluations: %d (%d granted, %d denied)\n", o.Evals, o.Grants, o.Denials)
+	if len(o.DenialsByRule) > 0 {
+		keys := make([]string, 0, len(o.DenialsByRule))
+		for k := range o.DenialsByRule {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(out, "denials by rule:")
+		for _, k := range keys {
+			fmt.Fprintf(out, " %s=%d", k, o.DenialsByRule[k])
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func msToTime(ms int64) sim.Time {
+	return sim.Time(time.Duration(ms) * time.Millisecond)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceMatchesGolden pins the decision trace byte for byte: the
+// same check the CI policy-smoke job runs. Rebuild the golden with
+//
+//	go run ./cmd/sevf-policy -policy cmd/sevf-policy/testdata/policy.json -trace-out - \
+//	  > cmd/sevf-policy/testdata/decision_trace_golden.json
+func TestTraceMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "testdata/policy.json", "-trace-out", "-"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want, err := os.ReadFile("testdata/decision_trace_golden.json")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("decision trace diverged from testdata/decision_trace_golden.json\ngot:\n%s", buf.String())
+	}
+}
+
+// TestTraceDeterministic runs the evaluation twice from scratch; the
+// traces must be byte-identical (signatures are drawn from per-signer
+// rngs and never reach the output).
+func TestTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-policy", "testdata/policy.json", "-trace-out", "-"}, &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run([]string{"-policy", "testdata/policy.json", "-trace-out", "-"}, &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two runs over the same policy file produced different traces")
+	}
+}
+
+// TestHumanReport sanity-checks the terminal rendering: the revocation
+// boundary instant admits, the instant after refuses.
+func TestHumanReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "testdata/policy.json"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"lint: clean",
+		"boot-at-revocation-instant @   500ms  allow",
+		"boot-after-revocation    @   501ms  deny   measurement/claim-expired",
+		"measurement via [operator-root build-service]",
+		"denials by rule:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintMode exercises -lint on a clean file and on a broken one.
+func TestLintMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "testdata/policy.json", "-lint"}, &buf); err != nil {
+		t.Fatalf("lint on clean file: %v", err)
+	}
+	if !strings.Contains(buf.String(), "lint: clean") {
+		t.Errorf("clean lint output: %q", buf.String())
+	}
+
+	dirty := filepath.Join(t.TempDir(), "dirty.json")
+	blob := `{
+  "signers": [{"id": "root", "seed": 1}],
+  "domains": [{"name": "*", "anchors": ["root"]}],
+  "claims": [
+    {"id": "c1", "kind": "nonsense", "scope": "*", "subject": "*", "issuer": "root"},
+    {"id": "c2", "kind": "measurement", "scope": "*", "subject": "nothex", "issuer": "ghost"}
+  ]
+}`
+	if err := os.WriteFile(dirty, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err := run([]string{"-policy", dirty, "-lint"}, &buf)
+	if err == nil {
+		t.Fatal("lint accepted a file with unknown kinds and undeclared issuers")
+	}
+	for _, want := range []string{"unknown kind", "not a declared signer", "not hex"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("lint findings missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Package chaos is a deterministic, seed-driven adversary engine for the
 // whole boot path. It runs mutation campaigns — guest-memory scribbles,
 // canonical-artifact and measured-image-cache poisoning, pre-encryption
-// launch-page tampering, PSP digest truncation, snapshot corruption, and
-// key-broker evidence corruption/delay/duplication/outage — and an
-// invariant oracle classifies every trial:
+// launch-page tampering, PSP digest truncation, snapshot corruption,
+// key-broker evidence corruption/delay/duplication/outage, and
+// policy-store subversion (forged, rescoped, expired, and revoked trust
+// claims) — and an invariant oracle classifies every trial:
 //
 //   - Caught: the boot failed with the error class the mutation is
 //     expected to provoke (launch-digest mismatch, verifier abort, broker
@@ -48,7 +49,7 @@ const (
 )
 
 // Families, in campaign order.
-var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "kbs"}
+var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "kbs", "policy"}
 
 // Config sizes a campaign.
 type Config struct {

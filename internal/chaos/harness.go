@@ -109,6 +109,9 @@ func newHarness(initrd []byte, weakened bool) (*Harness, error) {
 	h.Service = h.Broker
 	h.Cfg.Enrollment = enr
 	h.Cfg.AgentSeed = 1000
+	// Fleet admission shares the broker's policy engine, so a store-level
+	// tamper (the policy mutation family) is visible to every gate.
+	h.Cfg.Admission = h.Broker.PolicyEngine()
 	return h, nil
 }
 

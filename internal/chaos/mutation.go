@@ -3,6 +3,7 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/mptable"
+	"github.com/severifast/severifast/internal/policy"
 	"github.com/severifast/severifast/internal/sim"
 	"github.com/severifast/severifast/internal/verifier"
 )
@@ -149,6 +151,24 @@ func catalog(cfg Config) []Mutation {
 			// wide enough to usually straddle at least one exchange.
 			from: time.Duration(int64(50*time.Millisecond) + r.Int63n(int64(300*time.Millisecond))),
 			span: time.Duration(int64(150*time.Millisecond) + r.Int63n(int64(300*time.Millisecond))),
+		})
+	}
+	if want["policy"] {
+		r := draw()
+		muts = append(muts, &polForgedRef{bit: r.Intn(256)})
+		draw()
+		muts = append(muts, &polRescope{})
+		// Revocation delays stay under the ~250ms ceiling the guestmem
+		// family established: a scheduled event past the run's natural end
+		// would extend the virtual end time and fail the fingerprint match
+		// on an otherwise harmless trial.
+		r = draw()
+		muts = append(muts, &polExpireRefs{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
+		})
+		r = draw()
+		muts = append(muts, &polRevokeFloor{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
 		})
 	}
 	return muts
@@ -413,9 +433,11 @@ func (px *kbsProxy) Redeem(req kbs.RedeemRequest, now sim.Time) (*kbs.RedeemResu
 	return px.inner.Redeem(req, now)
 }
 
-func (px *kbsProxy) Provision(digest [32]byte, label string) error { return px.inner.Provision(digest, label) }
-func (px *kbsProxy) Revoke(chipID string) error                    { return px.inner.Revoke(chipID) }
-func (px *kbsProxy) Stats() (kbs.Stats, error)                     { return px.inner.Stats() }
+func (px *kbsProxy) Provision(digest [32]byte, label string) error {
+	return px.inner.Provision(digest, label)
+}
+func (px *kbsProxy) Revoke(chipID string) error { return px.inner.Revoke(chipID) }
+func (px *kbsProxy) Stats() (kbs.Stats, error)  { return px.inner.Stats() }
 
 // kbsCorrupt flips one byte of the report or chain on the drawn redeem.
 // The broker's per-exchange signature checks must refuse with a denial.
@@ -583,4 +605,109 @@ func (m *kbsOutage) Verdict(res, clean *RunResult) (Outcome, string, bool) {
 	}
 	return Caught, fmt.Sprintf("outage absorbed: %d retries, %d breaker fast-fails, transitions %v, all digests honest",
 		res.Metrics.Retries, res.Metrics.BreakerFastFails, res.Metrics.BreakerTransitions), true
+}
+
+// ---------------------------------------------------------------------------
+// policy family: subverting the trust-claim store every admission gate
+// consults. The harness points fleet admission at the broker's policy
+// engine, so a store-level tamper must surface at the policy layer (a
+// fleet admission refusal wrapping policy.ErrDenied) or at the broker
+// (a kbs denial mapped from the engine's verdict) — never as a served
+// boot.
+
+// polForgedRef intercepts the store's write path and flips one drawn bit
+// of the signature on every measurement claim as the fleet provisions it.
+// The store files the forgery verbatim (an adversary on the write path
+// skips the honest writer's checks), so the engine's per-claim signature
+// verification is the last line: every redemption consulting the claim
+// must refuse it as forged.
+type polForgedRef struct {
+	bit int
+}
+
+func (m *polForgedRef) Family() string { return "policy" }
+func (m *polForgedRef) Name() string   { return "forged-ref-claim" }
+func (m *polForgedRef) Params() string { return fmt.Sprintf("bit=%d", m.bit) }
+func (m *polForgedRef) Expected() []error {
+	return []error{kbs.ErrMeasurement, kbs.ErrDenied}
+}
+
+func (m *polForgedRef) Arm(h *Harness) {
+	h.Broker.Policy().Intercept(func(c policy.Claim) policy.Claim {
+		if c.Kind != policy.KindMeasurement || c.SigR == nil || c.SigR.BitLen() == 0 {
+			return c
+		}
+		bit := m.bit % c.SigR.BitLen()
+		c.SigR = new(big.Int).SetBit(c.SigR, bit, 1-c.SigR.Bit(bit))
+		return c
+	})
+}
+
+// polRescope intercepts the write path and re-scopes every measurement
+// claim to a tenant that never boots. The claim files under the foreign
+// tenant's domain — invisible to the booting tenant's evaluation — so
+// every redemption must refuse the digest as untrusted. (The rescope also
+// breaks the signature, but the scope isolation alone is the defense
+// under test: claims filed under one tenant never speak for another.)
+type polRescope struct{}
+
+func (m *polRescope) Family() string { return "policy" }
+func (m *polRescope) Name() string   { return "rescoped-ref-claim" }
+func (m *polRescope) Params() string { return "scope=tenant-evil" }
+func (m *polRescope) Expected() []error {
+	return []error{kbs.ErrMeasurement, kbs.ErrDenied}
+}
+
+func (m *polRescope) Arm(h *Harness) {
+	h.Broker.Policy().Intercept(func(c policy.Claim) policy.Claim {
+		if c.Kind == policy.KindMeasurement {
+			c.Scope = "tenant-evil"
+		}
+		return c
+	})
+}
+
+// polExpireRefs is a measurement revocation storm at a drawn virtual
+// instant: one RevokeKind call distrusts every reference value at once.
+// Exchanges strictly after the instant must be refused (the broker's
+// verdict cache is version-keyed, so outstanding grants die with the
+// store bump); a storm landing after the last exchange must change
+// nothing — Harmless, byte for byte.
+type polExpireRefs struct {
+	delay time.Duration
+}
+
+func (m *polExpireRefs) Family() string { return "policy" }
+func (m *polExpireRefs) Name() string   { return "revoke-refs-storm" }
+func (m *polExpireRefs) Params() string { return fmt.Sprintf("at=%s", m.delay) }
+func (m *polExpireRefs) Expected() []error {
+	return []error{kbs.ErrMeasurement, kbs.ErrDenied}
+}
+
+func (m *polExpireRefs) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		h.Broker.Policy().RevokeKind("*", policy.KindMeasurement, h.Eng.Now())
+	})
+}
+
+// polRevokeFloor revokes the broker's minimum-TCB platform claim at a
+// drawn instant, leaving no platform claim in force. Both gates consult
+// the same store: boots admitted after the instant are refused at the
+// fleet's serve-time policy check (wrapping policy.ErrDenied), and boots
+// already past it are refused at the broker's exchange (a kbs denial).
+type polRevokeFloor struct {
+	delay time.Duration
+}
+
+func (m *polRevokeFloor) Family() string { return "policy" }
+func (m *polRevokeFloor) Name() string   { return "revoke-platform-floor" }
+func (m *polRevokeFloor) Params() string { return fmt.Sprintf("at=%s", m.delay) }
+func (m *polRevokeFloor) Expected() []error {
+	return []error{policy.ErrDenied, kbs.ErrDenied}
+}
+
+func (m *polRevokeFloor) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		h.Broker.Policy().RevokeClaim("*", kbs.MinTCBClaimID, h.Eng.Now())
+	})
 }

@@ -28,6 +28,7 @@ import (
 	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/policy"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
 	"github.com/severifast/severifast/internal/snapshot"
@@ -79,6 +80,16 @@ type Config struct {
 	// Model is the shared cost model; the zero value means
 	// costmodel.Default.
 	Model costmodel.Model
+
+	// Admission is the policy engine the dispatcher consults before a
+	// placed boot spends any staging or boot work, and which every
+	// shard's fleet re-checks at serve time. Nil defaults to
+	// policy.Permissive(). Point it at the broker's engine
+	// (kbs.Broker.PolicyEngine) so cluster dispatch, fleet admission,
+	// and key release all answer to the same trust domains — a
+	// revocation filed at a virtual instant then flips all three gates
+	// at once.
+	Admission *policy.Engine
 
 	// KBS, when set, gates every boot on every host behind the
 	// attest→key-release exchange. Authority must be set too; each host
@@ -132,6 +143,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Policy == nil {
 		c.Policy, _ = PolicyByName("asid-pressure", c.Seed)
+	}
+	if c.Admission == nil {
+		c.Admission = policy.Permissive()
 	}
 }
 
@@ -223,6 +237,7 @@ type Cluster struct {
 	captures       int
 	adoptions      int
 	publishedBytes int64
+	policyDenied   int
 
 	firstErr error
 }
@@ -256,6 +271,7 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 			Breaker:      cfg.Breaker,
 			Retry:        cfg.Retry,
 			BootDeadline: cfg.BootDeadline,
+			Admission:    cfg.Admission,
 			AgentSeed:    cfg.AgentSeed + int64(i)<<20,
 			Level:        cfg.Level,
 			Scheme:       cfg.Scheme,
@@ -438,7 +454,9 @@ func (c *Cluster) samplePSPDepth(s *HostShard) {
 // missing, then submits the boot to the shard's orchestrator.
 func (c *Cluster) prep(p *sim.Proc, s *HostShard, r *pending) {
 	simg := r.Image.perHost[s.Index]
-	if err := c.stage(p, s, r.Image, simg); err != nil {
+	if err := c.admission(p, s, r); err != nil {
+		c.bootDone(p, s, r, fleet.TierCold, err)
+	} else if err := c.stage(p, s, r.Image, simg); err != nil {
 		c.bootDone(p, s, r, fleet.TierCold, err)
 	} else if err := s.Orch.Submit(p, fleet.Request{
 		Tenant: r.Tenant,
@@ -451,6 +469,27 @@ func (c *Cluster) prep(p *sim.Proc, s *HostShard, r *pending) {
 	}
 	c.prepping--
 	c.wakeDispatch()
+}
+
+// admission runs the dispatch-side policy gate: a placement whose
+// tenant or target platform the policy store distrusts is refused
+// before any replication transfer or boot work is spent on it. The
+// shard's fleet re-checks the same engine at serve time, so a policy
+// mutation landing between dispatch and serve still takes effect.
+func (c *Cluster) admission(p *sim.Proc, s *HostShard, r *pending) error {
+	ev := policy.Evidence{Tenant: r.Tenant}
+	if c.cfg.KBS != nil {
+		ev.ChipID = "chip-" + s.Name
+		ev.TCB = c.cfg.TCB.Encode()
+		ev.HasPlatform = true
+	}
+	if _, err := c.cfg.Admission.Evaluate(ev, p.Now()); err != nil {
+		c.policyDenied++
+		c.cfg.Telemetry.Counter("severifast_cluster_policy_denials_total",
+			telemetry.A("host", s.Name)).Inc()
+		return fmt.Errorf("cluster: dispatch to %s refused: %w", s.Name, err)
+	}
+	return nil
 }
 
 // stage makes the image bootable on the host. If the warm pool has a

@@ -254,6 +254,115 @@ func TestWarmAdoption(t *testing.T) {
 	}
 }
 
+// TestRevocationFlipsAdmissions is the policy-gate acceptance scenario:
+// a cluster whose dispatch, fleet, and broker all answer to the broker's
+// policy store, with the broker's minimum-TCB platform claim revoked at
+// a fixed virtual instant mid-run. Every boot dispatched at or before
+// the instant serves; every later one is refused at the dispatch gate
+// with a per-rule denial count — and two identical runs agree on the
+// flip boot-for-boot, byte-for-byte.
+func TestRevocationFlipsAdmissions(t *testing.T) {
+	// Arrivals span ~2.3s; the revocation lands mid-trace, late enough
+	// that early boots finish end to end before it.
+	revokeAt := 1200 * time.Millisecond
+	run := func() ([]byte, Summary, map[string]int) {
+		auth := kbs.NewAuthority(31)
+		tcb, err := kbs.ParseTCB("2.1.8.115")
+		if err != nil {
+			t.Fatalf("tcb: %v", err)
+		}
+		broker := kbs.NewBroker(auth.Root(), kbs.Config{MinTCB: tcb, Seed: 31})
+		for i := 0; i < 3; i++ {
+			broker.AddTenant(fmt.Sprintf("t%d", i), []byte(fmt.Sprintf("secret-%d", i)))
+		}
+		cfg := Config{
+			Hosts: 2, ASIDsPerHost: 4, WorkersPerHost: 2,
+			Seed:      31,
+			Telemetry: telemetry.NewRegistry(),
+			KBS:       broker,
+			Authority: auth,
+			TCB:       tcb,
+			Admission: broker.PolicyEngine(),
+			Retry:     fleet.RetryPolicy{Max: 1, Backoff: time.Millisecond},
+		}
+		cfg.Policy, _ = PolicyByName("asid-pressure", cfg.Seed)
+		eng := sim.NewEngine()
+		c, err := New(eng, cfg)
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		img, err := c.RegisterImage("fn", kernelgen.Lupine(), testInitrd(64<<10))
+		if err != nil {
+			t.Fatalf("RegisterImage: %v", err)
+		}
+		// The revocation lands at a virtual instant: the floor claim stays
+		// good through revokeAt inclusive, and every evaluation strictly
+		// after it must refuse.
+		eng.After(revokeAt, func() {
+			if err := broker.Policy().RevokeClaim("*", kbs.MinTCBClaimID, eng.Now()); err != nil {
+				t.Errorf("RevokeClaim: %v", err)
+			}
+		})
+		spec := TraceSpec{
+			Kind: TraceUniform, Arrivals: 24, MeanGap: 100 * time.Millisecond,
+			Images: 1, Tenants: 3, Seed: 31,
+		}
+		arr, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("trace: %v", err)
+		}
+		if err := c.Play(arr, []*Image{img}, time.Millisecond); err != nil {
+			t.Fatalf("Play: %v", err)
+		}
+		eng.Run()
+		sum := c.Summarize()
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		stats := broker.Policy().Stats()
+		return b, sum, stats.DenialsByRule
+	}
+	b1, sum, byRule := run()
+	b2, _, byRule2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("summaries differ across identical runs:\n%s\n%s", b1, b2)
+	}
+	if sum.PolicyDenied == 0 {
+		t.Fatal("revocation flipped nothing: no dispatch-gate denials")
+	}
+	if sum.Served == 0 {
+		t.Fatal("no boot served before the revocation instant")
+	}
+	// Every failure is policy-rooted: refused at the dispatch gate, at a
+	// shard's serve-time re-check, or at the broker itself — depending on
+	// where each in-flight boot stood when the revocation landed. All
+	// three gates consult the same store.
+	fleetDenied, brokerDenied := 0, 0
+	for _, h := range sum.PerHost {
+		for _, n := range h.PolicyDenials {
+			fleetDenied += n
+		}
+		brokerDenied += h.Denials["policy"]
+	}
+	if sum.Failed != sum.PolicyDenied+fleetDenied+brokerDenied {
+		t.Errorf("failed %d != dispatch %d + fleet %d + broker %d denials — policy gates must be the only failures",
+			sum.Failed, sum.PolicyDenied, fleetDenied, brokerDenied)
+	}
+	if sum.Served+sum.Failed+sum.Shed != sum.Submitted {
+		t.Errorf("accounting leak: served %d + failed %d + shed %d != submitted %d",
+			sum.Served, sum.Failed, sum.Shed, sum.Submitted)
+	}
+	// The per-rule counters: a revoked floor claim refuses at the platform
+	// rule with the claim-expired reason, and nothing else denies.
+	if byRule["platform/claim-expired"] == 0 {
+		t.Errorf("per-rule denial counters missing platform/claim-expired: %v", byRule)
+	}
+	if fmt.Sprint(byRule) != fmt.Sprint(byRule2) {
+		t.Errorf("per-rule counters differ across identical runs: %v vs %v", byRule, byRule2)
+	}
+}
+
 // outageKBS makes one host's broker transport fail unconditionally.
 // Failures are transport errors (not denials), the food of the circuit
 // breaker.

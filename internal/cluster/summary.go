@@ -78,6 +78,7 @@ type HostSummary struct {
 	// Attestation outcome, when a KBS gates boots.
 	Attested         int            `json:"attested,omitempty"`
 	Denials          map[string]int `json:"denials,omitempty"`
+	PolicyDenials    map[string]int `json:"policy_denials,omitempty"`
 	BreakerFastFails int            `json:"breaker_fast_fails,omitempty"`
 	BreakerStates    map[string]int `json:"breaker_states,omitempty"`
 	Failed           int            `json:"failed,omitempty"`
@@ -108,6 +109,10 @@ type Summary struct {
 	Served    int `json:"served"`
 	Failed    int `json:"failed"`
 	QueueMax  int `json:"queue_max"`
+	// PolicyDenied counts placements the dispatch-side policy gate
+	// refused before any staging or boot work. Omitted when zero so
+	// default-policy runs keep their historic summary bytes.
+	PolicyDenied int `json:"policy_denied,omitempty"`
 
 	TierBoots map[string]TierSummary `json:"tier_boots"`
 	// HitRate is the warm/cached-cold fraction of served boots — the
@@ -124,16 +129,17 @@ type Summary struct {
 func (c *Cluster) Summarize() Summary {
 	makespan := c.eng.Now().Duration()
 	sum := Summary{
-		Policy:     c.cfg.Policy.Name(),
-		Hosts:      len(c.shards),
-		MakespanNs: int64(makespan),
-		Submitted:  c.submitted,
-		Shed:       c.shed,
-		Served:     c.served,
-		Failed:     c.failed,
-		QueueMax:   c.queueMax,
-		TierBoots:  make(map[string]TierSummary, 3),
-		Latency:    percentilesOf(c.allLat),
+		Policy:       c.cfg.Policy.Name(),
+		Hosts:        len(c.shards),
+		MakespanNs:   int64(makespan),
+		Submitted:    c.submitted,
+		Shed:         c.shed,
+		Served:       c.served,
+		Failed:       c.failed,
+		QueueMax:     c.queueMax,
+		PolicyDenied: c.policyDenied,
+		TierBoots:    make(map[string]TierSummary, 3),
+		Latency:      percentilesOf(c.allLat),
 		WarmPool: WarmPoolSummary{
 			Captures:       c.captures,
 			Adoptions:      c.adoptions,
@@ -180,6 +186,9 @@ func (c *Cluster) Summarize() Summary {
 		}
 		if len(met.Denials) > 0 {
 			hs.Denials = copyCounts(met.Denials)
+		}
+		if len(met.PolicyDenials) > 0 {
+			hs.PolicyDenials = copyCounts(met.PolicyDenials)
 		}
 		if len(met.BreakerTransitions) > 0 {
 			hs.BreakerStates = copyCounts(met.BreakerTransitions)

@@ -23,6 +23,7 @@ import (
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/policy"
 	"github.com/severifast/severifast/internal/psp"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
@@ -114,6 +115,16 @@ type Config struct {
 	// to audit the launch digests of boots that actually went live.
 	OnServed func(p *sim.Proc, m *kvm.Machine, tier Tier)
 
+	// Admission is the policy engine every request must pass before a
+	// worker attempts its first boot — and again at serve time if the
+	// policy store mutated mid-boot (certificates are pinned to the
+	// store version that minted them). Nil defaults to
+	// policy.Permissive(), which grants everything: the gate is always
+	// on the path, only the policy varies. Share the broker's engine
+	// (kbs.Broker.PolicyEngine) so fleet admission and key release
+	// answer to the same trust domains.
+	Admission *policy.Engine
+
 	// KBS, when set, gates every boot behind an attest→key-release
 	// exchange against the key broker: the guest requests a challenge,
 	// the PSP signs a report binding the nonce and the guest's ephemeral
@@ -156,6 +167,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Cache == nil {
 		c.Cache = NewCache()
+	}
+	if c.Admission == nil {
+		c.Admission = policy.Permissive()
 	}
 }
 
@@ -231,6 +245,9 @@ type request struct {
 	Request
 	admitted sim.Time
 	id       int
+	// cert is the request's admission certificate; re-validated (and
+	// re-evaluated when stale) before the boot goes live.
+	cert *policy.Certificate
 }
 
 // Orchestrator is the fleet scheduler. All its mutable state is touched
@@ -453,6 +470,13 @@ func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 			r.Done(p, tier, err)
 		}
 	}
+	// The policy gate, before any boot work is spent: a denied tenant or
+	// distrusted platform never reaches a worker's boot path. Denials are
+	// deterministic verdicts, not transient faults — no retry.
+	if err := o.admission(p, r); err != nil {
+		giveUp(TierCold, err)
+		return
+	}
 	for attempt := 0; ; attempt++ {
 		if budget.Exceeded(p.Now()) {
 			o.met.deadline()
@@ -625,9 +649,41 @@ func (o *Orchestrator) bootMachine(p *sim.Proc, img *Image, mi *MeasuredImage) (
 	})
 }
 
-// admit finishes a successful boot: the attest→key-release gate, then the
+// admission evaluates the request against the policy engine, reusing a
+// still-valid certificate from a prior check. A certificate goes stale
+// when the policy store mutates (revocation, rotation) or its folded
+// claim expiry passes; staleness forces a fresh evaluation, so a
+// revocation filed while the request was queued or booting flips the
+// verdict at the next gate.
+func (o *Orchestrator) admission(p *sim.Proc, r *request) error {
+	now := p.Now()
+	if r.cert != nil && o.cfg.Admission.Valid(r.cert, now) {
+		return nil
+	}
+	ev := policy.Evidence{Tenant: r.Tenant}
+	if e := o.cfg.Enrollment; e != nil {
+		ev.ChipID = e.ChipID
+		ev.TCB = e.TCB.Encode()
+		ev.HasPlatform = true
+	}
+	cert, err := o.cfg.Admission.Evaluate(ev, now)
+	if err != nil {
+		if d := policy.DenialOf(err); d != nil {
+			o.met.policyDenied(d.Rule, string(d.Reason))
+		}
+		return fmt.Errorf("fleet: admission refused for tenant %q: %w", r.Tenant, err)
+	}
+	r.cert = cert
+	return nil
+}
+
+// admit finishes a successful boot: the policy gate re-checked against
+// the current store state, the attest→key-release gate, then the
 // OnServed observation hook for boots that actually went live.
 func (o *Orchestrator) admit(p *sim.Proc, r *request, tier Tier, m *kvm.Machine) error {
+	if err := o.admission(p, r); err != nil {
+		return err
+	}
 	if err := o.attestExchange(p, r, m); err != nil {
 		return err
 	}

@@ -75,6 +75,9 @@ type Metrics struct {
 	// Denials counts key-broker refusals by reason (kbs.Reason strings),
 	// injected and genuine alike.
 	Denials map[string]int
+	// PolicyDenials counts admission-gate refusals from the policy
+	// engine, keyed "rule/reason" (e.g. "platform/tcb-below-floor").
+	PolicyDenials map[string]int
 
 	// DeadlineExceeded counts requests abandoned because their per-boot
 	// virtual-time budget (Config.BootDeadline) ran out.
@@ -172,6 +175,15 @@ func (m *Metrics) denial(reason string) {
 	m.reg.Counter("severifast_fleet_denials_total", telemetry.A("reason", reason)).Inc()
 }
 
+func (m *Metrics) policyDenied(rule, reason string) {
+	if m.PolicyDenials == nil {
+		m.PolicyDenials = make(map[string]int)
+	}
+	m.PolicyDenials[rule+"/"+reason]++
+	m.reg.Counter("severifast_fleet_policy_denials_total",
+		telemetry.A("reason", reason), telemetry.A("rule", rule)).Inc()
+}
+
 func (m *Metrics) deadline() {
 	m.DeadlineExceeded++
 	m.reg.Counter("severifast_fleet_deadline_exceeded_total").Inc()
@@ -262,6 +274,18 @@ func (m *Metrics) Report(cache CacheStats, width int) string {
 		sb.WriteString("  denials:")
 		for _, r := range reasons {
 			fmt.Fprintf(&sb, " %s=%d", r, m.Denials[r])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(m.PolicyDenials) > 0 {
+		keys := make([]string, 0, len(m.PolicyDenials))
+		for k := range m.PolicyDenials {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("  policy denials:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%d", k, m.PolicyDenials[k])
 		}
 		sb.WriteByte('\n')
 	}

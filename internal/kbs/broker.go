@@ -3,12 +3,15 @@ package kbs
 import (
 	"crypto/ecdsa"
 	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
 	"time"
 
+	"github.com/severifast/severifast/internal/policy"
 	"github.com/severifast/severifast/internal/psp"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
@@ -36,10 +39,32 @@ type Config struct {
 	Seed int64
 }
 
+// PolicyAnchorID names the broker's own signer, anchored in the "*"
+// trust domain of its policy store. The compatibility shim (Provision,
+// Revoke, the minimum-TCB floor) synthesizes claims under this identity.
+const PolicyAnchorID = "kbs-root"
+
+// MinTCBClaimID names the synthesized platform claim carrying the
+// broker's configured minimum-TCB floor.
+const MinTCBClaimID = "min-tcb-floor"
+
+// RefClaimID names the measurement claim Provision synthesizes for a
+// launch digest.
+func RefClaimID(digest [32]byte) string {
+	return "ref-" + hex.EncodeToString(digest[:])
+}
+
 // Broker is the in-process key broker. All state is guarded by one
 // mutex; methods never block on simulation time — callers charge
 // virtual-time costs themselves (fleet charges costmodel.KBSChainVerify
 // only when RedeemResult.ChainCached is false).
+//
+// Trust decisions live in a policy store (internal/policy), consulted by
+// the engine on every verdict-cache miss. The broker's historic surface
+// — Provision, Revoke, the minimum-TCB floor — is a compatibility shim
+// that synthesizes signed claims under PolicyAnchorID, so revocation
+// storms, TCB-floor bumps, and per-tenant trust domains are policy
+// mutations against Policy(), not broker code paths.
 type Broker struct {
 	cfg      Config
 	verifier *Verifier
@@ -47,12 +72,21 @@ type Broker struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	tenants  map[string][]byte   // tenant -> secret released on success
-	refs     map[[32]byte]string // allowed launch digest -> label
+	refs     map[[32]byte]string // provisioned launch digest -> label (stats only)
 	nonces   map[[32]byte]nonceRec
-	revoked  map[string]bool // chip ID -> revoked
-	verdicts map[verdictKey]bool
+	revoked  map[string]bool // chip ID -> revoked (stats only)
+	verdicts map[verdictKey]verdictRec
 	stats    Stats
 	reg      *telemetry.Registry
+
+	pol *policy.Store
+	eng *policy.Engine
+	// polMu serializes claim synthesis: polRNG backs ECDSA signing,
+	// which draws a nondeterministic number of bytes, so the stream is
+	// private to signing and never shared with nonce or wrap draws.
+	polMu  sync.Mutex
+	polKey *ecdsa.PrivateKey
+	polRNG *rand.Rand
 }
 
 // Instrument mirrors the broker's counters (challenges, grants, denials
@@ -84,12 +118,32 @@ type verdictKey struct {
 
 var _ Service = (*Broker)(nil)
 
+// verdictRec is one cached approval. A verdict is only as durable as
+// the policy store that minted it: version pins the store state, and
+// expires carries the certificate's folded claim expiry (zero = never),
+// so a revocation or rotation invalidates every outstanding verdict at
+// the next exchange.
+type verdictRec struct {
+	version uint64
+	expires sim.Time
+}
+
 // NewBroker builds a broker pinning ark as the authority root.
 func NewBroker(ark *ecdsa.PublicKey, cfg Config) *Broker {
 	if cfg.NonceTTL == 0 {
 		cfg.NonceTTL = DefaultNonceTTL
 	}
-	return &Broker{
+	pol := policy.NewStore()
+	// The signing stream is split from the nonce/wrap stream: ECDSA
+	// signing consumes a nondeterministic number of bytes, so sharing
+	// one rand.Rand would smear nondeterminism into challenge nonces.
+	polRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x706f6c69637921)) // "policy!"
+	polKey := psp.DeriveKey(polRNG)
+	if err := pol.AddSigner(PolicyAnchorID, &polKey.PublicKey); err != nil {
+		panic(err) // fresh store: cannot collide
+	}
+	pol.EnsureDomain("*", PolicyAnchorID)
+	b := &Broker{
 		cfg:      cfg,
 		verifier: NewVerifier(ark),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -97,36 +151,100 @@ func NewBroker(ark *ecdsa.PublicKey, cfg Config) *Broker {
 		refs:     make(map[[32]byte]string),
 		nonces:   make(map[[32]byte]nonceRec),
 		revoked:  make(map[string]bool),
-		verdicts: make(map[verdictKey]bool),
+		verdicts: make(map[verdictKey]verdictRec),
+		pol:      pol,
+		eng:      pol.Engine(),
+		polKey:   polKey,
+		polRNG:   polRNG,
 	}
+	// The configured minimum-TCB floor becomes an ordinary platform
+	// claim: revoking or replacing it is a policy mutation, not a
+	// broker rebuild.
+	if err := b.synthesize(policy.Claim{
+		ID:      MinTCBClaimID,
+		Kind:    policy.KindPlatform,
+		Scope:   "*",
+		Subject: "*",
+		MinTCB:  cfg.MinTCB.Encode(),
+		Note:    "broker minimum-TCB floor",
+	}); err != nil {
+		panic(err) // fresh store, fresh signer: cannot fail
+	}
+	return b
+}
+
+// Policy exposes the broker's policy store — the mutable trust state
+// behind every verdict. Claims added, revoked, or rotated here take
+// effect on the next exchange via store versioning.
+func (b *Broker) Policy() *policy.Store { return b.pol }
+
+// PolicyEngine returns the engine evaluating the broker's store, for
+// callers (fleet admission, cluster dispatch) that gate on the same
+// trust domains the broker redeems against.
+func (b *Broker) PolicyEngine() *policy.Engine { return b.eng }
+
+// synthesize signs a claim under the broker's compat anchor and files
+// it. Duplicate IDs are idempotent success: Provision and Revoke may
+// legitimately repeat.
+func (b *Broker) synthesize(c policy.Claim) error {
+	b.polMu.Lock()
+	defer b.polMu.Unlock()
+	c.Issuer = PolicyAnchorID
+	if err := policy.SignClaim(&c, b.polKey, b.polRNG); err != nil {
+		return err
+	}
+	if err := b.pol.AddClaim(c); err != nil && !errors.Is(err, policy.ErrDuplicate) {
+		return err
+	}
+	return nil
 }
 
 // AddTenant registers a tenant and the secret released to its attested
-// guests.
+// guests, plus an (initially empty) trust domain of its own so per-tenant
+// claims filed via Policy() shadow the shared "*" domain.
 func (b *Broker) AddTenant(name string, secret []byte) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.tenants[name] = append([]byte(nil), secret...)
+	b.mu.Unlock()
+	b.pol.EnsureDomain(name)
 }
 
 // Provision allows a launch digest, labeling it for operators. The fleet
 // orchestrator feeds this directly from its measured-image cache, so the
 // reference-value store is derived from what the fleet actually builds
-// rather than hand-listed.
+// rather than hand-listed. Under the hood this synthesizes a measurement
+// claim in the "*" trust domain.
 func (b *Broker) Provision(digest [32]byte, label string) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.refs[digest] = label
-	return nil
+	b.mu.Unlock()
+	// The full digest is the claim identity: two images differing in any
+	// byte must file distinct claims, or a poisoned publish could shadow
+	// the honest one behind duplicate-ID idempotency.
+	return b.synthesize(policy.Claim{
+		ID:      RefClaimID(digest),
+		Kind:    policy.KindMeasurement,
+		Scope:   "*",
+		Subject: hex.EncodeToString(digest[:]),
+		Note:    label,
+	})
 }
 
 // Revoke puts a chip ID on the revocation list; all its VCEKs are
-// refused from now on, current TCB or not.
+// refused from now on, current TCB or not. The list entry is a
+// revocation claim, so outstanding cached verdicts for the chip go
+// stale with the store version.
 func (b *Broker) Revoke(chipID string) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.revoked[chipID] = true
-	return nil
+	b.mu.Unlock()
+	return b.synthesize(policy.Claim{
+		ID:      "revoked-" + chipID,
+		Kind:    policy.KindRevocation,
+		Scope:   "*",
+		Subject: chipID,
+		Note:    "broker revocation list",
+	})
 }
 
 // Challenge issues a fresh single-use nonce to a tenant. Expired nonces
@@ -214,18 +332,12 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	}
 
 	// Endorsement chain: parse + walk to the pinned root (cached by
-	// chain content), then the revocation list.
+	// chain content).
 	chain, chainCached, err := b.verifier.VerifyChain(req.Chain)
 	if err != nil {
 		return nil, err
 	}
 	chipID := chain.VCEK.ChipID
-	b.mu.Lock()
-	revoked := b.revoked[chipID]
-	b.mu.Unlock()
-	if revoked {
-		return nil, deny(ReasonRevoked, "chip %q", chipID)
-	}
 
 	r, err := psp.UnmarshalReport(req.Report)
 	if err != nil {
@@ -233,10 +345,12 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	}
 
 	// Policy/TCB/measurement verdict, cached per (chip, TCB, digest,
-	// guest policy, level). Only approvals are cached: Provision can
-	// widen the reference store at any time, so a cached rejection
-	// would go stale, while a cached approval stays sound because the
-	// store only grows and the policy floors are fixed at construction.
+	// guest policy, level). Only approvals are cached, and each cached
+	// approval is pinned to the policy-store version that minted it (and
+	// to its certificate expiry), so a Revoke or claim rotation goes
+	// live on the very next exchange instead of being masked by the
+	// cache. Report signatures and nonce binding are per-exchange and
+	// deliberately outside the verdict.
 	vk := verdictKey{
 		chipID: chipID,
 		tcb:    chain.VCEK.TCBVersion,
@@ -244,8 +358,10 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 		policy: r.Policy,
 		level:  r.Level,
 	}
+	ver := b.pol.Version()
 	b.mu.Lock()
-	verdictCached := b.verdicts[vk]
+	rec2, ok := b.verdicts[vk]
+	verdictCached := ok && rec2.version == ver && (rec2.expires == 0 || now <= rec2.expires)
 	if verdictCached {
 		b.stats.VerdictHit++
 		b.reg.Counter("severifast_kbs_verdict_cache_total", telemetry.A("result", "hit")).Inc()
@@ -255,11 +371,24 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	}
 	b.mu.Unlock()
 	if !verdictCached {
-		if err := b.verdict(chain, r); err != nil {
+		// Broker-local guest floors (feature level, policy bits) stay
+		// outside the claim language; everything platform- and
+		// measurement-shaped is the policy engine's call.
+		if err := b.floors(r); err != nil {
 			return nil, err
 		}
+		cert, err := b.eng.Evaluate(policy.Evidence{
+			Tenant:      req.Tenant,
+			ChipID:      chipID,
+			TCB:         chain.VCEK.TCBVersion,
+			HasPlatform: true,
+			Measurement: r.Measurement[:],
+		}, now)
+		if err != nil {
+			return nil, mapPolicyDenial(err)
+		}
 		b.mu.Lock()
-		b.verdicts[vk] = true
+		b.verdicts[vk] = verdictRec{version: cert.Version, expires: cert.Expires}
 		b.mu.Unlock()
 	}
 
@@ -282,12 +411,9 @@ func (b *Broker) redeem(req RedeemRequest, now sim.Time) (*RedeemResult, error) 
 	return &RedeemResult{Bundle: bundle, ChainCached: chainCached, VerdictCached: verdictCached}, nil
 }
 
-// verdict runs the cacheable policy checks.
-func (b *Broker) verdict(chain *psp.Chain, r *psp.Report) error {
-	tcb := DecodeTCB(chain.VCEK.TCBVersion)
-	if !tcb.AtLeast(b.cfg.MinTCB) {
-		return deny(ReasonStaleTCB, "platform TCB %v below minimum %v", tcb, b.cfg.MinTCB)
-	}
+// floors runs the broker-local guest floors that stay outside the claim
+// language: SEV feature level and guest policy bits.
+func (b *Broker) floors(r *psp.Report) error {
 	if r.Level < b.cfg.MinLevel {
 		return deny(ReasonPolicy, "level %v below minimum %v", r.Level, b.cfg.MinLevel)
 	}
@@ -297,13 +423,28 @@ func (b *Broker) verdict(chain *psp.Chain, r *psp.Report) error {
 		(b.cfg.MinPolicy.ESRequired && !pol.ESRequired) {
 		return deny(ReasonPolicy, "guest policy %+v below floor", pol)
 	}
-	b.mu.Lock()
-	_, allowed := b.refs[r.Measurement]
-	b.mu.Unlock()
-	if !allowed {
-		return deny(ReasonMeasurement, "launch digest %x not provisioned", r.Measurement[:8])
-	}
 	return nil
+}
+
+// mapPolicyDenial translates a policy-engine denial into the broker's
+// historic reason taxonomy, keeping the policy denial in the cause chain
+// so errors.Is(err, policy.ErrDenied) still holds for callers that care
+// which layer refused.
+func mapPolicyDenial(err error) error {
+	d := policy.DenialOf(err)
+	if d == nil {
+		return err
+	}
+	switch {
+	case d.Reason == policy.ReasonTCBFloor:
+		return denyCause(ReasonStaleTCB, err, "%s", d.Detail)
+	case d.Reason == policy.ReasonRevoked:
+		return denyCause(ReasonRevoked, err, "%s", d.Detail)
+	case d.Rule == policy.RuleMeasurement:
+		return denyCause(ReasonMeasurement, err, "%s", d.Detail)
+	default:
+		return denyCause(ReasonPolicy, err, "%s", d.Detail)
+	}
 }
 
 // Stats snapshots the broker counters.

@@ -1,0 +1,179 @@
+package kbs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/policy"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// TestHandlerErrorPaths drives every malformed-input class through the
+// HTTP face: wrong method, invalid JSON, an oversized body, bad hex
+// fields, and an unknown tenant. Denials are 403 with a JSON reason;
+// everything malformed is 400 before the broker is ever consulted.
+func TestHandlerErrorPaths(t *testing.T) {
+	auth := kbs.NewAuthority(7)
+	b := newBroker(auth, kbs.Config{MinLevel: sev.SNP, MinPolicy: sev.DefaultPolicy(), Seed: 3})
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	huge := `{"tenant":"` + strings.Repeat("a", 1<<20) + `"}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		// want is a substring of the response body.
+		want string
+	}{
+		{"challenge GET", http.MethodGet, "/challenge", "", http.StatusMethodNotAllowed, "POST only"},
+		{"redeem GET", http.MethodGet, "/redeem", "", http.StatusMethodNotAllowed, "POST only"},
+		{"provision DELETE", http.MethodDelete, "/provision", "", http.StatusMethodNotAllowed, "POST only"},
+		{"challenge bad JSON", http.MethodPost, "/challenge", `{"tenant":`, http.StatusBadRequest, "json:"},
+		{"challenge oversized body", http.MethodPost, "/challenge", huge, http.StatusBadRequest, "read:"},
+		{"challenge unknown tenant", http.MethodPost, "/challenge", `{"tenant":"nobody","now":0}`, http.StatusForbidden, `"reason":"tenant"`},
+		{"redeem short nonce", http.MethodPost, "/redeem", `{"tenant":"acme","nonce":"abcd"}`, http.StatusBadRequest, "nonce: want 32 hex-encoded bytes"},
+		{"redeem bad nonce hex", http.MethodPost, "/redeem", `{"tenant":"acme","nonce":"zz"}`, http.StatusBadRequest, "nonce: want 32 hex-encoded bytes"},
+		{"redeem bad report hex", http.MethodPost, "/redeem",
+			`{"tenant":"acme","nonce":"` + strings.Repeat("00", 32) + `","report":"zz"}`,
+			http.StatusBadRequest, "report hex:"},
+		{"redeem bad chain hex", http.MethodPost, "/redeem",
+			`{"tenant":"acme","nonce":"` + strings.Repeat("00", 32) + `","report":"","chain":"zz"}`,
+			http.StatusBadRequest, "chain hex:"},
+		{"redeem bad guest key hex", http.MethodPost, "/redeem",
+			`{"tenant":"acme","nonce":"` + strings.Repeat("00", 32) + `","report":"","chain":"","guest_pub":"zz"}`,
+			http.StatusBadRequest, "guest_pub hex:"},
+		{"redeem unissued nonce", http.MethodPost, "/redeem",
+			`{"tenant":"acme","nonce":"` + strings.Repeat("00", 32) + `","report":"","chain":"","guest_pub":""}`,
+			http.StatusForbidden, `"reason":"replay"`},
+		{"provision bad digest hex", http.MethodPost, "/provision", `{"digest":"zz","label":"x"}`, http.StatusBadRequest, "digest: want 32 hex-encoded bytes"},
+		{"provision short digest", http.MethodPost, "/provision", `{"digest":"abcd","label":"x"}`, http.StatusBadRequest, "digest: want 32 hex-encoded bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			blob, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, tc.status, blob)
+			}
+			if !strings.Contains(string(blob), tc.want) {
+				t.Errorf("body %q missing %q", blob, tc.want)
+			}
+		})
+	}
+}
+
+// TestDenialBodyShape pins the 403 wire format: {reason, detail} JSON,
+// with the detail carrying the broker's refusal text.
+func TestDenialBodyShape(t *testing.T) {
+	auth := kbs.NewAuthority(7)
+	b := newBroker(auth, kbs.Config{MinLevel: sev.SNP, MinPolicy: sev.DefaultPolicy(), Seed: 3})
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/challenge", "application/json",
+		strings.NewReader(`{"tenant":"nobody","now":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Reason string `json:"reason"`
+		Detail string `json:"detail"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != string(kbs.ReasonTenant) {
+		t.Errorf("reason = %q, want %q", body.Reason, kbs.ReasonTenant)
+	}
+	if !strings.Contains(body.Detail, "nobody") {
+		t.Errorf("detail %q does not name the tenant", body.Detail)
+	}
+}
+
+// TestBoundaryInstants audits the shared inclusive-expiry convention
+// end to end: a challenge nonce is redeemable at exactly its Expires
+// instant, and a revoked policy claim still admits at exactly the
+// revocation instant — both invalid strictly after. Nonce freshness and
+// claim validity must agree, or a boot straddling the boundary would be
+// accepted by one gate and refused by the other.
+func TestBoundaryInstants(t *testing.T) {
+	auth := kbs.NewAuthority(7)
+	pl := launch(t, auth, "chip-0", currentTCB, sev.SNP, sev.DefaultPolicy())
+	ttl := 500 * time.Millisecond
+
+	t.Run("nonce at expiry", func(t *testing.T) {
+		b := newBroker(auth, kbs.Config{
+			MinLevel: sev.SNP, MinPolicy: sev.DefaultPolicy(), Seed: 3, NonceTTL: ttl,
+		})
+		if err := b.Provision(pl.digest, "img"); err != nil {
+			t.Fatal(err)
+		}
+		ch, err := b.Challenge("acme", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Expires != sim.Time(ttl) {
+			t.Fatalf("Expires = %v, want %v", ch.Expires, sim.Time(ttl))
+		}
+		priv := guestKey(t, 99)
+		pub := priv.PublicKey().Bytes()
+		report, err := pl.ctx.BuildReport(nil, kbs.BindReportData(ch.Nonce, pub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := kbs.RedeemRequest{Tenant: "acme", Nonce: ch.Nonce, Report: report.Marshal(),
+			Chain: pl.enr.Chain.Marshal(), GuestPub: pub}
+		if _, err := b.Redeem(req, ch.Expires); err != nil {
+			t.Fatalf("redeem at exactly Expires refused: %v", err)
+		}
+	})
+
+	t.Run("claim at revocation instant", func(t *testing.T) {
+		b := newBroker(auth, kbs.Config{
+			MinLevel: sev.SNP, MinPolicy: sev.DefaultPolicy(), Seed: 3, NonceTTL: ttl,
+		})
+		if err := b.Provision(pl.digest, "img"); err != nil {
+			t.Fatal(err)
+		}
+		revokeAt := sim.Time(200 * time.Millisecond)
+		if err := b.Policy().RevokeClaim("*", kbs.RefClaimID(pl.digest), revokeAt); err != nil {
+			t.Fatal(err)
+		}
+		// At exactly the revocation instant the claim still admits.
+		if _, _, err := exchange(t, b, pl, "acme", revokeAt, nil); err != nil {
+			t.Fatalf("exchange at exactly the revocation instant refused: %v", err)
+		}
+		// One nanosecond later the measurement is distrusted, and the
+		// refusal carries the policy denial as its cause.
+		_, _, err := exchange(t, b, pl, "acme", revokeAt+1, nil)
+		if !errors.Is(err, kbs.ErrMeasurement) {
+			t.Fatalf("exchange after revocation: %v, want measurement denial", err)
+		}
+		if !errors.Is(err, policy.ErrDenied) {
+			t.Fatalf("broker denial lost its policy cause: %v", err)
+		}
+		if d := policy.DenialOf(err); d == nil || d.Reason != policy.ReasonExpired {
+			t.Fatalf("policy denial = %+v, want reason %q", d, policy.ReasonExpired)
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/psp"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// testPKI is a small fixture: a store with an anchored root signer and
+// helpers that mint signed claims. Each signer gets a private rng —
+// ECDSA signing draws a nondeterministic number of bytes, so signing
+// streams are never shared.
+type testPKI struct {
+	t     *testing.T
+	store *Store
+	keys  map[string]*signerKey
+}
+
+func newPKI(t *testing.T) *testPKI {
+	t.Helper()
+	p := &testPKI{t: t, store: NewStore(), keys: make(map[string]*signerKey)}
+	p.addSigner("root", 1)
+	p.store.EnsureDomain("*", "root")
+	return p
+}
+
+func (p *testPKI) addSigner(id string, seed int64) {
+	p.t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	key := psp.DeriveKey(rng)
+	if err := p.store.AddSigner(id, &key.PublicKey); err != nil {
+		p.t.Fatalf("AddSigner(%s): %v", id, err)
+	}
+	p.keys[id] = &signerKey{key: key, rng: rng}
+}
+
+func (p *testPKI) signed(c Claim) Claim {
+	p.t.Helper()
+	sk := p.keys[c.Issuer]
+	if sk == nil {
+		p.t.Fatalf("no key for issuer %q", c.Issuer)
+	}
+	if err := SignClaim(&c, sk.key, sk.rng); err != nil {
+		p.t.Fatalf("SignClaim(%s): %v", c.ID, err)
+	}
+	return c
+}
+
+func (p *testPKI) add(c Claim) {
+	p.t.Helper()
+	if err := p.store.AddClaim(p.signed(c)); err != nil {
+		p.t.Fatalf("AddClaim(%s): %v", c.ID, err)
+	}
+}
+
+func ms(n int64) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+
+const testTCB = uint64(2)<<56 | uint64(1)<<48 | uint64(8)<<8 | 115
+
+func wantReason(t *testing.T, err error, rule string, reason Reason) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want denial %s/%s, got grant", rule, reason)
+	}
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("denial does not match ErrDenied: %v", err)
+	}
+	d := DenialOf(err)
+	if d == nil {
+		t.Fatalf("no *Denial in chain: %v", err)
+	}
+	if d.Rule != rule || d.Reason != reason {
+		t.Fatalf("denial = %s/%s, want %s/%s (%v)", d.Rule, d.Reason, rule, reason, err)
+	}
+	if d.Cert == nil || d.Cert.Decision != "deny" {
+		t.Fatalf("denial carries no deny certificate: %+v", d.Cert)
+	}
+}
+
+func TestEvaluateGrantAndTrace(t *testing.T) {
+	p := newPKI(t)
+	p.add(Claim{ID: "plat", Kind: KindPlatform, Scope: "*", Subject: "*", MinTCB: testTCB, Issuer: "root"})
+	p.add(Claim{ID: "meas", Kind: KindMeasurement, Scope: "*", Subject: "00ff", Issuer: "root"})
+
+	ev := Evidence{Tenant: "t0", ChipID: "chip-0", TCB: testTCB, HasPlatform: true, Measurement: []byte{0x00, 0xff}}
+	cert, err := p.store.Engine().Evaluate(ev, ms(1))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if cert.Decision != "allow" || len(cert.Rules) != 3 {
+		t.Fatalf("cert = %+v", cert)
+	}
+	for i, want := range []string{RuleDomain, RulePlatform, RuleMeasurement} {
+		if cert.Rules[i].Rule != want || cert.Rules[i].Outcome != "pass" {
+			t.Fatalf("rule %d = %+v, want pass %s", i, cert.Rules[i], want)
+		}
+	}
+	if got := cert.Rules[1].Chain; len(got) != 1 || got[0] != "root" {
+		t.Fatalf("platform chain = %v, want [root]", got)
+	}
+	if cert.Expires != 0 {
+		t.Fatalf("unlimited claims must yield no expiry, got %v", cert.Expires)
+	}
+	if !p.store.Engine().Valid(cert, ms(1000)) {
+		t.Fatal("certificate should stay valid while the store is unchanged")
+	}
+}
+
+func TestEvaluateDenials(t *testing.T) {
+	p := newPKI(t)
+	p.addSigner("stranger", 99)
+	p.add(Claim{ID: "plat", Kind: KindPlatform, Scope: "*", Subject: "*", MinTCB: testTCB, Issuer: "root"})
+	p.add(Claim{ID: "meas-ok", Kind: KindMeasurement, Scope: "*", Subject: "00ff", Issuer: "root"})
+
+	eng := p.store.Engine()
+	platform := Evidence{Tenant: "t0", ChipID: "chip-0", TCB: testTCB, HasPlatform: true}
+
+	t.Run("unknown-domain", func(t *testing.T) {
+		s2 := NewStore()
+		_, err := s2.Engine().Evaluate(platform, ms(1))
+		wantReason(t, err, RuleDomain, ReasonUnknownDomain)
+	})
+	t.Run("tcb-below-floor", func(t *testing.T) {
+		ev := platform
+		ev.TCB = testTCB - 1 // microcode one below the floor
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RulePlatform, ReasonTCBFloor)
+	})
+	t.Run("measurement-untrusted", func(t *testing.T) {
+		ev := platform
+		ev.Measurement = []byte{0xaa, 0xbb}
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RuleMeasurement, ReasonMeasurementUnknown)
+	})
+	t.Run("claim-forged", func(t *testing.T) {
+		c := p.signed(Claim{ID: "meas-bad", Kind: KindMeasurement, Scope: "*", Subject: "0a0b", Issuer: "root"})
+		c.SigR.Add(c.SigR, c.SigS) // tamper after signing
+		if err := p.store.Inject(c); err != nil {
+			t.Fatal(err)
+		}
+		ev := platform
+		ev.Measurement = []byte{0x0a, 0x0b}
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RuleMeasurement, ReasonForged)
+	})
+	t.Run("out-of-scope", func(t *testing.T) {
+		// A claim scoped to another tenant, filed where t0's evaluation
+		// will see it.
+		c := p.signed(Claim{ID: "meas-t9", Kind: KindMeasurement, Scope: "t9", Subject: "0c0d", Issuer: "root"})
+		if err := p.store.InjectInto("*", c); err != nil {
+			t.Fatal(err)
+		}
+		ev := platform
+		ev.Measurement = []byte{0x0c, 0x0d}
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RuleMeasurement, ReasonScope)
+	})
+	t.Run("issuer-unauthorized", func(t *testing.T) {
+		// Validly signed by a registered signer that is not anchored in
+		// the domain and holds no delegation.
+		c := p.signed(Claim{ID: "meas-stranger", Kind: KindMeasurement, Scope: "*", Subject: "0e0f", Issuer: "stranger"})
+		if err := p.store.Inject(c); err != nil {
+			t.Fatal(err)
+		}
+		ev := platform
+		ev.Measurement = []byte{0x0e, 0x0f}
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RuleMeasurement, ReasonUnauthorized)
+	})
+	t.Run("platform-revoked", func(t *testing.T) {
+		p.add(Claim{ID: "rev-chip-9", Kind: KindRevocation, Scope: "*", Subject: "chip-9", Issuer: "root"})
+		ev := platform
+		ev.ChipID = "chip-9"
+		_, err := eng.Evaluate(ev, ms(1))
+		wantReason(t, err, RulePlatform, ReasonRevoked)
+	})
+}
+
+// TestExpiryBoundaryInstant pins the inclusive-expiry convention: a
+// claim is still good at exactly NotAfter and refused one nanosecond
+// later — the same boundary the broker applies to challenge nonces.
+func TestExpiryBoundaryInstant(t *testing.T) {
+	p := newPKI(t)
+	p.add(Claim{ID: "plat", Kind: KindPlatform, Scope: "*", Subject: "*", NotAfter: ms(50), Issuer: "root"})
+	eng := p.store.Engine()
+	ev := Evidence{Tenant: "t0", ChipID: "chip-0", TCB: testTCB, HasPlatform: true}
+
+	cert, err := eng.Evaluate(ev, ms(50))
+	if err != nil {
+		t.Fatalf("at the boundary instant the claim must still hold: %v", err)
+	}
+	if cert.Expires != ms(50) {
+		t.Fatalf("cert expiry = %v, want %v", cert.Expires, ms(50))
+	}
+	if !eng.Valid(cert, ms(50)) {
+		t.Fatal("certificate must be valid at its own expiry instant")
+	}
+	if eng.Valid(cert, ms(50)+1) {
+		t.Fatal("certificate must be invalid strictly after expiry")
+	}
+	_, err = eng.Evaluate(ev, ms(50)+1)
+	wantReason(t, err, RulePlatform, ReasonExpired)
+}
+
+// TestRevocationAtInstant pins the revocation-storm semantics: admission
+// flips from allow to deny for every instant strictly after the
+// revocation instant, and outstanding certificates die with the store
+// version bump.
+func TestRevocationAtInstant(t *testing.T) {
+	p := newPKI(t)
+	p.add(Claim{ID: "plat", Kind: KindPlatform, Scope: "*", Subject: "*", Issuer: "root"})
+	eng := p.store.Engine()
+	ev := Evidence{Tenant: "t0", ChipID: "chip-0", TCB: testTCB, HasPlatform: true}
+
+	before, err := eng.Evaluate(ev, ms(10))
+	if err != nil {
+		t.Fatalf("pre-revocation: %v", err)
+	}
+	if err := p.store.RevokeClaim("*", "plat", ms(20)); err != nil {
+		t.Fatal(err)
+	}
+	// The store mutated: the outstanding certificate is stale even for
+	// instants before the revocation.
+	if eng.Valid(before, ms(15)) {
+		t.Fatal("certificate minted before a store mutation must go stale")
+	}
+	if _, err := eng.Evaluate(ev, ms(20)); err != nil {
+		t.Fatalf("at the revocation instant the claim must still hold: %v", err)
+	}
+	_, err = eng.Evaluate(ev, ms(20)+1)
+	wantReason(t, err, RulePlatform, ReasonExpired)
+
+	st := p.store.Stats()
+	if st.Revoked != 1 || st.DenialsByRule[RulePlatform+"/"+string(ReasonExpired)] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDelegationChain(t *testing.T) {
+	p := newPKI(t)
+	p.addSigner("ops", 2)
+	p.addSigner("release-bot", 3)
+	// root delegates to ops, ops delegates to release-bot; the bot's
+	// delegation expires.
+	p.add(Claim{ID: "del-ops", Kind: KindDelegation, Scope: "*", Subject: "ops", Issuer: "root"})
+	p.add(Claim{ID: "del-bot", Kind: KindDelegation, Scope: "*", Subject: "release-bot", NotAfter: ms(100), Issuer: "ops"})
+	p.add(Claim{ID: "meas", Kind: KindMeasurement, Scope: "*", Subject: "00ff", Issuer: "release-bot"})
+
+	eng := p.store.Engine()
+	ev := Evidence{Tenant: "t0", Measurement: []byte{0x00, 0xff}}
+	cert, err := eng.Evaluate(ev, ms(1))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	var mr *RuleResult
+	for i := range cert.Rules {
+		if cert.Rules[i].Rule == RuleMeasurement {
+			mr = &cert.Rules[i]
+		}
+	}
+	want := []string{"root", "ops", "release-bot"}
+	if mr == nil || len(mr.Chain) != 3 || mr.Chain[0] != want[0] || mr.Chain[1] != want[1] || mr.Chain[2] != want[2] {
+		t.Fatalf("delegation chain = %+v, want %v", mr, want)
+	}
+	// The delegation's expiry propagates into the certificate.
+	if cert.Expires != ms(100) {
+		t.Fatalf("cert expiry = %v, want the delegation's %v", cert.Expires, ms(100))
+	}
+	// Past the delegation window the issuer loses authority.
+	_, err = eng.Evaluate(ev, ms(100)+1)
+	wantReason(t, err, RuleMeasurement, ReasonUnauthorized)
+}
+
+func TestAnchorRotation(t *testing.T) {
+	p := newPKI(t)
+	p.addSigner("root2", 4)
+	p.add(Claim{ID: "meas-old", Kind: KindMeasurement, Scope: "*", Subject: "00ff", Issuer: "root"})
+	if err := p.store.RotateAnchor("*", "root", "root2", ms(30)); err != nil {
+		t.Fatal(err)
+	}
+	c := p.signed(Claim{ID: "meas-new", Kind: KindMeasurement, Scope: "*", Subject: "11ee", Issuer: "root2"})
+	if err := p.store.AddClaim(c); err != nil {
+		t.Fatal(err)
+	}
+	eng := p.store.Engine()
+	oldEv := Evidence{Tenant: "t0", Measurement: []byte{0x00, 0xff}}
+	newEv := Evidence{Tenant: "t0", Measurement: []byte{0x11, 0xee}}
+
+	// At the rotation instant both anchors are live.
+	if _, err := eng.Evaluate(oldEv, ms(30)); err != nil {
+		t.Fatalf("old anchor at rotation instant: %v", err)
+	}
+	if _, err := eng.Evaluate(newEv, ms(30)); err != nil {
+		t.Fatalf("new anchor at rotation instant: %v", err)
+	}
+	// Strictly after, the old root's claims lose their authority —
+	// rotating out a compromised anchor revokes everything it signed.
+	_, err := eng.Evaluate(oldEv, ms(30)+1)
+	wantReason(t, err, RuleMeasurement, ReasonUnauthorized)
+	if _, err := eng.Evaluate(newEv, ms(31)); err != nil {
+		t.Fatalf("new anchor after rotation: %v", err)
+	}
+	// Before the rotation the new anchor had no authority yet.
+	_, err = eng.Evaluate(newEv, ms(29))
+	wantReason(t, err, RuleMeasurement, ReasonUnauthorized)
+}
+
+func TestTenantDomainIsolation(t *testing.T) {
+	p := newPKI(t)
+	p.store.EnsureDomain("t0", "root")
+	p.store.EnsureDomain("t1", "root")
+	p.add(Claim{ID: "meas-t0", Kind: KindMeasurement, Scope: "t0", Subject: "00ff", Issuer: "root"})
+	p.add(Claim{ID: "plat", Kind: KindPlatform, Scope: "*", Subject: "*", Issuer: "root"})
+
+	eng := p.store.Engine()
+	ev := Evidence{Tenant: "t0", Measurement: []byte{0x00, 0xff}}
+	if _, err := eng.Evaluate(ev, ms(1)); err != nil {
+		t.Fatalf("t0 must see its own domain's claim: %v", err)
+	}
+	ev.Tenant = "t1"
+	_, err := eng.Evaluate(ev, ms(1))
+	wantReason(t, err, RuleMeasurement, ReasonMeasurementUnknown)
+}
+
+func TestPermissiveAllowsEverything(t *testing.T) {
+	eng := Permissive()
+	for _, ev := range []Evidence{
+		{Tenant: "anyone"},
+		{Tenant: "t0", ChipID: "chip-42", TCB: 0, HasPlatform: true},
+		{Tenant: "t1", ChipID: "x", TCB: testTCB, HasPlatform: true, Measurement: []byte{1, 2, 3}},
+	} {
+		cert, err := eng.Evaluate(ev, ms(5))
+		if err != nil {
+			t.Fatalf("Permissive denied %+v: %v", ev, err)
+		}
+		if cert.Expires != 0 {
+			t.Fatalf("Permissive certificates must never expire, got %v", cert.Expires)
+		}
+		if !eng.Valid(cert, ms(1_000_000)) {
+			t.Fatal("Permissive certificate must stay valid forever")
+		}
+	}
+}
+
+func TestStoreVersionAndDuplicates(t *testing.T) {
+	p := newPKI(t)
+	v0 := p.store.Version()
+	p.add(Claim{ID: "a", Kind: KindPlatform, Scope: "*", Subject: "*", Issuer: "root"})
+	if p.store.Version() == v0 {
+		t.Fatal("AddClaim must bump the version")
+	}
+	c := p.signed(Claim{ID: "a", Kind: KindPlatform, Scope: "*", Subject: "*", Issuer: "root"})
+	if err := p.store.AddClaim(c); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate claim: %v", err)
+	}
+	if err := p.store.AddClaim(Claim{ID: "b", Issuer: "nobody"}); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("unknown signer: %v", err)
+	}
+	bad := p.signed(Claim{ID: "c", Kind: KindPlatform, Scope: "*", Subject: "*", Issuer: "root"})
+	bad.Subject = "mutated-after-signing"
+	if err := p.store.AddClaim(bad); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("bad signature: %v", err)
+	}
+}

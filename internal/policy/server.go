@@ -1,0 +1,208 @@
+package policy
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/big"
+	"net/http"
+
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// The HTTP face of the policy store, mirroring kbs/server.go: virtual
+// time travels in the request body (the store has no clock of its own),
+// denials come back as 403 with a JSON {rule, reason, detail} body, and
+// claims cross the wire in their canonical signed encoding — the server
+// never re-signs, so a tampered claim arrives exactly as tampered.
+
+type signerRequest struct {
+	ID   string `json:"id"`
+	PubX string `json:"pub_x"` // hex, P-384 field element
+	PubY string `json:"pub_y"`
+}
+
+type domainRequest struct {
+	Name    string   `json:"name"`
+	Anchors []string `json:"anchors"`
+}
+
+type claimRequest struct {
+	Claim string `json:"claim"` // hex of Claim.Marshal()
+}
+
+type revokeClaimRequest struct {
+	Domain string `json:"domain"`
+	Claim  string `json:"claim"`
+	At     int64  `json:"at"`
+}
+
+type rotateRequest struct {
+	Domain string `json:"domain"`
+	Old    string `json:"old"`
+	New    string `json:"new"`
+	At     int64  `json:"at"`
+}
+
+type evaluateRequest struct {
+	Tenant      string `json:"tenant"`
+	ChipID      string `json:"chip_id"`
+	TCB         uint64 `json:"tcb"`
+	HasPlatform bool   `json:"has_platform"`
+	Measurement string `json:"measurement,omitempty"` // hex, empty = not asserted
+	Now         int64  `json:"now"`
+}
+
+type policyDenialBody struct {
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail"`
+}
+
+// Handler exposes the store over HTTP: POST /signer, /domain, /claim,
+// /revoke-claim, /rotate-anchor, /evaluate; GET /stats.
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/signer", func(w http.ResponseWriter, r *http.Request) {
+		var req signerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		x, errX := hex.DecodeString(req.PubX)
+		y, errY := hex.DecodeString(req.PubY)
+		if errX != nil || errY != nil || len(x) != 48 || len(y) != 48 {
+			http.Error(w, "pub_x/pub_y: want 48 hex-encoded bytes each", http.StatusBadRequest)
+			return
+		}
+		pub := &ecdsa.PublicKey{Curve: elliptic.P384(), X: new(big.Int).SetBytes(x), Y: new(big.Int).SetBytes(y)}
+		if err := s.AddSigner(req.ID, pub); err != nil {
+			writePolicyErr(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/domain", func(w http.ResponseWriter, r *http.Request) {
+		var req domainRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.Name == "" {
+			http.Error(w, "name: required", http.StatusBadRequest)
+			return
+		}
+		s.EnsureDomain(req.Name, req.Anchors...)
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		raw, err := hex.DecodeString(req.Claim)
+		if err != nil {
+			http.Error(w, "claim hex: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		c, err := UnmarshalClaim(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.AddClaim(*c); err != nil {
+			writePolicyErr(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/revoke-claim", func(w http.ResponseWriter, r *http.Request) {
+		var req revokeClaimRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := s.RevokeClaim(req.Domain, req.Claim, sim.Time(req.At)); err != nil {
+			writePolicyErr(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/rotate-anchor", func(w http.ResponseWriter, r *http.Request) {
+		var req rotateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := s.RotateAnchor(req.Domain, req.Old, req.New, sim.Time(req.At)); err != nil {
+			writePolicyErr(w, err)
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req evaluateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		ev := Evidence{Tenant: req.Tenant, ChipID: req.ChipID, TCB: req.TCB, HasPlatform: req.HasPlatform}
+		if req.Measurement != "" {
+			m, err := hex.DecodeString(req.Measurement)
+			if err != nil {
+				http.Error(w, "measurement hex: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			ev.Measurement = m
+		}
+		cert, err := s.engine.Evaluate(ev, sim.Time(req.Now))
+		if err != nil {
+			writePolicyErr(w, err)
+			return
+		}
+		writeJSON(w, cert)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		http.Error(w, "json: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writePolicyErr maps an engine denial to 403 with its rule and reason on
+// the wire, store-API misuse (duplicate, unknown, bad signature) to 400,
+// and anything else to 500.
+func writePolicyErr(w http.ResponseWriter, err error) {
+	var d *Denial
+	if errors.As(err, &d) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		_ = json.NewEncoder(w).Encode(policyDenialBody{Rule: d.Rule, Reason: string(d.Reason), Detail: d.Detail})
+		return
+	}
+	if errors.Is(err, ErrDuplicate) || errors.Is(err, ErrUnknownSigner) ||
+		errors.Is(err, ErrBadSignature) || errors.Is(err, ErrNotFound) {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

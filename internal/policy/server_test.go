@@ -1,0 +1,133 @@
+package policy
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postJSON drives one handler request and returns the recorder.
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	p := newPKI(t)
+	h := p.store.Handler()
+
+	// Register a second signer over the wire and anchor it in a new
+	// domain.
+	p.addSigner("ops", 21)
+	pub := p.keys["ops"].key.PublicKey
+	var x, y [48]byte
+	pub.X.FillBytes(x[:])
+	pub.Y.FillBytes(y[:])
+	// Re-adding over HTTP must conflict with the in-process registration.
+	w := postJSON(t, h, "/signer", fmt.Sprintf(`{"id":"ops","pub_x":%q,"pub_y":%q}`,
+		hex.EncodeToString(x[:]), hex.EncodeToString(y[:])))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate signer = %d, want 400", w.Code)
+	}
+	w = postJSON(t, h, "/domain", `{"name":"t0","anchors":["ops"]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/domain = %d: %s", w.Code, w.Body)
+	}
+
+	// File a signed claim through the wire encoding.
+	c := p.signed(Claim{ID: "meas", Kind: KindMeasurement, Scope: "t0", Subject: "00ff", Issuer: "ops"})
+	w = postJSON(t, h, "/claim", fmt.Sprintf(`{"claim":%q}`, hex.EncodeToString(c.Marshal())))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/claim = %d: %s", w.Code, w.Body)
+	}
+
+	// Evaluate: measurement-only evidence for t0 passes.
+	w = postJSON(t, h, "/evaluate", `{"tenant":"t0","measurement":"00ff","now":1000}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/evaluate = %d: %s", w.Code, w.Body)
+	}
+	var cert Certificate
+	if err := json.Unmarshal(w.Body.Bytes(), &cert); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Decision != "allow" {
+		t.Fatalf("cert = %+v", cert)
+	}
+
+	// Revoke the claim at an instant; evaluation after it flips to a 403
+	// with rule and reason on the wire.
+	w = postJSON(t, h, "/revoke-claim", `{"domain":"t0","claim":"meas","at":2000}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/revoke-claim = %d: %s", w.Code, w.Body)
+	}
+	w = postJSON(t, h, "/evaluate", `{"tenant":"t0","measurement":"00ff","now":2001}`)
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("post-revocation /evaluate = %d, want 403", w.Code)
+	}
+	var den policyDenialBody
+	if err := json.Unmarshal(w.Body.Bytes(), &den); err != nil {
+		t.Fatal(err)
+	}
+	if den.Rule != RuleMeasurement || den.Reason != string(ReasonExpired) {
+		t.Fatalf("denial body = %+v", den)
+	}
+}
+
+// TestServerErrorPaths mirrors the kbs server's table: malformed JSON,
+// wrong method, oversized bodies, and bad hex all fail with the right
+// status before touching the store.
+func TestServerErrorPaths(t *testing.T) {
+	p := newPKI(t)
+	h := p.store.Handler()
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"wrong method", http.MethodGet, "/claim", "", http.StatusMethodNotAllowed},
+		{"malformed json", http.MethodPost, "/claim", "{not json", http.StatusBadRequest},
+		{"oversized body", http.MethodPost, "/claim", `{"claim":"` + strings.Repeat("a", 1<<21) + `"}`, http.StatusBadRequest},
+		{"bad claim hex", http.MethodPost, "/claim", `{"claim":"zz"}`, http.StatusBadRequest},
+		{"bad claim wire", http.MethodPost, "/claim", `{"claim":"00ff"}`, http.StatusBadRequest},
+		{"empty domain name", http.MethodPost, "/domain", `{"name":""}`, http.StatusBadRequest},
+		{"bad signer key", http.MethodPost, "/signer", `{"id":"x","pub_x":"00","pub_y":"00"}`, http.StatusBadRequest},
+		{"revoke unknown domain", http.MethodPost, "/revoke-claim", `{"domain":"nope","claim":"c","at":1}`, http.StatusBadRequest},
+		{"rotate unknown anchor", http.MethodPost, "/rotate-anchor", `{"domain":"*","old":"ghost","new":"n","at":1}`, http.StatusBadRequest},
+		{"bad measurement hex", http.MethodPost, "/evaluate", `{"tenant":"t0","measurement":"xy","now":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != tc.want {
+				t.Fatalf("%s %s = %d, want %d (%s)", tc.method, tc.path, w.Code, tc.want, w.Body)
+			}
+		})
+	}
+
+	// A store with no domain at all denies every tenant as a 403 with
+	// the unknown-domain reason — an engine denial, not API misuse.
+	t.Run("unknown tenant domain", func(t *testing.T) {
+		w := postJSON(t, NewStore().Handler(), "/evaluate", `{"tenant":"ghost","now":1}`)
+		if w.Code != http.StatusForbidden {
+			t.Fatalf("/evaluate = %d, want 403 (%s)", w.Code, w.Body)
+		}
+		var den policyDenialBody
+		if err := json.Unmarshal(w.Body.Bytes(), &den); err != nil {
+			t.Fatal(err)
+		}
+		if den.Reason != string(ReasonUnknownDomain) {
+			t.Fatalf("denial = %+v", den)
+		}
+	})
+}

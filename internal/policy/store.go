@@ -1,0 +1,443 @@
+package policy
+
+import (
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// Store errors.
+var (
+	ErrDuplicate     = errors.New("policy: duplicate")
+	ErrUnknownSigner = errors.New("policy: unknown signer")
+	ErrBadSignature  = errors.New("policy: bad claim signature")
+	ErrNotFound      = errors.New("policy: not found")
+)
+
+// anchorRec is one root-of-trust window for a domain: the named signer is
+// an anchor from From through Until inclusive (Until zero = open-ended).
+// Rotation closes the old window and opens a new one at the same instant,
+// so an evaluation exactly at the rotation instant accepts both keys —
+// the handover has no dead gap and no ambiguity.
+type anchorRec struct {
+	ID    string
+	From  sim.Time
+	Until sim.Time
+}
+
+func (a anchorRec) active(now sim.Time) bool {
+	return now >= a.From && (a.Until == 0 || now <= a.Until)
+}
+
+// claimRec wraps a stored claim with store-side metadata. The claim
+// itself is immutable once filed — revocation is metadata, never a
+// signature rewrite — and the signature verdict is memoized on first
+// evaluation so the P-384 verify is paid once per claim, not per boot.
+type claimRec struct {
+	claim      Claim
+	revoked    bool
+	revokedAt  sim.Time
+	sigChecked bool
+	sigOK      bool
+}
+
+// effectiveExpiry is the instant after which the record stops being
+// valid: the earlier of NotAfter and the revocation instant (zero =
+// never).
+func (r *claimRec) effectiveExpiry() sim.Time {
+	exp := r.claim.NotAfter
+	if r.revoked {
+		exp = minExpiry(exp, r.revokedAt)
+	}
+	return exp
+}
+
+func (r *claimRec) validAt(now sim.Time) bool {
+	if !r.claim.windowValid(now) {
+		return false
+	}
+	return !r.revoked || now <= r.revokedAt
+}
+
+// domain is one tenant's trust domain: its anchor windows and claims,
+// kept sorted by claim ID so evaluation order is deterministic.
+type domain struct {
+	name    string
+	anchors []anchorRec
+	claims  []*claimRec
+}
+
+func (d *domain) find(id string) (*claimRec, int) {
+	i := sort.Search(len(d.claims), func(i int) bool { return d.claims[i].claim.ID >= id })
+	if i < len(d.claims) && d.claims[i].claim.ID == id {
+		return d.claims[i], i
+	}
+	return nil, i
+}
+
+// Store holds per-tenant trust domains, the signer registry, and a
+// monotonic version that bumps on every mutation. The version is what
+// lets downstream caches (the broker's verdict cache, fleet admission
+// certificates) notice a revocation storm without subscribing to events:
+// a certificate minted under version N is stale the instant the store
+// moves to N+1.
+//
+// The store is mutex-guarded: claims arrive from cache-publish callbacks
+// on worker goroutines while engine processes evaluate admissions.
+type Store struct {
+	mu        sync.Mutex
+	signers   map[string]*ecdsa.PublicKey
+	domains   map[string]*domain
+	version   uint64
+	intercept func(Claim) Claim
+	reg       *telemetry.Registry
+	stats     statsInner
+	engine    *Engine
+}
+
+type statsInner struct {
+	evals           int
+	grants          int
+	denials         int
+	denialsByReason map[string]int
+	denialsByRule   map[string]int
+}
+
+// Stats is a deterministic snapshot of the store.
+type Stats struct {
+	Domains int
+	Claims  int
+	Signers int
+	Revoked int
+	Version uint64
+
+	Evals           int
+	Grants          int
+	Denials         int
+	DenialsByReason map[string]int
+	DenialsByRule   map[string]int
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	s := &Store{
+		signers: make(map[string]*ecdsa.PublicKey),
+		domains: make(map[string]*domain),
+		stats: statsInner{
+			denialsByReason: make(map[string]int),
+			denialsByRule:   make(map[string]int),
+		},
+	}
+	s.engine = &Engine{store: s}
+	return s
+}
+
+// Engine returns the evaluation engine bound to this store.
+func (s *Store) Engine() *Engine { return s.engine }
+
+// Instrument mirrors evaluation counters (severifast_policy_*) and
+// zero-width evaluation spans into reg. Nil detaches the mirror.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+}
+
+// AddSigner registers a signer's public key under an ID claims name as
+// Issuer.
+func (s *Store) AddSigner(id string, pub *ecdsa.PublicKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.signers[id]; ok {
+		return fmt.Errorf("%w: signer %q", ErrDuplicate, id)
+	}
+	s.signers[id] = pub
+	s.version++
+	return nil
+}
+
+// EnsureDomain creates the named trust domain if absent and anchors the
+// given signers in it from virtual time zero, open-ended. Repeated calls
+// are additive and idempotent per anchor.
+func (s *Store) EnsureDomain(name string, anchors ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[name]
+	if d == nil {
+		d = &domain{name: name}
+		s.domains[name] = d
+		s.version++
+	}
+	for _, a := range anchors {
+		dup := false
+		for _, rec := range d.anchors {
+			if rec.ID == a && rec.From == 0 && rec.Until == 0 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.anchors = append(d.anchors, anchorRec{ID: a})
+			s.version++
+		}
+	}
+}
+
+// AddClaim files a claim under the domain its scope names (wildcard
+// scopes file under the "*" domain). The issuer must be registered and
+// the signature must verify — honest writers get their mistakes back as
+// errors. When an Intercept hook is installed it models an adversary on
+// the store's write path: the transformed claim is filed verbatim with
+// no checks, and the engine's per-claim verification decides its fate at
+// evaluation time.
+func (s *Store) AddClaim(c Claim) error {
+	// The filing domain comes from the claim as written, so an intercept
+	// that rescopes it leaves a visibly foreign claim where the honest
+	// one would have gone — which is exactly what the engine's
+	// out-of-scope check exists to catch.
+	name := domainNameFor(c)
+	s.mu.Lock()
+	hook := s.intercept
+	s.mu.Unlock()
+	if hook != nil {
+		return s.inject(name, hook(c), false)
+	}
+	s.mu.Lock()
+	pub, ok := s.signers[c.Issuer]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: issuer %q", ErrUnknownSigner, c.Issuer)
+	}
+	if !VerifyClaim(&c, pub) {
+		return fmt.Errorf("%w: claim %q", ErrBadSignature, c.ID)
+	}
+	return s.inject(name, c, true)
+}
+
+// Inject files a claim with no checks at all — the hostile-write path
+// used by tests and chaos mutations. The engine re-verifies every claim
+// it consults, so an injected forgery is caught at evaluation, with the
+// precise reason recorded in the decision trace.
+func (s *Store) Inject(c Claim) error {
+	return s.inject(domainNameFor(c), c, false)
+}
+
+// InjectInto files a claim into an explicit domain, checks skipped —
+// how a mis-filed or cross-tenant claim is modeled.
+func (s *Store) InjectInto(domainName string, c Claim) error {
+	return s.inject(domainName, c, false)
+}
+
+func domainNameFor(c Claim) string {
+	if c.Scope == "" {
+		return "*"
+	}
+	return c.Scope
+}
+
+func (s *Store) inject(name string, c Claim, sigVerified bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[name]
+	if d == nil {
+		d = &domain{name: name}
+		s.domains[name] = d
+	}
+	rec, i := d.find(c.ID)
+	if rec != nil {
+		return fmt.Errorf("%w: claim %q in domain %q", ErrDuplicate, c.ID, name)
+	}
+	nr := &claimRec{claim: c, sigChecked: sigVerified, sigOK: sigVerified}
+	d.claims = append(d.claims, nil)
+	copy(d.claims[i+1:], d.claims[i:])
+	d.claims[i] = nr
+	s.version++
+	return nil
+}
+
+// Intercept installs (or clears, with nil) the write-path hook AddClaim
+// routes through. See AddClaim.
+func (s *Store) Intercept(fn func(Claim) Claim) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intercept = fn
+}
+
+// HasClaim reports whether the domain holds a claim with the ID.
+func (s *Store) HasClaim(domainName, id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[domainName]
+	if d == nil {
+		return false
+	}
+	rec, _ := d.find(id)
+	return rec != nil
+}
+
+// ClaimIDs lists the domain's claim IDs in sorted order.
+func (s *Store) ClaimIDs(domainName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[domainName]
+	if d == nil {
+		return nil
+	}
+	out := make([]string, len(d.claims))
+	for i, rec := range d.claims {
+		out[i] = rec.claim.ID
+	}
+	return out
+}
+
+// RevokeClaim marks the claim invalid for every instant strictly after
+// `at` (the boundary instant itself still admits — the same inclusive
+// convention as claim expiry and broker nonces). The store version bumps,
+// so every cached certificate and verdict minted before the revocation
+// is invalidated at once: a revocation storm is this call in a loop, not
+// a provisioning teardown.
+func (s *Store) RevokeClaim(domainName, id string, at sim.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[domainName]
+	if d == nil {
+		return fmt.Errorf("%w: domain %q", ErrNotFound, domainName)
+	}
+	rec, _ := d.find(id)
+	if rec == nil {
+		return fmt.Errorf("%w: claim %q in domain %q", ErrNotFound, id, domainName)
+	}
+	if rec.revoked {
+		rec.revokedAt = minExpiry(rec.revokedAt, at)
+	} else {
+		rec.revoked = true
+		rec.revokedAt = at
+	}
+	s.version++
+	return nil
+}
+
+// RevokeKind revokes every claim of the kind in the domain at the
+// instant, returning how many it touched. This is the revocation-storm
+// primitive: one call distrusts a whole class of claims at a virtual
+// instant.
+func (s *Store) RevokeKind(domainName string, kind Kind, at sim.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[domainName]
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range d.claims {
+		if rec.claim.Kind != kind {
+			continue
+		}
+		if rec.revoked {
+			rec.revokedAt = minExpiry(rec.revokedAt, at)
+		} else {
+			rec.revoked = true
+			rec.revokedAt = at
+		}
+		n++
+	}
+	if n > 0 {
+		s.version++
+	}
+	return n
+}
+
+// RotateAnchor closes the old anchor's window at `at` and opens the new
+// anchor's window from `at`: both keys are live at exactly the rotation
+// instant, the old one invalid strictly after. Claims issued by the old
+// anchor stop evaluating once it leaves its window — rotating a
+// compromised root implicitly revokes everything it signed.
+func (s *Store) RotateAnchor(domainName, oldID, newID string, at sim.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.domains[domainName]
+	if d == nil {
+		return fmt.Errorf("%w: domain %q", ErrNotFound, domainName)
+	}
+	found := false
+	for i := range d.anchors {
+		if d.anchors[i].ID == oldID && (d.anchors[i].Until == 0 || d.anchors[i].Until > at) {
+			d.anchors[i].Until = at
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: anchor %q in domain %q", ErrNotFound, oldID, domainName)
+	}
+	d.anchors = append(d.anchors, anchorRec{ID: newID, From: at})
+	s.version++
+	return nil
+}
+
+// Version returns the monotonic mutation counter.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Domains:         len(s.domains),
+		Signers:         len(s.signers),
+		Version:         s.version,
+		Evals:           s.stats.evals,
+		Grants:          s.stats.grants,
+		Denials:         s.stats.denials,
+		DenialsByReason: make(map[string]int, len(s.stats.denialsByReason)),
+		DenialsByRule:   make(map[string]int, len(s.stats.denialsByRule)),
+	}
+	for _, d := range s.domains {
+		st.Claims += len(d.claims)
+		for _, rec := range d.claims {
+			if rec.revoked {
+				st.Revoked++
+			}
+		}
+	}
+	for k, v := range s.stats.denialsByReason {
+		st.DenialsByReason[k] = v
+	}
+	for k, v := range s.stats.denialsByRule {
+		st.DenialsByRule[k] = v
+	}
+	return st
+}
+
+// record books one evaluation outcome into stats and telemetry. Called
+// with s.mu held.
+func (s *Store) record(tenant string, now sim.Time, den *Denial) {
+	s.stats.evals++
+	decision := "allow"
+	if den != nil {
+		decision = "deny"
+		s.stats.denials++
+		s.stats.denialsByReason[string(den.Reason)]++
+		s.stats.denialsByRule[den.Rule+"/"+string(den.Reason)]++
+		s.reg.Counter("severifast_policy_denials_total",
+			telemetry.A("tenant", tenant),
+			telemetry.A("rule", den.Rule),
+			telemetry.A("reason", string(den.Reason))).Inc()
+	} else {
+		s.stats.grants++
+	}
+	s.reg.Counter("severifast_policy_evals_total",
+		telemetry.A("tenant", tenant),
+		telemetry.A("decision", decision)).Inc()
+	s.reg.Record("policy", "policy.evaluate", now, now,
+		telemetry.A("tenant", tenant),
+		telemetry.A("decision", decision))
+}

@@ -44,6 +44,7 @@ import (
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/policy"
 	"github.com/severifast/severifast/internal/qemu"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
@@ -73,6 +74,11 @@ var (
 	// ErrDeadlineExceeded reports a boot abandoned because its
 	// virtual-time budget ran out (the fleet's per-request deadline).
 	ErrDeadlineExceeded = errors.New("severifast: boot deadline exceeded")
+	// ErrPolicyDenied reports that the trust-domain policy engine refused
+	// an admission — a revoked or expired claim, a TCB below a claimed
+	// floor, or an untrusted measurement — whether the refusal came from
+	// the fleet's admission gate or the key broker's evaluation.
+	ErrPolicyDenied = errors.New("severifast: policy denied")
 )
 
 // classifyErr wraps internal failures with the facade's sentinels so
@@ -84,13 +90,15 @@ func classifyErr(err error) error {
 	}
 	switch {
 	case errors.Is(err, ErrMeasurementMismatch), errors.Is(err, ErrAttestationDenied),
-		errors.Is(err, ErrDeadlineExceeded):
+		errors.Is(err, ErrDeadlineExceeded), errors.Is(err, ErrPolicyDenied):
 		return err // already classified
 	case errors.Is(err, verifier.ErrVerification), errors.Is(err, attest.ErrMeasurement),
 		errors.Is(err, kbs.ErrMeasurement), errors.Is(err, fleet.ErrDigestMismatch):
 		return fmt.Errorf("%w: %w", ErrMeasurementMismatch, err)
 	case errors.Is(err, attest.ErrDenied), errors.Is(err, kbs.ErrDenied):
 		return fmt.Errorf("%w: %w", ErrAttestationDenied, err)
+	case errors.Is(err, policy.ErrDenied):
+		return fmt.Errorf("%w: %w", ErrPolicyDenied, err)
 	case errors.Is(err, fleet.ErrDeadlineExceeded):
 		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
 	case errors.Is(err, kernelgen.ErrUnknownPreset):
