@@ -50,6 +50,9 @@ func run(args []string, out io.Writer) error {
 		benchLabel = fs.String("bench-label", "dev", "label recorded in the -bench-out JSON")
 		benchVMs   = fs.Int("bench-vms", 16, "same-image boots per fleet iteration for -bench-out")
 		benchIters = fs.Int("bench-iters", 4, "timed fleet iterations for -bench-out")
+		benchWarm  = fs.Bool("bench-warm", false, "bench the snapshot-fork warm path: 1 cold seed + N-1 forked boots per iteration")
+
+		scalingOut = fs.String("scaling-out", "", "sweep the warm-fork fleet across hostwork widths (1..16) and fleet sizes (16..1024) and write the curve JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,24 +125,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if *benchOut != "" {
 		res, err := expt.HostBench(expt.HostBenchOptions{
-			Label: *benchLabel, VMs: *benchVMs, Iters: *benchIters,
+			Label: *benchLabel, VMs: *benchVMs, Iters: *benchIters, Warm: *benchWarm,
 		})
 		if err != nil {
 			return fmt.Errorf("host bench: %w", err)
 		}
 		fmt.Fprintln(out, res)
-		f, err := os.Create(*benchOut)
-		if err != nil {
-			return err
-		}
-		if err := expt.WriteHostBench(f, res); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeExport(*benchOut, func(w io.Writer) error {
+			return expt.WriteHostBench(w, res)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "host bench written to %s\n", *benchOut)
+	}
+	if *scalingOut != "" {
+		res, err := expt.ScalingBench(*benchLabel, nil, nil, 0)
+		if err != nil {
+			return fmt.Errorf("scaling bench: %w", err)
+		}
+		fmt.Fprintln(out, res)
+		if err := writeExport(*scalingOut, func(w io.Writer) error {
+			return expt.WriteScaling(w, res)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scaling curve written to %s\n", *scalingOut)
 	}
 	return nil
 }

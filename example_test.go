@@ -62,6 +62,115 @@ func ExampleHost_BootConcurrent() {
 	// 8-way slower than 1-way: true
 }
 
+// The Pool is the supported way to run many boots of one image: the
+// first Boot cold boots and measures; later Boots fork from the captured
+// snapshot, inheriting the cold boot's launch digest, and Prewarm holds
+// forked standbys ready ahead of demand.
+func ExampleNewPool() {
+	cfg := severifast.NewConfig(severifast.WithKernel(severifast.KernelLupine))
+	cfg.InitrdMiB = 2 // the struct form still works alongside options
+	pool, err := severifast.NewPool(cfg, severifast.PoolOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+	cold, err := pool.Boot()
+	if err != nil {
+		panic(err)
+	}
+	warm, err := pool.Boot()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := pool.Prewarm(2); err != nil {
+		panic(err)
+	}
+	s := pool.Stats()
+	fmt.Println("cold/warm boots:", s.ColdBoots, s.WarmBoots)
+	fmt.Println("standbys ready:", s.Standbys)
+	fmt.Println("same launch digest:", warm.LaunchDigest == cold.LaunchDigest)
+	fmt.Println("warm faster than cold:", warm.Total < cold.Total)
+	// Output:
+	// cold/warm boots: 1 1
+	// standbys ready: 2
+	// same launch digest: true
+	// warm faster than cold: true
+}
+
+// WithScheme selects the boot flow. Stock Firecracker is non-confidential:
+// nothing is measured, so the launch digest stays zero.
+func ExampleWithScheme() {
+	res, err := severifast.Boot(severifast.NewConfig(
+		severifast.WithScheme(severifast.SchemeStock),
+		severifast.WithKernel(severifast.KernelLupine),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("unmeasured:", res.LaunchDigest == [32]byte{})
+	// Output:
+	// unmeasured: true
+}
+
+// WithCodec flips the Fig. 5 trade-off: the codec changes the bzImage
+// payload bytes, so it changes the launch measurement too.
+func ExampleWithCodec() {
+	lz4, err := severifast.ExpectedLaunchDigest(severifast.NewConfig(
+		severifast.WithCodec(severifast.CodecLZ4),
+	))
+	if err != nil {
+		panic(err)
+	}
+	gzip, err := severifast.ExpectedLaunchDigest(severifast.NewConfig(
+		severifast.WithCodec(severifast.CodecGzip),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("codecs measure differently:", lz4 != gzip)
+	// Output:
+	// codecs measure differently: true
+}
+
+// WithKernel selects the guest kernel configuration (Fig. 8); each
+// kernel is its own measured identity.
+func ExampleWithKernel() {
+	lupine, err := severifast.ExpectedLaunchDigest(severifast.NewConfig(
+		severifast.WithKernel(severifast.KernelLupine),
+	))
+	if err != nil {
+		panic(err)
+	}
+	aws, err := severifast.ExpectedLaunchDigest(severifast.NewConfig(
+		severifast.WithKernel(severifast.KernelAWS),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kernels measure differently:", lupine != aws)
+	// Output:
+	// kernels measure differently: true
+}
+
+// WithAttestation runs the full report→verify→secret-release exchange
+// after boot; the attested total strictly contains the boot.
+func ExampleWithAttestation() {
+	cfg := severifast.NewConfig(
+		severifast.WithKernel(severifast.KernelAWS),
+		severifast.WithAttestation(),
+	)
+	cfg.InitrdMiB = 2
+	res, err := severifast.Boot(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("attested:", res.Attestation > 0)
+	fmt.Println("attestation extends the total:", res.TotalWithAttest > res.Total)
+	// Output:
+	// attested: true
+	// attestation extends the total: true
+}
+
 // Warm start from a snapshot needs the donor's consent to key sharing —
 // and is then much faster than a cold boot (the paper's §7 exploration).
 func ExampleHost_WarmBoot() {

@@ -2,6 +2,7 @@
 // whole boot path. It runs mutation campaigns — guest-memory scribbles,
 // canonical-artifact and measured-image-cache poisoning, pre-encryption
 // launch-page tampering, PSP digest truncation, snapshot corruption,
+// parent-snapshot dirtying between capture and fork,
 // key-broker evidence corruption/delay/duplication/outage, and
 // policy-store subversion (forged, rescoped, expired, and revoked trust
 // claims) — and an invariant oracle classifies every trial:
@@ -49,7 +50,7 @@ const (
 )
 
 // Families, in campaign order.
-var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "kbs", "policy"}
+var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "fork", "kbs", "policy"}
 
 // Config sizes a campaign.
 type Config struct {
@@ -152,7 +153,9 @@ func Run(cfg Config) (*Report, error) {
 
 	for _, mut := range catalog(cfg) {
 		var tr TrialReport
-		if st, ok := mut.(*snapMutation); ok {
+		if ft, ok := mut.(*forkMutation); ok {
+			tr = runForkTrial(ft, initrd)
+		} else if st, ok := mut.(*snapMutation); ok {
 			tr = runSnapshotTrial(st, initrd)
 		} else {
 			tr, err = runFleetTrial(cfg, mut, initrd, clean)

@@ -136,6 +136,18 @@ func catalog(cfg Config) []Mutation {
 			})
 		}
 	}
+	if want["fork"] {
+		for i := 0; i < cfg.Trials; i++ {
+			r := draw()
+			muts = append(muts, &forkMutation{
+				kind: "bitflip",
+				off:  r.Intn(1 << 20),
+				mask: byte(1 + r.Intn(255)),
+			})
+		}
+		draw()
+		muts = append(muts, &forkMutation{kind: "pristine"})
+	}
 	if want["kbs"] {
 		r := draw()
 		muts = append(muts, &kbsCorrupt{field: "report", redeem: r.Intn(3), off: r.Intn(1 << 10), mask: byte(1 + r.Intn(255))})

@@ -191,6 +191,7 @@ type Image struct {
 	sealedKey  artifact.BlobKey
 	sealedSize int
 	donor      *kvm.Machine
+	fork       *snapshot.Fork
 }
 
 // Request is one boot demand against the cluster.
@@ -503,15 +504,19 @@ func (c *Cluster) stage(p *sim.Proc, s *HostShard, img *Image, simg *fleet.Image
 		if _, err := c.repl.Fetch(p, s.Index, img.sealedKey); err != nil {
 			return err
 		}
-		// Seal verification walks the whole container (SHA-256 trailer):
-		// host-side hashing, charged like any measurement pass.
-		p.Sleep(c.cfg.Model.Hash(img.sealedSize))
+		// The replication layer is content-addressed: a completed Fetch
+		// already proves the blob matches img.sealedKey, which the
+		// publisher computed over the sealed bytes. Adoption therefore
+		// re-validates only the envelope (header + digest trailer), not
+		// the whole image — transfer plus a constant delta-validate
+		// charge instead of a full O(image) hash pass.
+		p.Sleep(c.cfg.Model.Hash(snapshot.SealedDeltaValidateLen))
 		snap, err := snapshot.DecodeSealed(img.sealed)
 		if err != nil {
 			return fmt.Errorf("cluster: adopting warm snapshot on %s: %w", s.Name, err)
 		}
 		if !simg.HasWarm() {
-			simg.AdoptWarm(snap, img.donor)
+			simg.AdoptWarmFork(snap, img.donor, img.fork)
 			c.adoptions++
 			c.cfg.Telemetry.Counter("severifast_cluster_warm_adoptions_total",
 				telemetry.A("host", s.Name)).Inc()
@@ -596,6 +601,7 @@ func (c *Cluster) maybePublishWarm(p *sim.Proc, s *HostShard, img *Image) {
 	img.sealedKey = artifact.BlobKey(sha256.Sum256(sealed))
 	img.sealedSize = len(sealed)
 	img.donor = donor
+	img.fork = simg.ForkState()
 	img.published = true
 	c.captures++
 	c.publishedBytes += int64(len(sealed))

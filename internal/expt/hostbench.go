@@ -4,15 +4,24 @@ package expt
 // which reports *virtual* time from the simulation clock, HostBench
 // measures what the simulator itself costs the host — wall-clock
 // nanoseconds and heap allocations per fleet boot. This is the number
-// the parallel measurement pipeline and the shared-artifact CoW cache
-// are meant to move; virtual-time results must stay byte-identical.
+// the parallel measurement pipeline, the shared-artifact CoW cache, and
+// the snapshot-fork warm pool are meant to move; virtual-time results
+// must stay byte-identical.
 //
-// The scenario is the fleet hot path: one orchestrator boots VMs
-// same-image microVMs (first boot cold, the rest from the measured-image
-// cache), repeated Iters times with a fresh orchestrator and cache each
-// iteration. Process-lifetime caches (generated kernels, decompressed
-// payloads, interned artifacts) stay warm across iterations, exactly as
-// they would across fleet shards in one host process.
+// Two scenarios share the machinery:
+//
+//   - Cold (default): one orchestrator boots VMs same-image microVMs
+//     (first boot cold, the rest from the measured-image cache).
+//   - Warm (Warm: true): a standalone orchestrator serves one measured
+//     cold boot, then VMs-1 forked warm boots from its snapshot — the
+//     Pool facade's hot path. The cold seed is timed separately so
+//     wall_ns_per_warm_boot isolates the fork cost: O(dirty pages) of
+//     aliasing plus O(1) digest reuse, no per-page AES.
+//
+// Each iteration uses a fresh orchestrator and cache. Process-lifetime
+// caches (generated kernels, decompressed payloads, interned artifacts)
+// stay warm across iterations, exactly as they would across fleet
+// shards in one host process.
 
 import (
 	"encoding/json"
@@ -23,6 +32,7 @@ import (
 
 	"github.com/severifast/severifast/internal/costmodel"
 	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/hostwork"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
 	"github.com/severifast/severifast/internal/sim"
@@ -36,6 +46,12 @@ type HostBenchOptions struct {
 	Iters     int    // timed iterations; default 4
 	Warmup    int    // untimed warm-up iterations; default 1
 	InitrdMiB int    // synthetic initrd size; default 4
+	// Warm switches to the snapshot-fork scenario: one measured cold
+	// boot seeds the pool, the remaining VMs-1 boots fork from it.
+	Warm bool
+	// Cores bounds the hostwork pool width for the run (0 = GOMAXPROCS).
+	// The scaling curve sweeps it.
+	Cores int
 }
 
 func (o *HostBenchOptions) fillDefaults() {
@@ -64,6 +80,11 @@ type HostBenchResult struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
+	// Mode is "cold" or "warm-fork".
+	Mode string `json:"mode"`
+	// Cores is the hostwork pool width used (0 = GOMAXPROCS).
+	Cores int `json:"cores,omitempty"`
+
 	VMs       int    `json:"vms"`
 	Iters     int    `json:"iters"`
 	Kernel    string `json:"kernel"`
@@ -73,8 +94,11 @@ type HostBenchResult struct {
 	WallNSPerFleet int64 `json:"wall_ns_per_fleet"`
 	// Host cost amortized per boot.
 	WallNSPerBoot int64 `json:"wall_ns_per_boot"`
-	AllocsPerBoot int64 `json:"allocs_per_boot"`
-	BytesPerBoot  int64 `json:"bytes_per_boot"`
+	// Host cost per forked warm boot, with the cold seed's wall time
+	// subtracted out. Zero in cold mode.
+	WallNSPerWarmBoot int64 `json:"wall_ns_per_warm_boot,omitempty"`
+	AllocsPerBoot     int64 `json:"allocs_per_boot"`
+	BytesPerBoot      int64 `json:"bytes_per_boot"`
 
 	// Virtual makespan of one fleet iteration. This must not change
 	// when host-time optimizations land; it is recorded so a BENCH
@@ -82,45 +106,96 @@ type HostBenchResult struct {
 	VirtualNSPerFleet int64 `json:"virtual_ns_per_fleet"`
 
 	// HostStages breaks the host work down by pipeline stage
-	// (cumulative ns across all iterations). Empty until the
-	// measurement pipeline is instrumented.
+	// (cumulative ns across all iterations).
 	HostStages map[string]int64 `json:"host_stages,omitempty"`
-	// HostCounters carries cache hit/miss and pool statistics from
-	// telemetry.HostStats. Empty until the shared-artifact layer lands.
+	// HostCounters carries cache hit/miss, fold-memo, and fork
+	// statistics merged from every iteration host's recorder plus the
+	// process-wide artifact counters.
 	HostCounters map[string]int64 `json:"host_counters,omitempty"`
 }
 
 // HostBench runs the fleet hot path under the wall clock.
 func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 	opts.fillDefaults()
+	if opts.Cores > 0 {
+		prev := hostwork.SetWorkers(opts.Cores)
+		defer hostwork.SetWorkers(prev)
+	}
 
 	preset := kernelgen.Lupine()
 	initrd := kernelgen.BuildInitrd(7, opts.InitrdMiB<<20)
 
-	iteration := func() (time.Duration, error) {
+	stages := make(map[string]int64)
+	counters := make(map[string]int64)
+	merge := func(rec *telemetry.HostRecorder) {
+		s, c := rec.Snapshot()
+		for k, v := range s {
+			stages[k] += v
+		}
+		for k, v := range c {
+			counters[k] += v
+		}
+	}
+
+	// iteration runs one fleet and reports its virtual makespan plus the
+	// wall time its single cold seed took (warm mode only; 0 otherwise).
+	iteration := func(timed bool) (time.Duration, time.Duration, error) {
 		eng := sim.NewEngine()
 		host := kvm.NewHost(eng, costmodel.Default(), 1)
-		o := fleet.New(eng, host, fleet.Config{Workers: opts.VMs})
-		img, err := o.RegisterImage("fn", preset, initrd)
-		if err != nil {
-			return 0, err
+		var coldWall time.Duration
+		if opts.Warm {
+			o := fleet.New(eng, host, fleet.Config{Standalone: true, EnableWarm: true})
+			img, err := o.RegisterImage("fn", preset, initrd)
+			if err != nil {
+				return 0, 0, err
+			}
+			var bootErr error
+			eng.Go("bench", func(p *sim.Proc) {
+				done := func(_ *sim.Proc, _ fleet.Tier, err error) {
+					if err != nil && bootErr == nil {
+						bootErr = err
+					}
+				}
+				t0 := time.Now()
+				o.Serve(p, fleet.Request{Tenant: "t0", Image: img, Done: done})
+				coldWall = time.Since(t0)
+				for i := 1; i < opts.VMs; i++ {
+					o.Serve(p, fleet.Request{Tenant: "t0", Image: img, Done: done})
+				}
+			})
+			eng.Run()
+			if bootErr != nil {
+				return 0, 0, bootErr
+			}
+			if err := o.Err(); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			o := fleet.New(eng, host, fleet.Config{Workers: opts.VMs})
+			img, err := o.RegisterImage("fn", preset, initrd)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := (fleet.Workload{
+				Arrivals: opts.VMs,
+				Images:   []*fleet.Image{img},
+				Seed:     1,
+			}).Run(eng, o); err != nil {
+				return 0, 0, err
+			}
+			eng.Run()
+			if err := o.Err(); err != nil {
+				return 0, 0, err
+			}
 		}
-		if err := (fleet.Workload{
-			Arrivals: opts.VMs,
-			Images:   []*fleet.Image{img},
-			Seed:     1,
-		}).Run(eng, o); err != nil {
-			return 0, err
+		if timed {
+			merge(host.HostStats)
 		}
-		eng.Run()
-		if err := o.Err(); err != nil {
-			return 0, err
-		}
-		return eng.Now().Duration(), nil
+		return eng.Now().Duration(), coldWall, nil
 	}
 
 	for i := 0; i < opts.Warmup; i++ {
-		if _, err := iteration(); err != nil {
+		if _, _, err := iteration(false); err != nil {
 			return nil, err
 		}
 	}
@@ -131,12 +206,14 @@ func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	var virtual time.Duration
+	var coldWall time.Duration
 	for i := 0; i < opts.Iters; i++ {
-		v, err := iteration()
+		v, cw, err := iteration(true)
 		if err != nil {
 			return nil, err
 		}
 		virtual = v // deterministic: identical every iteration
+		coldWall += cw
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
@@ -146,6 +223,8 @@ func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 		Label:             opts.Label,
 		GoVersion:         runtime.Version(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Mode:              "cold",
+		Cores:             opts.Cores,
 		VMs:               opts.VMs,
 		Iters:             opts.Iters,
 		Kernel:            "lupine",
@@ -156,9 +235,27 @@ func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 		BytesPerBoot:      int64(ms1.TotalAlloc-ms0.TotalAlloc) / boots,
 		VirtualNSPerFleet: virtual.Nanoseconds(),
 	}
-	stages, counters := telemetry.HostStatsSnapshot()
-	res.HostStages = stages
-	res.HostCounters = counters
+	if opts.Warm {
+		res.Mode = "warm-fork"
+		if warmBoots := boots - int64(opts.Iters); warmBoots > 0 {
+			res.WallNSPerWarmBoot = (wall.Nanoseconds() - coldWall.Nanoseconds()) / warmBoots
+		}
+	}
+	// Process-global counters (artifact interning) ride along with the
+	// per-host stage/counter merge.
+	gs, gc := telemetry.HostStatsSnapshot()
+	for k, v := range gs {
+		stages[k] += v
+	}
+	for k, v := range gc {
+		counters[k] += v
+	}
+	if len(stages) > 0 {
+		res.HostStages = stages
+	}
+	if len(counters) > 0 {
+		res.HostCounters = counters
+	}
 	return res, nil
 }
 
@@ -171,16 +268,100 @@ func WriteHostBench(w io.Writer, res *HostBenchResult) error {
 
 // String renders a one-screen summary for the terminal.
 func (r *HostBenchResult) String() string {
-	return fmt.Sprintf(
-		"host bench %q: %d-VM same-image fleet ×%d iters (GOMAXPROCS=%d)\n"+
+	s := fmt.Sprintf(
+		"host bench %q (%s): %d-VM same-image fleet ×%d iters (GOMAXPROCS=%d)\n"+
 			"  wall/fleet  %v\n"+
-			"  wall/boot   %v\n"+
-			"  allocs/boot %d\n"+
+			"  wall/boot   %v\n",
+		r.Label, r.Mode, r.VMs, r.Iters, r.GOMAXPROCS,
+		time.Duration(r.WallNSPerFleet).Round(time.Microsecond),
+		time.Duration(r.WallNSPerBoot).Round(time.Microsecond))
+	if r.WallNSPerWarmBoot > 0 {
+		s += fmt.Sprintf("  wall/warm-boot %v\n",
+			time.Duration(r.WallNSPerWarmBoot).Round(time.Microsecond))
+	}
+	s += fmt.Sprintf(
+		"  allocs/boot %d\n"+
 			"  bytes/boot  %d\n"+
 			"  virtual/fleet %v (must be invariant across host-time PRs)",
-		r.Label, r.VMs, r.Iters, r.GOMAXPROCS,
-		time.Duration(r.WallNSPerFleet).Round(time.Microsecond),
-		time.Duration(r.WallNSPerBoot).Round(time.Microsecond),
 		r.AllocsPerBoot, r.BytesPerBoot,
 		time.Duration(r.VirtualNSPerFleet).Round(time.Microsecond))
+	return s
+}
+
+// ScalingPoint is one cell of the warm-boot scaling matrix.
+type ScalingPoint struct {
+	Cores             int   `json:"cores"`
+	VMs               int   `json:"vms"`
+	WallNSPerBoot     int64 `json:"wall_ns_per_boot"`
+	WallNSPerWarmBoot int64 `json:"wall_ns_per_warm_boot"`
+	VirtualNSPerFleet int64 `json:"virtual_ns_per_fleet"`
+}
+
+// ScalingResult is the scaling-curve JSON shape: warm-fork fleets swept
+// across hostwork pool widths and fleet sizes.
+type ScalingResult struct {
+	Label      string         `json:"label"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Kernel     string         `json:"kernel"`
+	InitrdMiB  int            `json:"initrd_mib"`
+	Points     []ScalingPoint `json:"points"`
+}
+
+// ScalingBench sweeps the warm-fork fleet across cores × VMs. The
+// virtual makespan per fleet size must be identical at every width —
+// worker count is host-side parallelism only.
+func ScalingBench(label string, cores, vms []int, initrdMiB int) (*ScalingResult, error) {
+	if len(cores) == 0 {
+		cores = []int{1, 2, 4, 8, 16}
+	}
+	if len(vms) == 0 {
+		vms = []int{16, 64, 256, 1024}
+	}
+	res := &ScalingResult{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Kernel:     "lupine",
+		InitrdMiB:  4,
+	}
+	if initrdMiB > 0 {
+		res.InitrdMiB = initrdMiB
+	}
+	for _, c := range cores {
+		for _, v := range vms {
+			hb, err := HostBench(HostBenchOptions{
+				Label: label, Warm: true, Cores: c, VMs: v, Iters: 1, Warmup: 1,
+				InitrdMiB: res.InitrdMiB,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scaling point cores=%d vms=%d: %w", c, v, err)
+			}
+			res.Points = append(res.Points, ScalingPoint{
+				Cores:             c,
+				VMs:               v,
+				WallNSPerBoot:     hb.WallNSPerBoot,
+				WallNSPerWarmBoot: hb.WallNSPerWarmBoot,
+				VirtualNSPerFleet: hb.VirtualNSPerFleet,
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteScaling writes the scaling result as indented JSON.
+func WriteScaling(w io.Writer, res *ScalingResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// String renders the scaling matrix as a small table.
+func (r *ScalingResult) String() string {
+	s := fmt.Sprintf("warm-boot scaling %q (GOMAXPROCS=%d)\n  cores  vms    wall/warm-boot\n", r.Label, r.GOMAXPROCS)
+	for _, p := range r.Points {
+		s += fmt.Sprintf("  %5d  %5d  %v\n", p.Cores, p.VMs,
+			time.Duration(p.WallNSPerWarmBoot).Round(time.Microsecond))
+	}
+	return s
 }

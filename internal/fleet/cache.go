@@ -123,11 +123,17 @@ type Cache struct {
 	entries map[Key]*MeasuredImage
 	stats   CacheStats
 	subs    []func(*MeasuredImage)
+
+	// fold memoizes digest-chain transitions across plans, so image
+	// families sharing a component prefix (same kernel, different
+	// initrd) re-fold only their differing suffix — the delta launch
+	// measurement path.
+	fold *psp.FoldMemo
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[Key]*MeasuredImage)}
+	return &Cache{entries: make(map[Key]*MeasuredImage), fold: psp.NewFoldMemo(nil)}
 }
 
 // Stats returns a snapshot of the counters.
@@ -184,9 +190,11 @@ func (c *Cache) Plan(key Key, hashes measure.ComponentHashes, spec ImageSpec) (*
 	}
 	// Fold the expected digest over the plan we just built rather than
 	// calling measure.ExpectedDigest, which would re-plan from scratch.
-	// FoldRegions hashes region contents across the hostwork pool and
-	// folds serially — bit-identical to the sequential extend loop.
-	digest := measure.FoldRegions(psp.InitialDigest(spec.Policy, spec.Level), regions)
+	// FoldRegionsMemo hashes region contents across the hostwork pool
+	// and folds serially through the delta memo — bit-identical to the
+	// sequential extend loop, with chain prefixes shared across image
+	// variants.
+	digest := measure.FoldRegionsMemo(psp.InitialDigest(spec.Policy, spec.Level), regions, c.fold)
 	mi := &MeasuredImage{
 		Key:               key,
 		Hashes:            hashes,

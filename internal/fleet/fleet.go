@@ -19,6 +19,7 @@ import (
 	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/attest"
 	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/guestmem"
 	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
@@ -66,10 +67,29 @@ type Config struct {
 	// tenants; submissions beyond it are rejected. 0 means unbounded.
 	QueueDepth int
 	// EnableWarm turns on the warm tier: after the first successful cold
-	// boot of an image the orchestrator captures a shared-key snapshot,
-	// and later boots of that image restore from it. Implies launching
-	// with a key-sharing policy, which is visible in the measurement.
+	// boot of an image the orchestrator captures a fork-ready shared-key
+	// snapshot, and later boots of that image fork from it (CoW page
+	// aliasing with the donor's launch digest inherited). Implies
+	// launching with a key-sharing policy, which is visible in the
+	// measurement.
 	EnableWarm bool
+	// LegacyCopyRestore forces the warm tier onto the pre-fork path:
+	// ciphertext replay through snapshot.Restore and a fresh
+	// InitialDigest-based launch context. Virtual time is identical to
+	// the fork path by construction; the flag exists so the fork-vs-copy
+	// equality test can prove it, and as a one-release escape hatch.
+	LegacyCopyRestore bool
+	// WarmPoolSize caps the standby pool Prewarm may build per image
+	// (forked guests held ready so a warm boot pops a machine instead of
+	// forking inline). 0 disables standbys: every warm boot forks on
+	// demand, which keeps virtual timing identical to the copy path.
+	WarmPoolSize int
+	// Standalone disables the worker pool: no worker processes are
+	// spawned and Submit rejects everything. Callers drive boots
+	// synchronously with Serve from their own processes instead. The
+	// severifast.Pool facade uses it so the engine fully drains between
+	// Boot calls (a parked worker would deadlock the engine's drain).
+	Standalone bool
 	// Retry bounds recovery from injected transient faults.
 	Retry RetryPolicy
 	// Faults optionally injects transient boot faults.
@@ -188,6 +208,7 @@ type Image struct {
 	// Warm-tier state, populated after the first cold boot.
 	snap      *snapshot.Image
 	donor     *kvm.Machine
+	fork      *snapshot.Fork
 	capturing bool
 }
 
@@ -225,7 +246,35 @@ func (img *Image) AdoptWarm(snap *snapshot.Image, donor *kvm.Machine) {
 		return
 	}
 	img.snap, img.donor = snap, donor
+	// Rebuild the fork source from the donor so adopted warm tiers fork
+	// too. The donor's launch context must be finished for forks to
+	// inherit its digest; otherwise the image stays on the copy path.
+	if donor.Launch != nil && donor.Launch.State() == psp.StateRunning {
+		if src, err := donor.Mem.ExportForkSource(); err == nil {
+			img.fork = &snapshot.Fork{Img: snap, Src: src, Digest: donor.Launch.Digest()}
+		}
+	}
 }
+
+// AdoptWarmFork is AdoptWarm with the donor host's fork container passed
+// through, so the adopting host skips the O(image) fork-source rebuild:
+// the interned blob and its verified root digest travel with the sealed
+// snapshot. A nil fork falls back to AdoptWarm's rebuild.
+func (img *Image) AdoptWarmFork(snap *snapshot.Image, donor *kvm.Machine, fork *snapshot.Fork) {
+	if fork == nil {
+		img.AdoptWarm(snap, donor)
+		return
+	}
+	if snap == nil || donor == nil || img.snap != nil {
+		return
+	}
+	img.snap, img.donor, img.fork = snap, donor, fork
+}
+
+// ForkState returns the image's fork container, or nil when the warm
+// tier is unseeded or copy-only. Clusters replicating the warm pool ship
+// it alongside the sealed snapshot so adopting hosts fork directly.
+func (img *Image) ForkState() *snapshot.Fork { return img.fork }
 
 // Request is one boot demand.
 type Request struct {
@@ -273,6 +322,10 @@ type Orchestrator struct {
 	// its signal instead of duplicating the work.
 	planning map[Key]*sim.Signal
 
+	// standby holds prewarmed forked guests per image (Prewarm fills it,
+	// warm boots drain it). Only populated when Config.WarmPoolSize > 0.
+	standby map[Key][]*kvm.Machine
+
 	idle []*sim.Proc // parked workers
 
 	firstErr error
@@ -296,6 +349,7 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 		met:      newMetrics(cfg.Telemetry),
 		queues:   make(map[string][]*request),
 		planning: make(map[Key]*sim.Signal),
+		standby:  make(map[Key][]*kvm.Machine),
 	}
 	o.brk = newBreaker(cfg.Breaker, o.met)
 	if cfg.KBS != nil {
@@ -312,10 +366,23 @@ func New(eng *sim.Engine, host *kvm.Host, cfg Config) *Orchestrator {
 			}
 		})
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		eng.Go(fmt.Sprintf("%s-worker-%d", o.cfg.Name, i), o.worker)
+	if !cfg.Standalone {
+		for i := 0; i < cfg.Workers; i++ {
+			eng.Go(fmt.Sprintf("%s-worker-%d", o.cfg.Name, i), o.worker)
+		}
 	}
 	return o
+}
+
+// Serve boots one request synchronously on the calling process,
+// bypassing the queue and worker pool — the Standalone-mode entry
+// point. Accounting (metrics, retries, deadline budget, Done callback)
+// is identical to a worker-served Submit.
+func (o *Orchestrator) Serve(p *sim.Proc, req Request) {
+	o.met.submitted()
+	r := &request{Request: req, admitted: p.Now(), id: o.nextID}
+	o.nextID++
+	o.serve(p, r)
 }
 
 // Metrics exposes the registry; read it after eng.Run returns.
@@ -382,6 +449,10 @@ func (o *Orchestrator) RegisterImage(name string, preset kernelgen.Preset, initr
 // / ErrClosed, and the caller — an open-loop arrival process — moves on.
 func (o *Orchestrator) Submit(p *sim.Proc, req Request) error {
 	o.met.submitted()
+	if o.cfg.Standalone {
+		o.met.rejected()
+		return fmt.Errorf("%w: standalone orchestrator serves synchronously (use Serve)", ErrClosed)
+	}
 	if o.closed {
 		o.met.rejected()
 		return ErrClosed
@@ -550,10 +621,17 @@ func (o *Orchestrator) finish(p *sim.Proc, r *request) {
 // bootOnce serves one boot attempt through the fastest available tier.
 func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 	img := r.Image
-	// Tier 1: warm restore from the image's shared-key snapshot.
+	// Tier 1: warm boot — a prewarmed standby if the pool holds one,
+	// otherwise a fork (or legacy copy restore) from the image's
+	// shared-key snapshot.
 	if o.cfg.EnableWarm && img.snap != nil {
 		if o.bootFault() {
 			return TierWarm, o.injectFault(p)
+		}
+		if ms := o.standby[img.key]; len(ms) > 0 {
+			m := ms[len(ms)-1]
+			o.standby[img.key] = ms[:len(ms)-1]
+			return TierWarm, o.admit(p, r, TierWarm, m)
 		}
 		m, err := o.warmRestore(p, img)
 		if err != nil {
@@ -609,18 +687,22 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 		return tier, mismatch
 	}
 
-	// Seed the warm tier: first successful cold boot donates a snapshot.
+	// Seed the warm tier: the first successful cold boot donates a
+	// fork-ready snapshot. Forked boots inherit the donor's launch
+	// digest, which the measured-image cache already provisioned into
+	// the key broker — no extra reference value is needed.
 	if o.cfg.EnableWarm && img.snap == nil && !img.capturing {
 		img.capturing = true
-		snap, err := snapshot.Capture(p, res.Machine)
+		fork, err := snapshot.CaptureFork(p, res.Machine, res.LaunchDigest)
 		if err != nil {
 			return tier, err
 		}
-		img.snap, img.donor = snap, res.Machine
-		if o.cfg.KBS != nil {
-			// Warm restores replay ciphertext without digest extension, so
-			// their launch digest is the level/policy initial value. Allow
-			// it explicitly — it is still derived, not hand-listed.
+		img.snap, img.donor, img.fork = fork.Img, res.Machine, fork
+		if o.cfg.KBS != nil && o.cfg.LegacyCopyRestore {
+			// Legacy copy restores replay ciphertext without digest
+			// extension, so their launch digest is the level/policy
+			// initial value. Allow it explicitly — it is still derived,
+			// not hand-listed.
 			warmDigest := psp.InitialDigest(img.spec.Policy, img.spec.Level)
 			if err := o.cfg.KBS.Provision(warmDigest, img.Name+" warm restore"); err != nil {
 				return tier, fmt.Errorf("fleet: provisioning warm reference value: %w", err)
@@ -728,23 +810,46 @@ func (o *Orchestrator) degradedRecover(p *sim.Proc, r *request, img *Image, mism
 	return TierCold, o.admit(p, r, TierCold, res.Machine)
 }
 
-// warmRestore clones a guest from the image's donor snapshot: shared-key
-// LAUNCH_START, page restore, and the guest-side pvalidate charge. The
-// restored context is sealed so the clone can request attestation reports.
+// warmRestore clones a guest from the image's donor snapshot. The fork
+// path (default when the fork source is present) opens the launch with
+// LaunchStartFork — donor key, ASID, and launch digest — and populates
+// memory by CoW page aliasing; the legacy path copy-restores ciphertext
+// under a fresh InitialDigest context. Both charge the same virtual
+// time: identical PSP command, identical restore span and byte count,
+// identical pvalidate pass. Only the host wall clock (and the digest
+// provenance) differ. A fork source tampered since capture is refused
+// and the image's whole warm pool is invalidated, so the next boot of
+// the image re-seeds cold from measured bytes.
 func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error) {
 	m := o.host.NewMachine(p, img.snap.Size, img.spec.Level)
 	m.Timeline.Annotate("vmm", "firecracker")
 	m.Timeline.Annotate("scheme", "warm-restore")
 	m.Timeline.Annotate("level", img.spec.Level.String())
 	m.PrepSEVHost(p)
-	ctx, err := o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+	forked := img.fork != nil && !o.cfg.LegacyCopyRestore
+	var ctx *psp.GuestContext
+	var err error
+	if forked {
+		ctx, err = o.host.PSP.LaunchStartFork(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+	} else {
+		ctx, err = o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+	}
 	if err != nil {
 		return nil, err
 	}
 	m.Launch = ctx
 	m.Timeline.Annotate("asid", fmt.Sprintf("%d", ctx.ASID()))
-	if err := snapshot.Restore(p, m, img.snap); err != nil {
-		return nil, err
+	if forked {
+		if err := img.fork.Restore(p, m); err != nil {
+			if errors.Is(err, guestmem.ErrForkTampered) {
+				o.EvictWarm(img)
+			}
+			return nil, err
+		}
+	} else {
+		if err := snapshot.Restore(p, m, img.snap); err != nil {
+			return nil, err
+		}
 	}
 	p.Sleep(o.host.Model.Pvalidate(len(img.snap.Pages)*4096, o.host.PvalidatePageSize()))
 	if _, err := ctx.LaunchFinish(p); err != nil {
@@ -752,6 +857,43 @@ func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error
 	}
 	m.Timeline.Close(p.Now())
 	return m, nil
+}
+
+// Prewarm forks up to n standby guests of img, bounded by
+// Config.WarmPoolSize, paying the standard fork charges now so later
+// warm boots of the image pop a ready machine instead of forking
+// inline. It must run on a simulation process and requires a seeded
+// warm tier. Returns how many standbys were added.
+func (o *Orchestrator) Prewarm(p *sim.Proc, img *Image, n int) (int, error) {
+	if !o.cfg.EnableWarm || img.snap == nil {
+		return 0, fmt.Errorf("fleet: prewarm of %q: warm tier not seeded", img.Name)
+	}
+	added := 0
+	for added < n {
+		if o.cfg.WarmPoolSize <= 0 || len(o.standby[img.key]) >= o.cfg.WarmPoolSize {
+			break
+		}
+		m, err := o.warmRestore(p, img)
+		if err != nil {
+			return added, err
+		}
+		o.standby[img.key] = append(o.standby[img.key], m)
+		added++
+	}
+	return added, nil
+}
+
+// StandbyCount reports the image's current prewarmed-standby depth.
+func (o *Orchestrator) StandbyCount(img *Image) int { return len(o.standby[img.key]) }
+
+// EvictWarm invalidates an image's entire warm pool: the snapshot, the
+// fork source, the donor, and any prewarmed standbys. Called on fork
+// tamper detection and by operators re-registering an image; the next
+// boot re-seeds the pool from a fresh measured cold boot.
+func (o *Orchestrator) EvictWarm(img *Image) {
+	img.snap, img.donor, img.fork = nil, nil, nil
+	img.capturing = false
+	delete(o.standby, img.key)
 }
 
 // bootFault draws the launch-path fault hook. When the plan targets an

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/trace"
+)
+
+// forkRun is everything one warm-fleet run produces that the fork path
+// must keep byte-identical to the legacy copy path: the served tier and
+// launch digest sequence and the per-tier virtual latencies.
+type forkRun struct {
+	tiers   []Tier
+	digests [][32]byte
+	cold    trace.Series
+	warm    trace.Series
+	host    *kvm.Host
+}
+
+func runWarmFleet(t *testing.T, legacy bool) forkRun {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	var run forkRun
+	run.host = host
+	o := New(eng, host, Config{
+		Workers:           1,
+		EnableWarm:        true,
+		LegacyCopyRestore: legacy,
+		OnServed: func(_ *sim.Proc, m *kvm.Machine, tier Tier) {
+			run.tiers = append(run.tiers, tier)
+			run.digests = append(run.digests, m.Launch.Digest())
+		},
+	})
+	img, err := o.RegisterImage("fn", kernelgen.Lupine(), kernelgen.BuildInitrd(7, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(t, eng, o, Workload{
+		Arrivals:         4,
+		MeanInterarrival: 2 * time.Second,
+		Images:           []*Image{img},
+		Seed:             11,
+	})
+	m := o.Metrics()
+	run.cold = append(trace.Series{}, m.Latency[TierCold]...)
+	run.warm = append(trace.Series{}, m.Latency[TierWarm]...)
+	return run
+}
+
+// TestForkVsColdEquality is the acceptance proof for the snapshot-fork
+// warm path: the forked run and the legacy ciphertext-copy run must be
+// indistinguishable in virtual time and in every launch digest — only
+// host wall-clock work differs. It also proves the fork path actually
+// ran (CoW fork adoptions recorded) and the legacy path did not.
+func TestForkVsColdEquality(t *testing.T) {
+	fork := runWarmFleet(t, false)
+	legacy := runWarmFleet(t, true)
+
+	if len(fork.tiers) != len(legacy.tiers) {
+		t.Fatalf("served %d vs %d boots", len(fork.tiers), len(legacy.tiers))
+	}
+	for i := range fork.tiers {
+		if fork.tiers[i] != legacy.tiers[i] {
+			t.Fatalf("boot %d tier %v (fork) != %v (legacy)", i, fork.tiers[i], legacy.tiers[i])
+		}
+		// Cold boots must measure identically in both modes. Warm boots
+		// differ in provenance by design: a fork inherits the donor's
+		// measured digest, where a copy restore opens a fresh shared-key
+		// context with the initial digest.
+		if fork.tiers[i] != TierWarm && fork.digests[i] != legacy.digests[i] {
+			t.Fatalf("boot %d launch digest diverged between fork and copy restore", i)
+		}
+	}
+	// The fork path's O(1) digest reuse: every boot of the image — cold
+	// or forked — carries the cold boot's measured digest.
+	for i, d := range fork.digests {
+		if d != fork.digests[0] {
+			t.Fatalf("boot %d digest differs from the cold boot's", i)
+		}
+	}
+	if len(fork.cold) != len(legacy.cold) || len(fork.warm) != len(legacy.warm) {
+		t.Fatalf("latency series lengths diverged: cold %d/%d warm %d/%d",
+			len(fork.cold), len(legacy.cold), len(fork.warm), len(legacy.warm))
+	}
+	for i := range fork.warm {
+		if fork.warm[i] != legacy.warm[i] {
+			t.Fatalf("warm boot %d virtual latency %v (fork) != %v (legacy)",
+				i, fork.warm[i], legacy.warm[i])
+		}
+	}
+	for i := range fork.cold {
+		if fork.cold[i] != legacy.cold[i] {
+			t.Fatalf("cold boot %d virtual latency %v (fork) != %v (legacy)",
+				i, fork.cold[i], legacy.cold[i])
+		}
+	}
+
+	_, forkCounters := fork.host.HostStats.Snapshot()
+	_, legacyCounters := legacy.host.HostStats.Snapshot()
+	if forkCounters["guestmem.fork.adopted"] == 0 {
+		t.Fatal("fork run never adopted a fork source")
+	}
+	if legacyCounters["guestmem.fork.adopted"] != 0 {
+		t.Fatalf("legacy run adopted %d forks, want 0", legacyCounters["guestmem.fork.adopted"])
+	}
+}
+
+// TestPrewarmStandbys: Prewarm builds forked standbys up to the pool
+// cap, later warm boots pop them instead of forking inline, and
+// EvictWarm clears the whole pool.
+func TestPrewarmStandbys(t *testing.T) {
+	// Standalone mode: Serve boots synchronously so the engine drains
+	// completely between the test's phases (a parked worker would
+	// deadlock the drain).
+	eng, o, img := testFleet(t, Config{Standalone: true, EnableWarm: true, WarmPoolSize: 2})
+	submit := func(n int) {
+		t.Helper()
+		eng.Go("submit", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				o.Serve(p, Request{Tenant: "t0", Image: img})
+				p.Sleep(time.Second)
+			}
+		})
+		eng.Run()
+		if err := o.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed the warm tier with one cold boot.
+	submit(1)
+	if !img.HasWarm() {
+		t.Fatal("warm tier not seeded after cold boot")
+	}
+	var added int
+	var err error
+	eng.Go("prewarm", func(p *sim.Proc) {
+		added, err = o.Prewarm(p, img, 5)
+	})
+	eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || o.StandbyCount(img) != 2 {
+		t.Fatalf("prewarm added %d standbys (count %d), want 2 (pool cap)", added, o.StandbyCount(img))
+	}
+	// Two more boots must consume the standbys.
+	submit(2)
+	if o.StandbyCount(img) != 0 {
+		t.Fatalf("standby count %d after 2 boots, want 0", o.StandbyCount(img))
+	}
+	m := o.Metrics()
+	if m.Boots[TierWarm] != 2 {
+		t.Fatalf("warm boots %d, want 2", m.Boots[TierWarm])
+	}
+	o.EvictWarm(img)
+	if img.HasWarm() || o.StandbyCount(img) != 0 {
+		t.Fatal("EvictWarm left warm state behind")
+	}
+	o.Close()
+	eng.Run()
+}

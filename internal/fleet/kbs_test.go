@@ -271,10 +271,11 @@ func TestKBSUnknownTenantFailsDeterministically(t *testing.T) {
 	}
 }
 
-// TestKBSWarmTierAttested: warm restores are attested too. Their launch
-// digest is the shared-key initial value, provisioned when the snapshot is
-// captured, so the broker's reference store ends up with two derived
-// digests — the measured cold image and the warm restore.
+// TestKBSWarmTierAttested: warm restores are attested too. On the fork
+// path a warm boot inherits the donor's launch digest, so the broker's
+// reference store holds exactly one derived digest — the measured cold
+// image — and warm restores attest against it with no extra
+// provisioning.
 func TestKBSWarmTierAttested(t *testing.T) {
 	const arrivals = 4
 	eng, o, img, broker := testKBSFleet(t, Config{Workers: 1, EnableWarm: true})
@@ -295,8 +296,8 @@ func TestKBSWarmTierAttested(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bs.RefValues != 2 {
-		t.Fatalf("reference store holds %d digests, want 2 (cold + warm)", bs.RefValues)
+	if bs.RefValues != 1 {
+		t.Fatalf("reference store holds %d digests, want 1 (fork inherits the cold digest)", bs.RefValues)
 	}
 	if bs.Grants != arrivals {
 		t.Fatalf("broker granted %d, want %d", bs.Grants, arrivals)

@@ -43,6 +43,7 @@ const PageSize = 4096
 var (
 	ErrOutOfRange = errors.New("guestmem: access beyond guest memory")
 	ErrNoKey      = errors.New("guestmem: encryption key not set")
+	ErrSize       = errors.New("guestmem: guest size mismatch")
 )
 
 type page struct {
@@ -75,6 +76,10 @@ type Memory struct {
 	asid  uint32
 	rmp   *rmp.Table // nil unless SNP
 
+	// rec receives host-side cache counters; nil routes to the
+	// process-global telemetry.DefaultHostRecorder.
+	rec *telemetry.HostRecorder
+
 	// bookkeeping for the memory-footprint experiment (§6.3)
 	sevMetadataBytes int
 }
@@ -87,6 +92,24 @@ func New(size uint64) *Memory {
 
 // Size returns the guest memory size in bytes.
 func (m *Memory) Size() uint64 { return m.size }
+
+// SetHostRecorder routes this guest's host-side counters (digest memo
+// hits, fork stats) to a per-host recorder instead of the process
+// default. kvm.NewMachine calls it with the owning host's recorder.
+func (m *Memory) SetHostRecorder(r *telemetry.HostRecorder) { m.rec = r }
+
+func (m *Memory) recorder() *telemetry.HostRecorder {
+	if m.rec != nil {
+		return m.rec
+	}
+	return telemetry.DefaultHostRecorder
+}
+
+// HostRecorder returns the recorder this guest's counters route to —
+// the owning host's when one was installed, the process default
+// otherwise. The PSP measurement pipeline stamps its stage timings on
+// the same recorder so per-host snapshots stay self-contained.
+func (m *Memory) HostRecorder() *telemetry.HostRecorder { return m.recorder() }
 
 // SetKey installs the guest memory-encryption key and the ASID that
 // tweaks it in the memory controller (done by LAUNCH_START; shared-key
@@ -763,11 +786,11 @@ func (m *Memory) PlainRangeDigest(gpa uint64, n int) ([32]byte, error) {
 		return sum, err
 	}
 	if art, base := m.rangeArtifact(gpa, n); art != nil {
-		telemetry.HostCounterAdd("guestmem.digest.memo", 1)
+		m.recorder().CounterAdd("guestmem.digest.memo", 1)
 		return art.RangeDigest(base, n), nil
 	}
-	telemetry.HostCounterAdd("guestmem.digest.streamed", 1)
-	telemetry.HostCounterAdd("guestmem.digest.streamed_bytes", int64(n))
+	m.recorder().CounterAdd("guestmem.digest.streamed", 1)
+	m.recorder().CounterAdd("guestmem.digest.streamed_bytes", int64(n))
 	h := sha256.New()
 	for done := 0; done < n; {
 		pn := (gpa + uint64(done)) / PageSize
@@ -812,7 +835,7 @@ func (m *Memory) HashRange(gpa uint64, n int, cbit bool) ([32]byte, error) {
 	if allMatch {
 		return m.PlainRangeDigest(gpa, n)
 	}
-	telemetry.HostCounterAdd("guestmem.digest.transformed", 1)
+	m.recorder().CounterAdd("guestmem.digest.transformed", 1)
 	scratch := pagePool.Get().(*[]byte)
 	defer pagePool.Put(scratch)
 	h := sha256.New()
@@ -849,8 +872,8 @@ func (m *Memory) RangeView(gpa uint64, n int, cbit bool) (view []byte, ok bool, 
 	if err != nil || art == nil {
 		return nil, false, err
 	}
-	telemetry.HostCounterAdd("guestmem.view.hit", 1)
-	telemetry.HostCounterAdd("guestmem.view.bytes", int64(n))
+	m.recorder().CounterAdd("guestmem.view.hit", 1)
+	m.recorder().CounterAdd("guestmem.view.bytes", int64(n))
 	return art.Bytes()[base : base+n], true, nil
 }
 

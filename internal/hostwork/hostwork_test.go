@@ -1,0 +1,75 @@
+package hostwork
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoColdPool is the regression for the stranded-job deadlock: the
+// very first parallel Do in a process finds no spawned workers, so the
+// handoff must either rendezvous with a live worker or spawn one — a
+// job parked where nobody is committed to receiving it hangs wg.Wait
+// forever.
+func TestDoColdPool(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var hits [100]atomic.Int32
+	Do(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want exactly once", i, got)
+		}
+	}
+}
+
+func TestDoEveryWidth(t *testing.T) {
+	prev := Workers()
+	defer SetWorkers(prev)
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		SetWorkers(w)
+		var sum atomic.Int64
+		Do(1000, func(i int) { sum.Add(int64(i)) })
+		if got := sum.Load(); got != 999*1000/2 {
+			t.Fatalf("width %d: sum %d, want %d", w, got, 999*1000/2)
+		}
+	}
+}
+
+// TestDoConcurrent: many goroutines sharing the pool at once, each with
+// its own job, all completing with every index visited exactly once.
+func TestDoConcurrent(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hits [64]atomic.Int32
+			Do(len(hits), func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Errorf("index %d ran %d times", i, hits[i].Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDoNested: a job's fn may itself call Do; the caller always
+// participates in its own job, so nesting cannot deadlock even with the
+// pool saturated.
+func TestDoNested(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	var sum atomic.Int64
+	Do(8, func(i int) {
+		Do(8, func(k int) { sum.Add(1) })
+	})
+	if got := sum.Load(); got != 64 {
+		t.Fatalf("nested sum %d, want 64", got)
+	}
+}

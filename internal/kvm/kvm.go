@@ -44,15 +44,21 @@ type Host struct {
 	// host-side tampering against their memory at chosen virtual times;
 	// production hosts leave it nil.
 	OnNewMachine func(*Machine)
+
+	// HostStats accumulates this host's wall-clock stage timings and
+	// cache counters. Every machine's guest memory records into it, so
+	// two hosts in one process never interleave counters.
+	HostStats *telemetry.HostRecorder
 }
 
 // NewHost assembles a host with a deterministic PSP identity.
 func NewHost(eng *sim.Engine, model costmodel.Model, seed int64) *Host {
 	return &Host{
-		Engine: eng,
-		Model:  model,
-		PSP:    psp.New(model, seed),
-		THP:    true,
+		Engine:    eng,
+		Model:     model,
+		PSP:       psp.New(model, seed),
+		THP:       true,
+		HostStats: telemetry.NewHostRecorder(),
 	}
 }
 
@@ -107,6 +113,9 @@ func (h *Host) NewMachine(proc *sim.Proc, size uint64, level sev.Level) *Machine
 		Mem:      guestmem.New(size),
 		Level:    level,
 		Timeline: trace.NewScoped(h.Telemetry, proc.Name(), proc.Now()),
+	}
+	if h.HostStats != nil {
+		m.Mem.SetHostRecorder(h.HostStats)
 	}
 	if h.OnNewMachine != nil {
 		h.OnNewMachine(m)

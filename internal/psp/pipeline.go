@@ -25,7 +25,6 @@ import (
 	"github.com/severifast/severifast/internal/hostwork"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
-	"github.com/severifast/severifast/internal/telemetry"
 )
 
 // RegionMeta identifies one measured region in a digest fold.
@@ -113,7 +112,7 @@ func (b *UpdateBatch) Close() error {
 	if len(b.pending) == 0 {
 		return nil
 	}
-	defer telemetry.HostStage("psp.pipeline", time.Now())
+	defer b.ctx.mem.HostRecorder().Stage("psp.pipeline", time.Now())
 	contents := make([][32]byte, len(b.pending))
 	errs := make([]error, len(b.pending))
 	hostwork.Do(len(b.pending), func(i int) {

@@ -415,3 +415,34 @@ func (p *PSP) LaunchStartShared(proc *sim.Proc, mem *guestmem.Memory, donor *Gue
 	ctx.digest = InitialDigest(policy, level)
 	return ctx, nil
 }
+
+// LaunchStartFork opens a launch context for a guest forked from a
+// finished donor: the donor's key, ASID, *and launch digest* carry over,
+// so the fork attests with the exact measurement of its parent — the
+// launch-digest provenance requirement for snapshot-fork warm boot. The
+// PSP charge and command label are identical to LaunchStartShared
+// (virtual time does not depend on which warm path ran); the digest is
+// inherited rather than re-derived because the forked memory is, page
+// for page, the measured parent image (guestmem.AdoptFork verifies the
+// fork root before any page goes live).
+//
+// The donor must be a finished launch (StateRunning) with the same
+// feature level and policy — a fork may not relax what its parent
+// measured.
+func (p *PSP) LaunchStartFork(proc *sim.Proc, mem *guestmem.Memory, donor *GuestContext, level sev.Level, policy sev.Policy) (*GuestContext, error) {
+	if donor.state != StateRunning {
+		return nil, fmt.Errorf("%w: fork from donor in state %d", ErrState, donor.state)
+	}
+	if level != donor.level {
+		return nil, fmt.Errorf("%w: fork level %v != donor level %v", ErrPolicy, level, donor.level)
+	}
+	if policy != donor.policy {
+		return nil, fmt.Errorf("%w: fork policy differs from donor policy", ErrPolicy)
+	}
+	ctx, err := p.LaunchStartShared(proc, mem, donor, level, policy)
+	if err != nil {
+		return nil, err
+	}
+	ctx.digest = donor.digest
+	return ctx, nil
+}

@@ -19,6 +19,14 @@ import (
 
 const sealTrailerLen = sha256.Size
 
+// SealedDeltaValidateLen is the byte count a host must actually examine
+// to delta-validate a sealed blob whose content digest it already knows:
+// the fixed wire header plus the seal trailer. Content-addressed
+// transports (internal/cluster's replicator) verify the payload digest
+// during transfer, so adoption re-checks only the envelope instead of
+// re-hashing the full image.
+const SealedDeltaValidateLen = wireHeaderLen + sealTrailerLen
+
 // EncodeSealed serializes an image and appends the SHA-256 of the payload
 // as a trailer. DecodeSealed is its inverse.
 func EncodeSealed(img *Image) ([]byte, error) {

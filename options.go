@@ -1,0 +1,55 @@
+package severifast
+
+// Functional options for Config construction. The struct-literal form
+// keeps working — options are sugar over it, not a replacement:
+//
+//	cfg := severifast.NewConfig(
+//	    severifast.WithKernel(severifast.KernelLupine),
+//	    severifast.WithScheme(severifast.SchemeSEVeriFastVmlinux),
+//	)
+//
+// is identical to Config{Kernel: KernelLupine, Scheme: ...} with every
+// unset field defaulted at use (Boot, NewPool, ExpectedLaunchDigest all
+// call fillDefaults).
+
+// Option mutates a Config under construction; apply with NewConfig or
+// Config.With.
+type Option func(*Config)
+
+// NewConfig builds a Config from options. Fields no option sets keep
+// their zero value and default exactly as a zero struct literal would.
+func NewConfig(opts ...Option) Config {
+	var cfg Config
+	return cfg.With(opts...)
+}
+
+// With returns a copy of cfg with the options applied — use it to derive
+// variants from a base configuration.
+func (c Config) With(opts ...Option) Config {
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// WithScheme selects the boot flow (stock, severifast,
+// severifast-vmlinux, qemu-ovmf).
+func WithScheme(s Scheme) Option { return func(c *Config) { c.Scheme = s } }
+
+// WithCodec selects the bzImage payload compression for
+// SchemeSEVeriFast (the Fig. 5 LZ4-vs-gzip trade-off).
+func WithCodec(codec Codec) Option { return func(c *Config) { c.Codec = codec } }
+
+// WithKernel selects the guest kernel configuration (Fig. 8).
+func WithKernel(k Kernel) Option { return func(c *Config) { c.Kernel = k } }
+
+// WithLevel selects the SEV feature generation.
+func WithLevel(l Level) Option { return func(c *Config) { c.Level = l } }
+
+// WithAttestation enables remote attestation: the boot runs the full
+// report→verify→secret-release exchange against an in-process relying
+// party primed with the configuration's expected digest.
+func WithAttestation() Option { return func(c *Config) { c.Attest = true } }
+
+// WithSeed fixes the host identity (PSP keys) and jitter.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }

@@ -1,0 +1,343 @@
+package severifast
+
+// The Pool facade: the supported way to run many boots of one image.
+//
+// A Pool owns one host and one registered image. Its first Boot cold
+// boots and measures the image; the orchestrator then captures a
+// fork-ready shared-key snapshot, and every later Boot forks from it —
+// CoW page aliasing of the donor's plaintext with the donor's launch
+// digest inherited — so a warm boot costs O(dirty pages) of host work
+// and O(1) digest reuse instead of re-measuring O(image) bytes.
+// Prewarm builds forked standbys ahead of demand; Stats exposes the
+// tier mix; Close drains and reports the first deterministic error.
+//
+//	pool, err := severifast.NewPool(severifast.NewConfig(
+//	    severifast.WithKernel(severifast.KernelLupine),
+//	), severifast.PoolOptions{})
+//	defer pool.Close()
+//	cold, _ := pool.Boot() // measured cold boot, seeds the warm pool
+//	warm, _ := pool.Boot() // forked: same digest, O(dirty) host work
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/firecracker"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sev"
+	"github.com/severifast/severifast/internal/sim"
+	"github.com/severifast/severifast/internal/telemetry"
+)
+
+// PoolOptions tunes a Pool beyond what Config describes.
+type PoolOptions struct {
+	// WarmPoolSize caps how many forked standbys Prewarm may hold.
+	// Defaults to 1024. Standbys are only created by explicit Prewarm
+	// calls, so the default never changes Boot-only virtual timing.
+	WarmPoolSize int
+	// LegacyCopyRestore forces warm boots onto the pre-fork ciphertext
+	// replay path. Virtual time and launch digests are identical to the
+	// fork path by construction; the flag exists for the equality test
+	// and as a one-release escape hatch.
+	LegacyCopyRestore bool
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's serving history.
+type PoolStats struct {
+	// Boots counts completed boots; the per-tier fields break it down.
+	Boots           int
+	ColdBoots       int
+	CachedColdBoots int
+	WarmBoots       int
+	// Standbys is the current prewarmed-standby depth.
+	Standbys int
+	// Attested counts boots whose key-release exchange was granted.
+	Attested int
+	// Failed counts boots that exhausted their retry budget.
+	Failed int
+	// ColdP50/WarmP50 are median request latencies (virtual time) per
+	// tier; zero when the tier has served nothing.
+	ColdP50 time.Duration
+	WarmP50 time.Duration
+}
+
+// Pool runs many boots of one image on one host, warm ones forked from a
+// sealed snapshot. Create it with NewPool; it is not safe for concurrent
+// use from multiple goroutines (drive it from one, like a Host).
+type Pool struct {
+	host *Host
+	cfg  Config
+	opts PoolOptions
+
+	orch *fleet.Orchestrator
+	img  *fleet.Image
+
+	lastServed *kvm.Machine
+	lastTier   fleet.Tier
+	seq        int
+	closed     bool
+}
+
+// NewPool validates cfg, provisions a fresh host, and registers the
+// image. The orchestrator (and its measured-image cache) is created
+// eagerly so the first Boot pays only the boot, not the setup.
+func NewPool(cfg Config, opts PoolOptions) (*Pool, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	p := newPool(NewHostSeed(cfgSeed(cfg)), cfg, opts)
+	if err := p.ensureOrch(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// newPool binds a pool to an existing host without touching the host's
+// engine or telemetry: the orchestrator is created lazily, so wrapper
+// paths that never Boot through the pool (BootConcurrent's cold fan-out)
+// leave the host exactly as before the Pool API existed.
+func newPool(h *Host, cfg Config, opts PoolOptions) *Pool {
+	if opts.WarmPoolSize <= 0 {
+		opts.WarmPoolSize = 1024
+	}
+	return &Pool{host: h, cfg: cfg, opts: opts}
+}
+
+// poolTCB is the firmware level the pool's host is enrolled at when
+// Config.Attest wires an in-process key broker.
+var poolTCB = kbs.TCB{BootLoader: 2, TEE: 1, SNP: 8, Microcode: 115}
+
+// ensureOrch builds the fleet orchestrator and registers the image.
+func (p *Pool) ensureOrch() error {
+	if p.orch != nil {
+		return nil
+	}
+	if p.cfg.Scheme == SchemeQEMUOVMF {
+		return fmt.Errorf("severifast: Pool does not support %q (use Host.Boot)", p.cfg.Scheme)
+	}
+	if p.cfg.Codec != CodecLZ4 {
+		return fmt.Errorf("severifast: Pool supports CodecLZ4 only, not %q", p.cfg.Codec)
+	}
+	preset, err := kernelgen.PresetByName(string(p.cfg.Kernel))
+	if err != nil {
+		return classifyErr(err)
+	}
+	level, err := sev.ParseLevel(string(p.cfg.Level))
+	if err != nil {
+		return err
+	}
+	p.host.inner.THP = !p.cfg.DisableTHP
+	fcfg := fleet.Config{
+		Name:              "pool",
+		Standalone:        true,
+		EnableWarm:        level.Encrypted(),
+		LegacyCopyRestore: p.opts.LegacyCopyRestore,
+		WarmPoolSize:      p.opts.WarmPoolSize,
+		Telemetry:         p.host.reg,
+		Level:             level,
+		VCPUs:             p.cfg.VCPUs,
+		MemSize:           uint64(p.cfg.MemMiB) << 20,
+		OnServed: func(_ *sim.Proc, m *kvm.Machine, tier fleet.Tier) {
+			p.lastServed, p.lastTier = m, tier
+		},
+	}
+	switch p.cfg.Scheme {
+	case SchemeStock:
+		fcfg.Scheme = firecracker.SchemeStock
+	case SchemeSEVeriFast:
+		fcfg.Scheme = firecracker.SchemeSEVeriFastBz
+	case SchemeSEVeriFastVmlinux:
+		fcfg.Scheme = firecracker.SchemeSEVeriFastVmlinux
+	}
+	if p.cfg.Attest && level.Encrypted() {
+		auth := kbs.NewAuthority(p.host.seed ^ 0xB0B)
+		broker := kbs.NewBroker(auth.Root(), kbs.Config{
+			MinTCB:   poolTCB,
+			NonceTTL: time.Second,
+			Seed:     p.host.seed,
+		})
+		broker.AddTenant("owner", []byte("secret-"+string(p.cfg.Kernel)))
+		fcfg.KBS = broker
+		fcfg.Enrollment = auth.Enroll(p.host.inner.PSP, "chip-pool", poolTCB)
+		fcfg.AgentSeed = p.host.seed
+	}
+	p.orch = fleet.New(p.host.eng, p.host.inner, fcfg)
+	initrd := kernelgen.BuildInitrd(p.cfg.Seed, p.cfg.InitrdMiB<<20)
+	img, err := p.orch.RegisterImage(string(p.cfg.Kernel), preset, initrd)
+	if err != nil {
+		return classifyErr(err)
+	}
+	p.img = img
+	return nil
+}
+
+// Boot serves one boot of the pool's image: cold (measured) the first
+// time, forked from the warm pool afterwards. The returned Result's
+// Total is the request latency in virtual time; LaunchDigest is the
+// measurement the guest attested with — identical for cold and forked
+// boots of the same image.
+func (p *Pool) Boot() (*Result, error) {
+	if p.closed {
+		return nil, fmt.Errorf("severifast: pool is closed")
+	}
+	if err := p.ensureOrch(); err != nil {
+		return nil, err
+	}
+	p.seq++
+	var (
+		total    time.Duration
+		bootErr  error
+		finished bool
+	)
+	p.host.eng.Go(fmt.Sprintf("pool-boot-%d", p.seq), func(pr *sim.Proc) {
+		start := pr.Now()
+		p.orch.Serve(pr, fleet.Request{
+			Tenant: "owner",
+			Image:  p.img,
+			Done: func(dp *sim.Proc, _ fleet.Tier, err error) {
+				total = dp.Now().Sub(start)
+				bootErr = err
+				finished = true
+			},
+		})
+	})
+	p.host.eng.Run()
+	if !finished {
+		return nil, fmt.Errorf("severifast: pool boot never concluded")
+	}
+	if bootErr != nil {
+		return nil, classifyErr(bootErr)
+	}
+	res := &Result{
+		Total: total,
+		host:  p.host,
+	}
+	if m := p.lastServed; m != nil {
+		res.machine = m
+		res.timeline = m.Timeline
+		res.CPUs = p.cfg.VCPUs
+		if m.Launch != nil {
+			res.LaunchDigest = m.Launch.Digest()
+		}
+	}
+	return res, nil
+}
+
+// Prewarm forks up to n standby guests so later Boot calls pop a ready
+// machine instead of forking inline. If the warm pool is not yet seeded
+// (no boot has happened), Prewarm pays one measured cold boot first to
+// capture the donor; that boot counts in Stats. Returns how many
+// standbys were added, bounded by PoolOptions.WarmPoolSize.
+func (p *Pool) Prewarm(n int) (int, error) {
+	if p.closed {
+		return 0, fmt.Errorf("severifast: pool is closed")
+	}
+	if err := p.ensureOrch(); err != nil {
+		return 0, err
+	}
+	if !p.img.HasWarm() {
+		if _, err := p.Boot(); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		added   int
+		preErr  error
+		started bool
+	)
+	p.seq++
+	p.host.eng.Go(fmt.Sprintf("pool-prewarm-%d", p.seq), func(pr *sim.Proc) {
+		started = true
+		added, preErr = p.orch.Prewarm(pr, p.img, n)
+	})
+	p.host.eng.Run()
+	if !started {
+		return 0, fmt.Errorf("severifast: prewarm never ran")
+	}
+	return added, classifyErr(preErr)
+}
+
+// Stats snapshots the pool's serving history.
+func (p *Pool) Stats() PoolStats {
+	var s PoolStats
+	if p.orch == nil {
+		return s
+	}
+	m := p.orch.Metrics()
+	s.ColdBoots = m.Boots[fleet.TierCold]
+	s.CachedColdBoots = m.Boots[fleet.TierCachedCold]
+	s.WarmBoots = m.Boots[fleet.TierWarm]
+	s.Boots = s.ColdBoots + s.CachedColdBoots + s.WarmBoots
+	s.Standbys = p.orch.StandbyCount(p.img)
+	s.Attested = m.Attested
+	s.Failed = m.Failed
+	if len(m.Latency[fleet.TierCold]) > 0 {
+		s.ColdP50 = m.Latency[fleet.TierCold].Percentile(50)
+	}
+	if len(m.Latency[fleet.TierWarm]) > 0 {
+		s.WarmP50 = m.Latency[fleet.TierWarm].Percentile(50)
+	}
+	return s
+}
+
+// Close drains the orchestrator and reports the first deterministic
+// error any boot hit. The pool cannot be used afterwards.
+func (p *Pool) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.orch == nil {
+		return nil
+	}
+	p.orch.Close()
+	p.host.eng.Run()
+	return classifyErr(p.orch.Err())
+}
+
+// bootFanout is the Pool's compatibility mode behind Host.BootConcurrent:
+// n identical guests spawned simultaneously on the pool's host, each a
+// full independent cold boot (process names "vm-<i>", exactly the
+// pre-Pool behavior, so seeded virtual-time outputs are unchanged). It
+// never creates the orchestrator.
+func (p *Pool) bootFanout(n int) ([]*Result, error) {
+	cfg := p.cfg
+	preset, err := kernelgen.PresetByName(string(cfg.Kernel))
+	if err != nil {
+		return nil, classifyErr(err)
+	}
+	level, err := sev.ParseLevel(string(cfg.Level))
+	if err != nil {
+		return nil, err
+	}
+	art, err := kernelgen.Cached(preset)
+	if err != nil {
+		return nil, err
+	}
+	initrd := kernelgen.BuildInitrd(cfg.Seed, cfg.InitrdMiB<<20)
+	h := p.host
+	h.inner.THP = !cfg.DisableTHP
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.eng.Go(fmt.Sprintf("vm-%d", i), func(pr *sim.Proc) {
+			results[i], errs[i] = h.bootOne(pr, cfg, preset, level, art, initrd)
+		})
+	}
+	h.eng.Run()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, r := range results {
+		h.reg.Counter("severifast_boots_total", telemetry.A("scheme", string(cfg.Scheme))).Inc()
+		h.reg.Series("severifast_boot_seconds", telemetry.A("scheme", string(cfg.Scheme))).Observe(r.Total)
+	}
+	return results, nil
+}

@@ -399,10 +399,13 @@ func NewHostSeed(seed int64) *Host {
 // byte-identical output.
 type Telemetry struct {
 	reg *telemetry.Registry
+	rec *telemetry.HostRecorder
 }
 
 // Telemetry returns the host's exporter facade.
-func (h *Host) Telemetry() *Telemetry { return &Telemetry{reg: h.reg} }
+func (h *Host) Telemetry() *Telemetry {
+	return &Telemetry{reg: h.reg, rec: h.inner.HostStats}
+}
 
 // WriteChromeTrace writes the full host history as Chrome trace-event
 // JSON (load in Perfetto: one track per simulated process, PSP command
@@ -420,22 +423,33 @@ func (t *Telemetry) WriteJSONSummary(w io.Writer) error { return t.reg.WriteJSON
 // WriteHostStats writes the host-time performance instrumentation in
 // Prometheus text format: wall-clock stage timings (e.g. the parallel
 // measurement pipeline) and cache counters (artifact digest memo hits,
-// CoW page aliasing, zero-copy range views). Unlike the virtual-time
-// exporters above, these measure real CPU work on the simulating host,
-// are process-global, and vary run to run; the virtual-time exports stay
+// CoW page aliasing, fork adoptions, zero-copy range views). Unlike the
+// virtual-time exporters above, these measure real CPU work on the
+// simulating host and vary run to run; the virtual-time exports stay
 // byte-identical for a given seed regardless of what these report.
-func (t *Telemetry) WriteHostStats(w io.Writer) error { return telemetry.WriteHostStats(w) }
+//
+// The stats are scoped to this Host: two hosts in one process never
+// interleave counters. (Process-wide artifact interning counters remain
+// in the deprecated package-global recorder.)
+func (t *Telemetry) WriteHostStats(w io.Writer) error { return t.recorder().Write(w) }
 
-// HostStats returns a snapshot of the host-time instrumentation:
+// HostStats returns a snapshot of this host's host-time instrumentation:
 // cumulative stage nanoseconds (plus "<stage>.calls" entries) and the
 // host-side cache/pool counters.
 func (t *Telemetry) HostStats() (stages, counters map[string]int64) {
-	return telemetry.HostStatsSnapshot()
+	return t.recorder().Snapshot()
 }
 
-// ResetHostStats zeroes the process-global host-time instrumentation,
-// e.g. between benchmark iterations.
-func (t *Telemetry) ResetHostStats() { telemetry.ResetHostStats() }
+// ResetHostStats zeroes this host's host-time instrumentation, e.g.
+// between benchmark iterations.
+func (t *Telemetry) ResetHostStats() { t.recorder().Reset() }
+
+func (t *Telemetry) recorder() *telemetry.HostRecorder {
+	if t.rec != nil {
+		return t.rec
+	}
+	return telemetry.DefaultHostRecorder
+}
 
 // PlatformKey returns the PSP's report-verification key (the VCEK stand-in
 // a guest owner verifies attestation reports against).
@@ -453,6 +467,12 @@ func (h *Host) Boot(cfg Config) (*Result, error) {
 // BootConcurrent launches n identical guests simultaneously, sharing this
 // host's PSP. With SEV enabled, launches serialize on the PSP and mean
 // boot time grows linearly with n (paper Fig. 12).
+//
+// Deprecated: use Pool for running many boots of one image. BootConcurrent
+// cold boots every guest independently — each pays the full measurement
+// pass — where a Pool forks warm boots from one sealed snapshot. It
+// remains a thin wrapper over the Pool's cold fan-out mode (virtual-time
+// outputs are unchanged) and will stay for at least one release.
 func (h *Host) BootConcurrent(cfg Config, n int) ([]*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
@@ -460,40 +480,7 @@ func (h *Host) BootConcurrent(cfg Config, n int) ([]*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("severifast: n must be >= 1")
 	}
-	preset, err := kernelgen.PresetByName(string(cfg.Kernel))
-	if err != nil {
-		return nil, classifyErr(err)
-	}
-	level, err := sev.ParseLevel(string(cfg.Level))
-	if err != nil {
-		return nil, err
-	}
-	art, err := kernelgen.Cached(preset)
-	if err != nil {
-		return nil, err
-	}
-	initrd := kernelgen.BuildInitrd(cfg.Seed, cfg.InitrdMiB<<20)
-	h.inner.THP = !cfg.DisableTHP
-
-	results := make([]*Result, n)
-	errs := make([]error, n)
-	for i := 0; i < n; i++ {
-		i := i
-		h.eng.Go(fmt.Sprintf("vm-%d", i), func(p *sim.Proc) {
-			results[i], errs[i] = h.bootOne(p, cfg, preset, level, art, initrd)
-		})
-	}
-	h.eng.Run()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
-	}
-	for _, r := range results {
-		h.reg.Counter("severifast_boots_total", telemetry.A("scheme", string(cfg.Scheme))).Inc()
-		h.reg.Series("severifast_boot_seconds", telemetry.A("scheme", string(cfg.Scheme))).Observe(r.Total)
-	}
-	return results, nil
+	return newPool(h, cfg, PoolOptions{}).bootFanout(n)
 }
 
 func (h *Host) bootOne(p *sim.Proc, cfg Config, preset kernelgen.Preset, level sev.Level, art *kernelgen.Artifacts, initrd []byte) (*Result, error) {
