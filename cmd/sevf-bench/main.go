@@ -51,8 +51,10 @@ func run(args []string, out io.Writer) error {
 		benchVMs   = fs.Int("bench-vms", 16, "same-image boots per fleet iteration for -bench-out")
 		benchIters = fs.Int("bench-iters", 4, "timed fleet iterations for -bench-out")
 		benchWarm  = fs.Bool("bench-warm", false, "bench the snapshot-fork warm path: 1 cold seed + N-1 forked boots per iteration")
+		benchHuge  = fs.Bool("bench-hugepage", false, "run -bench-out under strict huge-page validation accounting (own virtual-time pin, mode \"cold-hugepage\")")
 
-		scalingOut = fs.String("scaling-out", "", "sweep the warm-fork fleet across hostwork widths (1..16) and fleet sizes (16..1024) and write the curve JSON to this path")
+		scalingOut     = fs.String("scaling-out", "", "sweep the warm-fork fleet across hostwork widths (1..16) and fleet sizes (16..1024) and write the curve JSON to this path")
+		coldScalingOut = fs.String("bench-cold-scaling", "", "sweep the cold fleet across hostwork widths (1..16) and fleet sizes (16..1024) and write the curve JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +128,7 @@ func run(args []string, out io.Writer) error {
 	if *benchOut != "" {
 		res, err := expt.HostBench(expt.HostBenchOptions{
 			Label: *benchLabel, VMs: *benchVMs, Iters: *benchIters, Warm: *benchWarm,
+			HugePage: *benchHuge,
 		})
 		if err != nil {
 			return fmt.Errorf("host bench: %w", err)
@@ -150,6 +153,19 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "scaling curve written to %s\n", *scalingOut)
+	}
+	if *coldScalingOut != "" {
+		res, err := expt.ColdScalingBench(*benchLabel, nil, nil, 0)
+		if err != nil {
+			return fmt.Errorf("cold scaling bench: %w", err)
+		}
+		fmt.Fprintln(out, res)
+		if err := writeExport(*coldScalingOut, func(w io.Writer) error {
+			return expt.WriteScaling(w, res)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cold scaling curve written to %s\n", *coldScalingOut)
 	}
 	return nil
 }

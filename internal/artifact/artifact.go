@@ -100,6 +100,20 @@ func Intern(data []byte) *Buf {
 	return b
 }
 
+// Of wraps data in an unregistered *Buf: full per-buffer memoization
+// (digests, ranges, derived cache) without an intern-table entry. For
+// buffers whose canonical handle travels explicitly — a launch plan's
+// staging blob carried in Region.Art, aliased into guest pages as
+// provenance — pointer re-lookup is unnecessary, and keeping them out
+// of the table lets per-boot plans come and go without growing it.
+// The caller must never mutate data afterwards. Empty slices return nil.
+func Of(data []byte) *Buf {
+	if len(data) == 0 {
+		return nil
+	}
+	return &Buf{data: data}
+}
+
 // Lookup returns the interned *Buf for data, or nil if this exact slice
 // (same backing array, same length) was never interned. Callers that
 // must not grow the table — e.g. a per-boot cache key — use Lookup and

@@ -155,6 +155,8 @@ func Run(cfg Config) (*Report, error) {
 		var tr TrialReport
 		if ft, ok := mut.(*forkMutation); ok {
 			tr = runForkTrial(ft, initrd)
+		} else if pt, ok := mut.(*planMutation); ok {
+			tr = runPlanTrial(pt, initrd)
 		} else if st, ok := mut.(*snapMutation); ok {
 			tr = runSnapshotTrial(st, initrd)
 		} else {

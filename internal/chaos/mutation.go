@@ -114,6 +114,16 @@ func catalog(cfg Config) []Mutation {
 			byteIdx: r.Intn(32),
 			mask:    byte(1 + r.Intn(255)),
 		})
+		for i := 0; i < cfg.Trials; i++ {
+			r := draw()
+			muts = append(muts, &planMutation{
+				kind: "bitflip",
+				off:  r.Intn(1 << 20),
+				mask: byte(1 + r.Intn(255)),
+			})
+		}
+		draw()
+		muts = append(muts, &planMutation{kind: "pristine"})
 	}
 	if want["psp"] {
 		for i := 0; i < cfg.Trials; i++ {

@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/measure"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// planMutation dirties the measured plan's staging blob in the window
+// between image registration (the plan is published, its digest folded
+// from honest bytes) and the next launch measurement — the exact surface
+// the zero-copy loader exposes: guest pages alias the blob, so a flipped
+// bit would ride into guest memory with full provenance. The defense is
+// that Corrupt invalidates the artifact's digest memos, forcing the PSP
+// to re-hash the bytes it actually measures; the cached prediction keeps
+// the honest digest, and the boot must refuse with ErrDigestMismatch.
+// A tampered boot going live under the registered digest is an ESCAPE.
+// These trials run standalone, mirroring the fork family's
+// dirty → refuse → restore → recover pristine-control pattern.
+type planMutation struct {
+	kind string // bitflip | pristine
+	off  int
+	mask byte
+}
+
+func (m *planMutation) Family() string { return "artifact" }
+func (m *planMutation) Name() string {
+	if m.kind == "pristine" {
+		return "plan-pristine-control"
+	}
+	return "plan-blob-dirty"
+}
+func (m *planMutation) Params() string {
+	if m.kind == "pristine" {
+		return "untouched staging blob"
+	}
+	return fmt.Sprintf("off=%d mask=%#02x", m.off, m.mask)
+}
+func (m *planMutation) Expected() []error { return []error{fleet.ErrDigestMismatch} }
+func (m *planMutation) Arm(*Harness)      {} // standalone; never armed on a fleet harness
+
+// runPlanTrial drives a standalone cold fleet through
+// plan → dirty blob → refuse → restore → recover and classifies the
+// result.
+func runPlanTrial(m *planMutation, initrd []byte) TrialReport {
+	tr := TrialReport{Family: m.Family(), Name: m.Name(), Params: m.Params()}
+	fail := func(format string, args ...any) TrialReport {
+		tr.Outcome = Unexpected
+		tr.Detail = fmt.Sprintf(format, args...)
+		return tr
+	}
+
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	cache := fleet.NewCache()
+	var digests [][32]byte
+	o := fleet.New(eng, host, fleet.Config{
+		Name:       "plan-trial",
+		Standalone: true,
+		Cache:      cache,
+		OnServed: func(_ *sim.Proc, mach *kvm.Machine, _ fleet.Tier) {
+			digests = append(digests, mach.Launch.Digest())
+		},
+	})
+	img, err := o.RegisterImage("fn", kernelgen.Lupine(), initrd)
+	if err != nil {
+		return fail("registering image: %v", err)
+	}
+
+	var (
+		tiers    []fleet.Tier
+		errs     []error
+		setupErr error
+	)
+	eng.Go("plan-trial", func(p *sim.Proc) {
+		serve := func() {
+			o.Serve(p, fleet.Request{Tenant: "t0", Image: img,
+				Done: func(_ *sim.Proc, tier fleet.Tier, err error) {
+					tiers, errs = append(tiers, tier), append(errs, err)
+				}})
+		}
+		serve() // cold boot: hashes components, publishes the measured plan
+		mi := cache.Get(img.CacheKey())
+		if mi == nil {
+			setupErr = fmt.Errorf("cold boot left no cached plan")
+			return
+		}
+		// Attack the largest blob-backed region: the bulk loader payload,
+		// whose bytes are opaque to the guest — no structural checksum
+		// trips first, so the launch digest is the only defense.
+		var reg measure.Region
+		for _, r := range mi.Regions {
+			if r.Art != nil && len(r.Data) > len(reg.Data) {
+				reg = r
+			}
+		}
+		if reg.Art == nil {
+			setupErr = fmt.Errorf("cached plan has no blob-backed regions to attack")
+			return
+		}
+		blobOff := reg.ArtOff + m.off%len(reg.Data)
+		if m.kind == "bitflip" {
+			reg.Art.Corrupt(blobOff, m.mask) // dirty the aliased loader segment
+		}
+		serve() // relaunch from the (possibly) dirtied plan
+		if m.kind == "bitflip" {
+			// Undo the XOR before recovery: the cached plan is reused
+			// as-is, so the recovery boot must see the honest bytes.
+			reg.Art.Corrupt(blobOff, m.mask)
+		}
+		serve() // recovery: the same cached plan, honest again
+	})
+	eng.Run()
+	tr.EndNS = int64(eng.Now())
+
+	if setupErr != nil {
+		return fail("%v", setupErr)
+	}
+	if len(errs) != 3 {
+		return fail("served %d boots, want 3", len(errs))
+	}
+	if errs[0] != nil {
+		return fail("planning cold boot failed: %v", errs[0])
+	}
+
+	if m.kind == "pristine" {
+		for i, e := range errs {
+			if e != nil {
+				return fail("boot %d refused with an untouched blob: %v", i, e)
+			}
+		}
+		if tiers[1] != fleet.TierCachedCold || tiers[2] != fleet.TierCachedCold {
+			return fail("pristine relaunches served %v/%v, want cached-cold/cached-cold", tiers[1], tiers[2])
+		}
+		for i, d := range digests {
+			if d != digests[0] {
+				tr.Outcome = Escape
+				tr.Detail = fmt.Sprintf("pristine relaunch %d served digest %x, plan measured %x", i, d[:8], digests[0][:8])
+				return tr
+			}
+		}
+		tr.Outcome = Harmless
+		tr.Detail = "pristine relaunches reused the plan; every boot carries the registered digest"
+		return tr
+	}
+
+	// bitflip: the relaunch against the dirtied blob must have been
+	// refused — a stale digest memo would let it go live.
+	if errs[1] == nil {
+		tr.Outcome = Escape
+		tr.Detail = fmt.Sprintf("boot from a dirtied plan blob went live as %s with digest %x", tiers[1], digests[1][:8])
+		return tr
+	}
+	if !errors.Is(errs[1], fleet.ErrDigestMismatch) {
+		return fail("dirty relaunch refused outside the expected class: %v", errs[1])
+	}
+	if errs[2] != nil {
+		return fail("post-restore recovery boot failed: %v", errs[2])
+	}
+	// Successful boots are the planning cold boot and the recovery; the
+	// recovery must re-measure to the same honest digest.
+	if len(digests) != 2 || digests[1] != digests[0] {
+		tr.Outcome = Escape
+		tr.Detail = "recovery boot served a digest the plan never measured"
+		return tr
+	}
+	tr.Outcome = Caught
+	tr.Detail = fmt.Sprintf("tampered plan refused (%v); restored blob re-measured the honest digest",
+		fleet.ErrDigestMismatch)
+	return tr
+}

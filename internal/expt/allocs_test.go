@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"testing"
+
+	"github.com/severifast/severifast/internal/costmodel"
+	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kernelgen"
+	"github.com/severifast/severifast/internal/kvm"
+	"github.com/severifast/severifast/internal/sim"
+)
+
+// Alloc-regression pins: the zero-copy loader work (staging-blob
+// aliasing, span RMP, memoized digests) is visible as a hard ceiling on
+// heap allocations per boot. These are deliberately generous (~25% over
+// the measured steady state) so they only trip on a regression class —
+// a per-page loop reappearing, a digest memo going cold, a fresh copy
+// of a bulk segment — not on incidental churn.
+const (
+	coldAllocCeilingPerBoot = 340 // measured ~259 at 64 VMs
+	// The warm iteration amortizes one full cold seed (plan + staging
+	// blob + snapshot capture) over the fleet, so its per-boot figure
+	// sits above the steady-state fork cost.
+	warmAllocCeilingPerBoot = 580 // measured ~464 at 64 VMs
+)
+
+// allocFleetIteration runs one fleet iteration — register + vms boots —
+// mirroring HostBench's cold and warm scenarios.
+func allocFleetIteration(tb testing.TB, preset kernelgen.Preset, initrd []byte, vms int, warm bool) {
+	tb.Helper()
+	eng := sim.NewEngine()
+	host := kvm.NewHost(eng, costmodel.Default(), 1)
+	if warm {
+		o := fleet.New(eng, host, fleet.Config{Standalone: true, EnableWarm: true})
+		img, err := o.RegisterImage("fn", preset, initrd)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var bootErr error
+		eng.Go("alloc", func(p *sim.Proc) {
+			done := func(_ *sim.Proc, _ fleet.Tier, err error) {
+				if err != nil && bootErr == nil {
+					bootErr = err
+				}
+			}
+			for i := 0; i < vms; i++ {
+				o.Serve(p, fleet.Request{Tenant: "t0", Image: img, Done: done})
+			}
+		})
+		eng.Run()
+		if bootErr != nil {
+			tb.Fatal(bootErr)
+		}
+		if err := o.Err(); err != nil {
+			tb.Fatal(err)
+		}
+		return
+	}
+	o := fleet.New(eng, host, fleet.Config{Workers: vms})
+	img, err := o.RegisterImage("fn", preset, initrd)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := (fleet.Workload{Arrivals: vms, Images: []*fleet.Image{img}, Seed: 1}).Run(eng, o); err != nil {
+		tb.Fatal(err)
+	}
+	eng.Run()
+	if err := o.Err(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func measureAllocsPerBoot(t *testing.T, warm bool) float64 {
+	t.Helper()
+	const vms = 64
+	preset := kernelgen.Lupine()
+	initrd := kernelgen.BuildInitrd(7, 4<<20)
+	// One untimed pass warms the process-lifetime caches (generated
+	// kernels, decompressed payloads, interned artifacts) exactly as
+	// HostBench's warm-up iteration does.
+	allocFleetIteration(t, preset, initrd, vms, warm)
+	avg := testing.AllocsPerRun(3, func() {
+		allocFleetIteration(t, preset, initrd, vms, warm)
+	})
+	return avg / vms
+}
+
+func TestColdBootAllocCeiling(t *testing.T) {
+	if got := measureAllocsPerBoot(t, false); got > coldAllocCeilingPerBoot {
+		t.Errorf("cold path allocates %.1f per boot, ceiling %d — a zero-copy loader or digest memo regressed",
+			got, coldAllocCeilingPerBoot)
+	}
+}
+
+func TestWarmForkAllocCeiling(t *testing.T) {
+	if got := measureAllocsPerBoot(t, true); got > warmAllocCeilingPerBoot {
+		t.Errorf("warm-fork path allocates %.1f per boot, ceiling %d — fork aliasing or digest reuse regressed",
+			got, warmAllocCeilingPerBoot)
+	}
+}

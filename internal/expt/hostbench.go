@@ -49,6 +49,11 @@ type HostBenchOptions struct {
 	// Warm switches to the snapshot-fork scenario: one measured cold
 	// boot seeds the pool, the remaining VMs-1 boots fork from it.
 	Warm bool
+	// HugePage turns on strict huge-page validation accounting
+	// (kvm.Host.HugePageValidation). Virtual time legitimately differs
+	// from the plain cold mode, so the result is labeled
+	// "cold-hugepage" and pinned separately.
+	HugePage bool
 	// Cores bounds the hostwork pool width for the run (0 = GOMAXPROCS).
 	// The scaling curve sweeps it.
 	Cores int
@@ -142,6 +147,7 @@ func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 	iteration := func(timed bool) (time.Duration, time.Duration, error) {
 		eng := sim.NewEngine()
 		host := kvm.NewHost(eng, costmodel.Default(), 1)
+		host.HugePageValidation = opts.HugePage
 		var coldWall time.Duration
 		if opts.Warm {
 			o := fleet.New(eng, host, fleet.Config{Standalone: true, EnableWarm: true})
@@ -241,6 +247,9 @@ func HostBench(opts HostBenchOptions) (*HostBenchResult, error) {
 			res.WallNSPerWarmBoot = (wall.Nanoseconds() - coldWall.Nanoseconds()) / warmBoots
 		}
 	}
+	if opts.HugePage {
+		res.Mode += "-hugepage"
+	}
 	// Process-global counters (artifact interning) ride along with the
 	// per-host stage/counter merge.
 	gs, gc := telemetry.HostStatsSnapshot()
@@ -297,31 +306,51 @@ type ScalingPoint struct {
 	VirtualNSPerFleet int64 `json:"virtual_ns_per_fleet"`
 }
 
-// ScalingResult is the scaling-curve JSON shape: warm-fork fleets swept
-// across hostwork pool widths and fleet sizes.
+// ScalingResult is the scaling-curve JSON shape: fleets swept across
+// hostwork pool widths and fleet sizes, in warm-fork or cold mode.
 type ScalingResult struct {
-	Label      string         `json:"label"`
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Kernel     string         `json:"kernel"`
-	InitrdMiB  int            `json:"initrd_mib"`
-	Points     []ScalingPoint `json:"points"`
+	Label      string `json:"label"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Mode is "warm-fork" or "cold"; empty in files recorded before the
+	// cold sweep existed (those are warm-fork).
+	Mode      string         `json:"mode,omitempty"`
+	Kernel    string         `json:"kernel"`
+	InitrdMiB int            `json:"initrd_mib"`
+	Points    []ScalingPoint `json:"points"`
 }
 
 // ScalingBench sweeps the warm-fork fleet across cores × VMs. The
 // virtual makespan per fleet size must be identical at every width —
 // worker count is host-side parallelism only.
 func ScalingBench(label string, cores, vms []int, initrdMiB int) (*ScalingResult, error) {
+	return scalingBench(label, cores, vms, initrdMiB, true)
+}
+
+// ColdScalingBench is ScalingBench for the cold path: every boot is a
+// full independent cold boot of the same registered image (first boot
+// measures, the rest hit the measured-image cache and the zero-copy
+// loaders). The same width-invariance applies.
+func ColdScalingBench(label string, cores, vms []int, initrdMiB int) (*ScalingResult, error) {
+	return scalingBench(label, cores, vms, initrdMiB, false)
+}
+
+func scalingBench(label string, cores, vms []int, initrdMiB int, warm bool) (*ScalingResult, error) {
 	if len(cores) == 0 {
 		cores = []int{1, 2, 4, 8, 16}
 	}
 	if len(vms) == 0 {
 		vms = []int{16, 64, 256, 1024}
 	}
+	mode := "cold"
+	if warm {
+		mode = "warm-fork"
+	}
 	res := &ScalingResult{
 		Label:      label,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Mode:       mode,
 		Kernel:     "lupine",
 		InitrdMiB:  4,
 	}
@@ -331,7 +360,7 @@ func ScalingBench(label string, cores, vms []int, initrdMiB int) (*ScalingResult
 	for _, c := range cores {
 		for _, v := range vms {
 			hb, err := HostBench(HostBenchOptions{
-				Label: label, Warm: true, Cores: c, VMs: v, Iters: 1, Warmup: 1,
+				Label: label, Warm: warm, Cores: c, VMs: v, Iters: 1, Warmup: 1,
 				InitrdMiB: res.InitrdMiB,
 			})
 			if err != nil {
@@ -358,10 +387,18 @@ func WriteScaling(w io.Writer, res *ScalingResult) error {
 
 // String renders the scaling matrix as a small table.
 func (r *ScalingResult) String() string {
-	s := fmt.Sprintf("warm-boot scaling %q (GOMAXPROCS=%d)\n  cores  vms    wall/warm-boot\n", r.Label, r.GOMAXPROCS)
+	mode, col := "warm-boot", "wall/warm-boot"
+	if r.Mode == "cold" {
+		mode, col = "cold-boot", "wall/boot"
+	}
+	s := fmt.Sprintf("%s scaling %q (GOMAXPROCS=%d)\n  cores  vms    %s\n", mode, r.Label, r.GOMAXPROCS, col)
 	for _, p := range r.Points {
+		ns := p.WallNSPerWarmBoot
+		if r.Mode == "cold" {
+			ns = p.WallNSPerBoot
+		}
 		s += fmt.Sprintf("  %5d  %5d  %v\n", p.Cores, p.VMs,
-			time.Duration(p.WallNSPerWarmBoot).Round(time.Microsecond))
+			time.Duration(ns).Round(time.Microsecond))
 	}
 	return s
 }

@@ -14,6 +14,7 @@ package firecracker
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/bootparams"
@@ -338,7 +339,16 @@ func bootSEV(proc *sim.Proc, host *kvm.Host, m *kvm.Machine, cfg Config) (*Resul
 	// serially at Close — same digest, less host wall-clock.
 	batch := m.Launch.NewUpdateBatch()
 	for _, r := range regions {
-		if err := batch.Stage(proc, r.GPA, r.Data, r.Type); err != nil {
+		var err error
+		if r.Art != nil {
+			// Zero-copy: alias the plan's staging blob into the guest pages
+			// with provenance, so the deferred content hash is a memo hit on
+			// every boot of an already-measured image.
+			err = batch.StageArtifact(proc, r.GPA, r.Art, r.ArtOff, len(r.Data), r.Type)
+		} else {
+			err = batch.Stage(proc, r.GPA, r.Data, r.Type)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("firecracker: measuring %s: %w", r.Name, err)
 		}
 	}
@@ -485,14 +495,24 @@ func parseVMLinux(art *kernelgen.Artifacts) (*vmImage, error) {
 
 // RootfsImage is the deterministic block-device image every microVM gets:
 // sector 0 carries the magic the guest checks when mounting /dev/vda.
+// The image is built once and shared: the block backend only ever copies
+// sectors out of it, so every machine can serve the same canonical bytes.
 func RootfsImage() []byte {
-	img := make([]byte, 128*512)
-	copy(img, "SVFROOT1")
-	for i := 512; i < len(img); i++ {
-		img[i] = byte(i)
-	}
-	return img
+	rootfsOnce.Do(func() {
+		img := make([]byte, 128*512)
+		copy(img, "SVFROOT1")
+		for i := 512; i < len(img); i++ {
+			img[i] = byte(i)
+		}
+		rootfsImg = img
+	})
+	return rootfsImg
 }
+
+var (
+	rootfsOnce sync.Once
+	rootfsImg  []byte
+)
 
 // attachDevices gives the machine its virtio-mmio devices: a block device
 // always, a network device when the kernel config supports it (§6.1:

@@ -125,16 +125,30 @@ func (m *Memory) AdoptFork(src *ForkSource) error {
 		return ErrNoKey
 	}
 	blob := src.blob.Bytes()
+	// Private pages land assigned+validated; contiguous runs batch into
+	// one RMP splice each instead of a per-page table write.
+	runLo, runHi := uint64(0), uint64(0) // [runLo, runHi) pending private pns
+	flush := func() {
+		if m.rmp != nil && runHi > runLo {
+			m.rmp.AssignValidatedRange(runLo*PageSize, int(runHi-runLo)*PageSize, m.asid)
+		}
+	}
 	for _, fp := range src.pages {
 		p := m.getPage(fp.PN)
 		p.data = blob[fp.Off : fp.Off+PageSize : fp.Off+PageSize]
 		p.cow = true
 		p.art, p.artOff = src.blob, fp.Off
 		p.encrypted = fp.Private
-		if fp.Private && m.rmp != nil {
-			m.rmp.AssignValidated(fp.PN*PageSize, m.asid)
+		if fp.Private {
+			if fp.PN == runHi && runHi > runLo {
+				runHi++
+			} else {
+				flush()
+				runLo, runHi = fp.PN, fp.PN+1
+			}
 		}
 	}
+	flush()
 	m.recorder().CounterAdd("guestmem.fork.adopted", 1)
 	m.recorder().CounterAdd("guestmem.fork.aliased_pages", int64(len(src.pages)))
 	return nil

@@ -161,6 +161,15 @@ func (m *Memory) check(gpa uint64, n int) error {
 	return nil
 }
 
+// rmpSpan converts a [gpa, gpa+n) byte range into the page-aligned base
+// and byte length covering exactly the pages the old per-page RMP walks
+// iterated (including the page containing an unaligned gpa even when
+// n == 0), so one range call replaces the whole loop.
+func rmpSpan(gpa uint64, n int) (uint64, int) {
+	base := gpa &^ (PageSize - 1)
+	return base, int(gpa + uint64(n) - base)
+}
+
 // pageSlabSize is how many page structs one slab allocation yields. A
 // boot touches tens of thousands of pages; carving their structs from
 // slabs turns the dominant per-page allocation into one per 512 pages.
@@ -219,10 +228,9 @@ func (m *Memory) HostWrite(gpa uint64, data []byte) error {
 		return err
 	}
 	if m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
-			if err := m.rmp.CheckHostWrite(off); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, len(data))
+		if err := m.rmp.CheckHostWriteRange(base, span); err != nil {
+			return err
 		}
 	}
 	m.write(gpa, data, false)
@@ -237,10 +245,9 @@ func (m *Memory) HostWriteAliased(gpa uint64, data []byte) error {
 		return err
 	}
 	if m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
-			if err := m.rmp.CheckHostWrite(off); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, len(data))
+		if err := m.rmp.CheckHostWriteRange(base, span); err != nil {
+			return err
 		}
 	}
 	m.writeAliased(gpa, data, false, artifact.Lookup(data), 0)
@@ -290,10 +297,9 @@ func (m *Memory) GuestWrite(gpa uint64, data []byte, cbit bool) error {
 		return ErrNoKey
 	}
 	if cbit && m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
-			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, len(data))
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return err
 		}
 	}
 	m.write(gpa, data, cbit)
@@ -310,10 +316,9 @@ func (m *Memory) GuestRead(gpa uint64, n int, cbit bool) ([]byte, error) {
 		return nil, err
 	}
 	if cbit && m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
-			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-				return nil, err
-			}
+		base, span := rmpSpan(gpa, n)
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return nil, err
 		}
 	}
 	out := make([]byte, n)
@@ -361,17 +366,15 @@ func (m *Memory) GuestCopy(dst, src uint64, n int, dstCbit, srcCbit bool) error 
 	}
 	if m.rmp != nil {
 		if srcCbit {
-			for off := src &^ (PageSize - 1); off < src+uint64(n); off += PageSize {
-				if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-					return err
-				}
+			base, span := rmpSpan(src, n)
+			if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+				return err
 			}
 		}
 		if dstCbit {
-			for off := dst &^ (PageSize - 1); off < dst+uint64(n); off += PageSize {
-				if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-					return err
-				}
+			base, span := rmpSpan(dst, n)
+			if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+				return err
 			}
 		}
 	}
@@ -449,10 +452,11 @@ func (m *Memory) LaunchUpdate(gpa uint64, n int) ([]byte, error) {
 		p := m.getPage(pn)
 		copy(pt[done:], p.readable()[off:off+chunk])
 		p.encrypted = true
-		if m.rmp != nil {
-			m.rmp.AssignValidated(pn*PageSize, m.asid)
-		}
 		done += chunk
+	}
+	if m.rmp != nil {
+		base, span := rmpSpan(gpa, n)
+		m.rmp.AssignValidatedRange(base, span, m.asid)
 	}
 	return pt, nil
 }
@@ -492,12 +496,34 @@ func (m *Memory) writeAliased(gpa uint64, data []byte, encrypted bool, art *arti
 			p.data = data[done : done+PageSize : done+PageSize]
 			p.cow = true
 			p.art, p.artOff = art, artBase+done
+		} else if pa := artBase + done - off; p.data == nil && art != nil &&
+			pa >= 0 && pa+PageSize <= art.Len() &&
+			allZero(art.Bytes()[pa:pa+off]) &&
+			allZero(art.Bytes()[pa+off+chunk:pa+PageSize]) {
+			// Sub-page write into a fresh (all-zero) page, with the artifact
+			// holding zeros around the written bytes at the same intra-page
+			// offsets (staging blobs place regions GPA-congruent and pad to
+			// page boundaries for exactly this): the full page content
+			// equals the artifact's page, so alias it with provenance
+			// instead of copying.
+			p.data = art.Bytes()[pa : pa+PageSize : pa+PageSize]
+			p.cow = true
+			p.art, p.artOff = art, pa
 		} else {
 			copy(p.mutable()[off:], data[done:done+chunk])
 		}
 		p.encrypted = encrypted
 		done += chunk
 	}
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // cipherPage produces the AES-CTR transform of a page's plain text under
@@ -572,10 +598,9 @@ func (m *Memory) GuestWriteAliased(gpa uint64, data []byte, cbit bool) error {
 		return ErrNoKey
 	}
 	if cbit && m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(len(data)); off += PageSize {
-			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, len(data))
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return err
 		}
 	}
 	m.writeAliased(gpa, data, cbit, artifact.Lookup(data), 0)
@@ -592,10 +617,9 @@ func (m *Memory) HostWriteArtifact(gpa uint64, art *artifact.Buf, off, n int) er
 		return err
 	}
 	if m.rmp != nil {
-		for o := gpa &^ (PageSize - 1); o < gpa+uint64(n); o += PageSize {
-			if err := m.rmp.CheckHostWrite(o); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, n)
+		if err := m.rmp.CheckHostWriteRange(base, span); err != nil {
+			return err
 		}
 	}
 	m.writeAliased(gpa, data, false, art, off)
@@ -614,10 +638,9 @@ func (m *Memory) GuestWriteArtifact(gpa uint64, art *artifact.Buf, off, n int, c
 		return ErrNoKey
 	}
 	if cbit && m.rmp != nil {
-		for o := gpa &^ (PageSize - 1); o < gpa+uint64(n); o += PageSize {
-			if err := m.rmp.CheckGuestAccess(o, m.asid); err != nil {
-				return err
-			}
+		base, span := rmpSpan(gpa, n)
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return err
 		}
 	}
 	m.writeAliased(gpa, data, cbit, art, off)
@@ -697,9 +720,10 @@ func (m *Memory) ShareRange(gpa uint64, n int) error {
 	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
 		p := m.getPage(off / PageSize)
 		p.encrypted = false
-		if m.rmp != nil {
-			m.rmp.Reclaim(off)
-		}
+	}
+	if m.rmp != nil {
+		base, span := rmpSpan(gpa, n)
+		m.rmp.ReclaimRange(base, span)
 	}
 	return nil
 }
@@ -818,10 +842,9 @@ func (m *Memory) HashRange(gpa uint64, n int, cbit bool) ([32]byte, error) {
 		return sum, err
 	}
 	if cbit && m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
-			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-				return sum, err
-			}
+		base, span := rmpSpan(gpa, n)
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return sum, err
 		}
 	}
 	allMatch := true
@@ -888,10 +911,9 @@ func (m *Memory) ArtifactRange(gpa uint64, n int, cbit bool) (*artifact.Buf, int
 		return nil, 0, err
 	}
 	if cbit && m.rmp != nil {
-		for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
-			if err := m.rmp.CheckGuestAccess(off, m.asid); err != nil {
-				return nil, 0, err
-			}
+		base, span := rmpSpan(gpa, n)
+		if err := m.rmp.CheckGuestAccessRange(base, span, m.asid); err != nil {
+			return nil, 0, err
 		}
 	}
 	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
@@ -922,9 +944,10 @@ func (m *Memory) LaunchUpdateFlip(gpa uint64, n int) error {
 	for off := gpa &^ (PageSize - 1); off < gpa+uint64(n); off += PageSize {
 		p := m.getPage(off / PageSize)
 		p.encrypted = true
-		if m.rmp != nil {
-			m.rmp.AssignValidated(off, m.asid)
-		}
+	}
+	if m.rmp != nil {
+		base, span := rmpSpan(gpa, n)
+		m.rmp.AssignValidatedRange(base, span, m.asid)
 	}
 	return nil
 }

@@ -33,6 +33,15 @@ type Host struct {
 	// guests validate memory with 2 MiB pvalidate operations.
 	THP bool
 
+	// HugePageValidation selects the hardware-faithful huge-page
+	// validation accounting (the paper's 2 MiB ablation): the verifier
+	// issues one pvalidate per uniformly-unvalidated PageSize block and
+	// falls back to per-4KiB instructions over fragmented ranges, and is
+	// charged for the instructions actually issued rather than the flat
+	// size/pageSize estimate. Off by default — it legitimately changes
+	// virtual-time charges, so it gets its own goldens and bench labels.
+	HugePageValidation bool
+
 	// Telemetry, when set, makes every machine's timeline a span scope
 	// on the booting proc's track. Install it with eng.SetTracer too so
 	// PSP queueing shows up in the same registry.

@@ -194,23 +194,44 @@ func kernelInit(proc *sim.Proc, m *kvm.Machine, entry uint64, preset kernelgen.P
 		return nil, fmt.Errorf("linux: %w", err)
 	}
 
-	// Initrd: unpack the CPIO and find /init.
+	// Initrd: unpack the CPIO and find /init. When the resident initrd
+	// pages still carry their canonical-artifact provenance (the zero-copy
+	// fleet path), the parse is memoized on the artifact: every boot of a
+	// registered image resolves to the same (artifact, offset), so the
+	// multi-megabyte archive is read and unpacked once per image, not once
+	// per boot.
 	initrdOK := false
 	if params.RamdiskSize > 0 {
-		archive, err := m.Mem.GuestRead(uint64(params.RamdiskImage), int(params.RamdiskSize), cbit)
+		rdGPA, rdSize := uint64(params.RamdiskImage), int(params.RamdiskSize)
+		art, base, err := m.Mem.ArtifactRange(rdGPA, rdSize, cbit)
 		if err != nil {
 			return nil, fmt.Errorf("linux: reading initrd: %w", err)
 		}
-		files, err := cpio.Parse(archive)
-		if err != nil {
-			return nil, fmt.Errorf("linux: unpacking initrd: %w", err)
+		var files []cpio.File
+		if art != nil {
+			filesAny, derr := art.Derived(fmt.Sprintf("cpio.files:%d:%d", base, rdSize), func() (any, error) {
+				return cpio.Parse(art.Bytes()[base : base+rdSize])
+			})
+			if derr != nil {
+				return nil, fmt.Errorf("linux: unpacking initrd: %w", derr)
+			}
+			files = filesAny.([]cpio.File)
+		} else {
+			archive, err := m.Mem.GuestRead(rdGPA, rdSize, cbit)
+			if err != nil {
+				return nil, fmt.Errorf("linux: reading initrd: %w", err)
+			}
+			files, err = cpio.Parse(archive)
+			if err != nil {
+				return nil, fmt.Errorf("linux: unpacking initrd: %w", err)
+			}
 		}
 		if cpio.Lookup(files, "init") == nil {
 			return nil, fmt.Errorf("linux: initrd has no /init")
 		}
 		initrdOK = true
 		// Unpacking cost: the CPIO is copied into the tmpfs rootfs.
-		proc.Sleep(model.Copy(int(params.RamdiskSize)))
+		proc.Sleep(model.Copy(rdSize))
 	}
 
 	// Virtio device probes: real register negotiation and, for the block

@@ -8,6 +8,7 @@ package ovmf
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/severifast/severifast/internal/kernelgen"
 	"github.com/severifast/severifast/internal/kvm"
@@ -39,10 +40,44 @@ func Volume(seed int64) []byte { return kernelgen.GenBinary(seed^0x0FF, CodeSize
 // VarStore returns the NVRAM varstore bytes.
 func VarStore(seed int64) []byte { return kernelgen.GenBinary(seed^0xFAB, VarStoreSize) }
 
+// planKey identifies one cached OVMF plan: the firmware build, the
+// protection level (which decides the SNP metadata pages and the VMSA),
+// and the measured-direct-boot component hashes.
+type planKey struct {
+	seed   int64
+	level  sev.Level
+	hashes measure.ComponentHashes
+}
+
+var planCache struct {
+	mu sync.Mutex
+	m  map[planKey][]measure.Region
+}
+
 // PlanRegions returns OVMF's pre-encryption plan: everything the QEMU flow
 // measures before guest entry. Compare measure.Plan: the difference in
 // byte count is the whole Fig. 10 pre-encryption story.
+//
+// Plans are cached per (seed, level, hashes) and bound to a staging
+// blob: the >1 MiB firmware volume is generated and concatenated once,
+// and every boot of the same firmware stages the same immutable bytes
+// zero-copy. Callers must treat the returned regions as read-only.
 func PlanRegions(seed int64, level sev.Level, hashes measure.ComponentHashes) []measure.Region {
+	k := planKey{seed: seed, level: level, hashes: hashes}
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	if regions, ok := planCache.m[k]; ok {
+		return regions
+	}
+	regions := planRegions(seed, level, hashes)
+	if planCache.m == nil {
+		planCache.m = make(map[planKey][]measure.Region)
+	}
+	planCache.m[k] = regions
+	return regions
+}
+
+func planRegions(seed int64, level sev.Level, hashes measure.ComponentHashes) []measure.Region {
 	regions := []measure.Region{
 		{Name: "ovmf-code", GPA: GPACode, Data: Volume(seed), Type: sev.PageNormal},
 		{Name: "ovmf-vars", GPA: GPAVarStore, Data: VarStore(seed), Type: sev.PageNormal},
@@ -59,7 +94,7 @@ func PlanRegions(seed int64, level sev.Level, hashes measure.ComponentHashes) []
 			Name: "vmsa", GPA: measure.GPAVMSA, Data: measure.VMSAPage(GPACode), Type: sev.PageVMSA,
 		})
 	}
-	return regions
+	return measure.BindStagingBlob(regions)
 }
 
 // Run executes the firmware in the guest: the four PI phases, then the

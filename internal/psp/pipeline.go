@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/hostwork"
 	"github.com/severifast/severifast/internal/sev"
 	"github.com/severifast/severifast/internal/sim"
@@ -74,6 +75,22 @@ func (ctx *GuestContext) NewUpdateBatch() *UpdateBatch {
 // hashes are flushed first so every region is measured exactly as the
 // sequential path would have.
 func (b *UpdateBatch) Stage(proc *sim.Proc, gpa uint64, data []byte, pt sev.PageType) error {
+	return b.stage(proc, gpa, data, pt, nil, 0)
+}
+
+// StageArtifact is Stage for a subrange of an immutable artifact: the
+// staging write aliases the artifact's pages copy-on-write with
+// provenance (guestmem.HostWriteArtifact), so the deferred content hash
+// resolves through the artifact's digest memo instead of re-reading
+// guest memory. Virtual-time charges, the flip, the tamper window, and
+// the resulting digest are bit-identical to Stage of the same bytes —
+// a tamper scribble breaks the aliased pages' provenance, so the
+// deferred hash measures the scribbled bytes for real.
+func (b *UpdateBatch) StageArtifact(proc *sim.Proc, gpa uint64, art *artifact.Buf, off, n int, pt sev.PageType) error {
+	return b.stage(proc, gpa, art.Bytes()[off:off+n], pt, art, off)
+}
+
+func (b *UpdateBatch) stage(proc *sim.Proc, gpa uint64, data []byte, pt sev.PageType, art *artifact.Buf, artOff int) error {
 	if b.ctx.state != StateLaunching {
 		return fmt.Errorf("%w: LAUNCH_UPDATE_DATA in state %d", ErrState, b.ctx.state)
 	}
@@ -86,7 +103,13 @@ func (b *UpdateBatch) Stage(proc *sim.Proc, gpa uint64, data []byte, pt sev.Page
 			break
 		}
 	}
-	if err := b.ctx.mem.HostWrite(gpa, data); err != nil {
+	var err error
+	if art != nil {
+		err = b.ctx.mem.HostWriteArtifact(gpa, art, artOff, len(data))
+	} else {
+		err = b.ctx.mem.HostWrite(gpa, data)
+	}
+	if err != nil {
 		return err
 	}
 	if b.ctx.psp.PreEncryptTamper != nil {

@@ -6,6 +6,7 @@ package qemu
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/kernelgen"
@@ -22,6 +23,22 @@ import (
 
 	"github.com/severifast/severifast/internal/firecracker"
 )
+
+// cmdlineCache holds the canonical interned byte form of each distinct
+// cmdline string (a handful per fleet), so staging writes alias one
+// immutable buffer with provenance instead of copying fresh bytes every
+// boot.
+var cmdlineCache sync.Map // string -> []byte
+
+func cmdlineBytes(s string) []byte {
+	if v, ok := cmdlineCache.Load(s); ok {
+		return v.([]byte)
+	}
+	b := []byte(s)
+	artifact.Intern(b)
+	v, _ := cmdlineCache.LoadOrStore(s, b)
+	return v.([]byte)
+}
 
 // Attestor mirrors firecracker.Attestor.
 type Attestor interface {
@@ -109,9 +126,11 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 		proc.Sleep(model.VMMLoad(len(cfg.Initrd)))
 	}
 	// The cmdline travels over fw_cfg too: staged shared, verified in the
-	// guest against the pre-encrypted hash page.
+	// guest against the pre-encrypted hash page. The canonical bytes are
+	// cached per cmdline string so every boot aliases one interned buffer
+	// instead of materializing a fresh copy.
 	cmdlineStage := uint64(measure.GPAStageB) + uint64(len(cfg.Initrd)+4096)&^4095
-	if err := m.Mem.HostWrite(cmdlineStage, []byte(cfg.Cmdline)); err != nil {
+	if err := m.Mem.HostWriteAliased(cmdlineStage, cmdlineBytes(cfg.Cmdline)); err != nil {
 		return nil, err
 	}
 	proc.Sleep(model.VMMSetupMisc)
@@ -131,7 +150,13 @@ func Boot(proc *sim.Proc, host *kvm.Host, cfg Config) (*Result, error) {
 	m.Timeline.Annotate("asid", fmt.Sprintf("%d", m.Launch.ASID()))
 	batch := m.Launch.NewUpdateBatch()
 	for _, r := range ovmf.PlanRegions(cfg.OVMFSeed, cfg.Level, hashes) {
-		if err := batch.Stage(proc, r.GPA, r.Data, r.Type); err != nil {
+		var err error
+		if r.Art != nil {
+			err = batch.StageArtifact(proc, r.GPA, r.Art, r.ArtOff, len(r.Data), r.Type)
+		} else {
+			err = batch.Stage(proc, r.GPA, r.Data, r.Type)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("qemu: measuring %s: %w", r.Name, err)
 		}
 	}

@@ -53,3 +53,10 @@ func WithAttestation() Option { return func(c *Config) { c.Attest = true } }
 
 // WithSeed fixes the host identity (PSP keys) and jitter.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithHugePageValidation opts into hardware-faithful huge-page
+// validation accounting (the paper's 2 MiB ablation): pvalidate
+// instructions are charged as issued, with fragmented blocks falling
+// back to per-4 KiB operations. Virtual-time outputs change, so this
+// mode carries its own goldens and bench labels.
+func WithHugePageValidation() Option { return func(c *Config) { c.HugePageValidation = true } }

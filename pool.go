@@ -130,6 +130,7 @@ func (p *Pool) ensureOrch() error {
 		return err
 	}
 	p.host.inner.THP = !p.cfg.DisableTHP
+	p.host.inner.HugePageValidation = p.cfg.HugePageValidation
 	fcfg := fleet.Config{
 		Name:              "pool",
 		Standalone:        true,
@@ -320,6 +321,7 @@ func (p *Pool) bootFanout(n int) ([]*Result, error) {
 	initrd := kernelgen.BuildInitrd(cfg.Seed, cfg.InitrdMiB<<20)
 	h := p.host
 	h.inner.THP = !cfg.DisableTHP
+	h.inner.HugePageValidation = cfg.HugePageValidation
 
 	results := make([]*Result, n)
 	errs := make([]error, n)

@@ -181,6 +181,16 @@ type Config struct {
 	// instead of 2 MiB (paper §6.1).
 	DisableTHP bool
 
+	// HugePageValidation opts into hardware-faithful 2 MiB validation
+	// accounting (the paper's huge-page ablation): a huge-page pvalidate
+	// only covers blocks that are uniformly unvalidated, so blocks
+	// fragmented by launch-updated pages fall back to per-4 KiB
+	// instructions and the verifier is charged for the instructions
+	// actually issued instead of the flat size/pageSize estimate.
+	// Changes virtual-time outputs; ignored with DisableTHP's 4 KiB
+	// granularity except for the per-instruction accounting.
+	HugePageValidation bool
+
 	// AllowKeySharing relaxes the launch policy so this guest's key can
 	// be shared with warm-started clones (paper §6.2/§7). Visible in the
 	// measurement and the attestation report.

@@ -252,6 +252,44 @@ func TestDisableTHPOption(t *testing.T) {
 	}
 }
 
+func TestHugePageValidationOption(t *testing.T) {
+	// The paper's 2 MiB ablation, hardware-faithful: a huge-page
+	// pvalidate only covers uniformly-unvalidated blocks, so the blocks
+	// fragmented by launch-updated pages fall back to per-4 KiB
+	// instructions. Strict accounting therefore sits strictly between
+	// the flat THP estimate and full 4 KiB validation — and its exact
+	// virtual-time output is a golden of its own.
+	def, err := Boot(Config{Kernel: KernelLupine, InitrdMiB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := Boot(NewConfig(
+		WithKernel(KernelLupine),
+		WithHugePageValidation(),
+	).With(func(c *Config) { c.InitrdMiB = 2 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourK, err := Boot(Config{Kernel: KernelLupine, InitrdMiB: 2, DisableTHP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(def.BootVerification < hp.BootVerification && hp.BootVerification < fourK.BootVerification) {
+		t.Fatalf("strict huge-page verification %v not between THP %v and 4 KiB %v",
+			hp.BootVerification, def.BootVerification, fourK.BootVerification)
+	}
+	// Goldens: the option off must not move the default's virtual time,
+	// and the option on has its own pinned output.
+	const defGolden = 164645338 * time.Nanosecond
+	const hpGolden = 165122238 * time.Nanosecond
+	if def.Total != defGolden {
+		t.Fatalf("default cold boot drifted: %v, golden %v", def.Total, defGolden)
+	}
+	if hp.Total != hpGolden {
+		t.Fatalf("huge-page cold boot drifted: %v, golden %v", hp.Total, hpGolden)
+	}
+}
+
 func TestInBandHashingOption(t *testing.T) {
 	oob, err := Boot(Config{Kernel: KernelLupine, InitrdMiB: 2})
 	if err != nil {
