@@ -1,8 +1,10 @@
 // sevf-chaos runs deterministic adversary campaigns against the boot
 // path: guest-memory scribbles, artifact and cache poisoning, PSP launch
-// tampering, snapshot corruption, key-broker evidence faults, and
+// tampering, snapshot corruption, key-broker evidence faults,
 // policy-store subversion (forged, rescoped, and revoked trust claims),
-// each classified by the invariant oracle as caught, harmless, or ESCAPE.
+// and TCB storms (mid-run revocations and floor bumps with forged
+// recovery claims), each classified by the invariant oracle as caught,
+// harmless, or ESCAPE.
 //
 //	sevf-chaos                                   # all families, seed 1
 //	sevf-chaos -seed 42 -boots 4 -trials 2       # bigger fixed-seed campaign

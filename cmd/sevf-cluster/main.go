@@ -10,6 +10,7 @@
 //	sevf-cluster -trace bursty -burst-factor 12 -warm   # herd arrivals, warm pool on
 //	sevf-cluster -hosts 4 -asids 4 -queue 64            # small cluster, backpressure
 //	sevf-cluster -kbs                                   # attestation-gated boots
+//	sevf-cluster -warm -storm                           # revocation storm + rolling TCB drift
 //	sevf-cluster -summary-out run.json                  # machine-readable summaries
 package main
 
@@ -84,6 +85,14 @@ func run(args []string, out io.Writer) error {
 		brkThresh = fs.Int("breaker-threshold", 0, "per-host breaker: consecutive KBS transport failures to open (0 = off)")
 		brkCool   = fs.Duration("breaker-cooldown", 50*time.Millisecond, "per-host breaker cooldown")
 
+		storm       = fs.Bool("storm", false, "fire a platform-generation revocation storm plus floor bump (implies -kbs)")
+		stormAt     = fs.Duration("storm-at", 2*time.Second, "virtual instant the storm fires")
+		stormGen    = fs.String("storm-gen", "gen0", "chip generation the storm revokes")
+		generations = fs.Int("generations", 2, "chip generations striped across hosts (storm runs)")
+		stormFloor  = fs.String("storm-floor", "2.1.9.120", "minimum-TCB floor the storm bumps to")
+		driftStart  = fs.Duration("drift-start", time.Second, "when rolling per-host TCB updates begin")
+		driftEvery  = fs.Duration("drift-interval", 250*time.Millisecond, "gap between per-host TCB updates (0 = no drift)")
+
 		summaryOut = fs.String("summary-out", "", "write the Output JSON here ('-' = stdout, suppresses the text report)")
 		metricsOut = fs.String("metrics-out", "", "write the last run's telemetry in Prometheus text format")
 		traceOut   = fs.String("trace-out", "", "write the last run's Chrome trace-event JSON (open in Perfetto)")
@@ -95,6 +104,15 @@ func run(args []string, out io.Writer) error {
 	kp, err := kernelgen.PresetByName(*preset)
 	if err != nil {
 		return err
+	}
+	// The storm cascades through the attestation gates, so it only makes
+	// sense on a broker-gated run.
+	var floorTCB kbs.TCB
+	if *storm {
+		*useKBS = true
+		if floorTCB, err = kbs.ParseTCB(*stormFloor); err != nil {
+			return fmt.Errorf("-storm-floor: %w", err)
+		}
 	}
 	spec := cluster.TraceSpec{
 		Kind:             cluster.TraceKind(strings.ToLower(*kind)),
@@ -147,13 +165,17 @@ func run(args []string, out io.Writer) error {
 		if *brkThresh > 0 {
 			cfg.Breaker = fleet.BreakerPolicy{Threshold: *brkThresh, Cooldown: *brkCool}
 		}
+		if *storm {
+			cfg.Generations = *generations
+		}
+		var broker *kbs.Broker
 		if *useKBS {
 			tcb, err := kbs.ParseTCB(*tcbStr)
 			if err != nil {
 				return fmt.Errorf("-tcb: %w", err)
 			}
 			auth := kbs.NewAuthority(*seed)
-			broker := kbs.NewBroker(auth.Root(), kbs.Config{MinTCB: tcb, Seed: *seed})
+			broker = kbs.NewBroker(auth.Root(), kbs.Config{MinTCB: tcb, Seed: *seed})
 			for i := 0; i < *tenants; i++ {
 				broker.AddTenant(fmt.Sprintf("t%d", i), []byte(*kbsSecret))
 			}
@@ -166,6 +188,17 @@ func run(args []string, out io.Writer) error {
 		c, err := cluster.New(eng, cfg)
 		if err != nil {
 			return err
+		}
+		if *storm {
+			if err := c.InstallStorm(broker, cluster.StormConfig{
+				At:            *stormAt,
+				Generation:    *stormGen,
+				Floor:         floorTCB,
+				DriftStart:    *driftStart,
+				DriftInterval: *driftEvery,
+			}); err != nil {
+				return err
+			}
 		}
 		imgs := make([]*cluster.Image, 0, *images)
 		for i := 0; i < *images; i++ {

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/severifast/severifast/internal/cluster"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -72,6 +74,90 @@ func TestGoldenSmoke(t *testing.T) {
 	if affBytes >= randBytes {
 		t.Errorf("cache-affinity moved %d replicated bytes, random %d — affinity should move less",
 			affBytes, randBytes)
+	}
+}
+
+// stormArgs is the CI storm-smoke scenario: the same 8-host 512-boot
+// Zipf trace, warm pools on, replayed under random and tcb-aware
+// placement through a gen0 revocation storm with a floor bump at
+// virtual 2s and rolling drift from 1s.
+var stormArgs = []string{"-warm", "-storm", "-mean", "10ms",
+	"-policy", "random,tcb-aware", "-summary-out", "-"}
+
+// TestGoldenStorm pins the -storm mode end to end: byte-identical
+// summaries across runs and against the checked-in golden, no forked
+// boot ever served from a revoked donor, a real recovery story in the
+// JSON (makespan-to-green, warm-pool invalidation cost, denial spike),
+// and tcb-aware beating random on trust-plane denials on the same
+// trace.
+func TestGoldenStorm(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(stormArgs, &a); err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if err := run(stormArgs, &b); err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("storm summaries differ across identical runs — determinism broken")
+	}
+	path := filepath.Join("testdata", "storm_smoke_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, a.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read golden (run with -update-golden to create): %v", err)
+		}
+		if !bytes.Equal(a.Bytes(), want) {
+			t.Errorf("output diverged from golden %s (re-run with -update-golden if intentional)", path)
+		}
+	}
+
+	var out Output
+	if err := json.Unmarshal(a.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(out.Runs))
+	}
+	random, aware := out.Runs[0], out.Runs[1]
+	if random.Policy != "random" || aware.Policy != "tcb-aware" {
+		t.Fatalf("unexpected run order: %s, %s", random.Policy, aware.Policy)
+	}
+	denials := func(s cluster.Summary) int {
+		n := s.PolicyDenied
+		for _, v := range s.Denials {
+			n += v
+		}
+		return n
+	}
+	for _, s := range out.Runs {
+		st := s.Storm
+		if st == nil {
+			t.Fatalf("%s: summary has no storm block", s.Policy)
+		}
+		if st.TaintedWarmServed != 0 {
+			t.Errorf("%s: %d forked boots served from revoked donors", s.Policy, st.TaintedWarmServed)
+		}
+		if st.RevokedHosts == 0 || st.Drifted == 0 {
+			t.Errorf("%s: storm revoked %d hosts, drifted %d — cascade missing",
+				s.Policy, st.RevokedHosts, st.Drifted)
+		}
+		if st.MakespanToGreenNs < 0 {
+			t.Errorf("%s: fleet never went green after the storm", s.Policy)
+		}
+		if st.WarmInvalidations == 0 {
+			t.Errorf("%s: storm invalidated no warm pools", s.Policy)
+		}
+		if len(st.DenialSpike) == 0 {
+			t.Errorf("%s: storm produced no denial spike", s.Policy)
+		}
+	}
+	if da, dr := denials(aware), denials(random); da >= dr {
+		t.Errorf("tcb-aware saw %d trust-plane denials, random %d — steering should win", da, dr)
 	}
 }
 

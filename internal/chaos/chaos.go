@@ -3,9 +3,11 @@
 // canonical-artifact and measured-image-cache poisoning, pre-encryption
 // launch-page tampering, PSP digest truncation, snapshot corruption,
 // parent-snapshot dirtying between capture and fork,
-// key-broker evidence corruption/delay/duplication/outage, and
+// key-broker evidence corruption/delay/duplication/outage,
 // policy-store subversion (forged, rescoped, expired, and revoked trust
-// claims) — and an invariant oracle classifies every trial:
+// claims), and TCB storms (mid-run chip revocations and floor bumps with
+// forged un-revocation and floor-restore claims riding the recovery) —
+// and an invariant oracle classifies every trial:
 //
 //   - Caught: the boot failed with the error class the mutation is
 //     expected to provoke (launch-digest mismatch, verifier abort, broker
@@ -50,7 +52,7 @@ const (
 )
 
 // Families, in campaign order.
-var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "fork", "kbs", "policy"}
+var AllFamilies = []string{"guestmem", "artifact", "psp", "snapshot", "fork", "kbs", "policy", "tcbstorm"}
 
 // Config sizes a campaign.
 type Config struct {

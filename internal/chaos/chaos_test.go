@@ -101,6 +101,38 @@ func TestWeakenedVerifierEscapes(t *testing.T) {
 	}
 }
 
+// TestTCBStormFamily pins the storm family's verdicts mutation by
+// mutation: the forged un-revocation and floor-restore claims and the
+// stale-floor evidence replay must be Caught (the storm keeps biting
+// through the forgery), and the pristine recovery control — a ghost-chip
+// revocation plus an identical floor re-file that invalidates every
+// cached verdict — must be Harmless, byte for byte.
+func TestTCBStormFamily(t *testing.T) {
+	rep, err := Run(Config{Seed: 42, Boots: 3, Trials: 1, Families: []string{"tcbstorm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Outcome{
+		"forged-unrevoke":      Caught,
+		"stale-floor-replay":   Caught,
+		"forged-floor-restore": Caught,
+		"pristine-recovery":    Harmless,
+	}
+	if len(rep.Trials) != len(want) {
+		t.Fatalf("tcbstorm campaign ran %d trials, want %d", len(rep.Trials), len(want))
+	}
+	for _, tr := range rep.Trials {
+		if tr.Family != "tcbstorm" {
+			t.Fatalf("foreign family in restricted campaign: %s/%s", tr.Family, tr.Name)
+		}
+		if w, ok := want[tr.Name]; !ok {
+			t.Errorf("unknown tcbstorm mutation %q", tr.Name)
+		} else if tr.Outcome != w {
+			t.Errorf("%s (%s): outcome %s, want %s: %s", tr.Name, tr.Params, tr.Outcome, w, tr.Detail)
+		}
+	}
+}
+
 // TestSingleFamilyCampaign: family selection restricts the catalog.
 func TestSingleFamilyCampaign(t *testing.T) {
 	rep, err := Run(Config{Seed: 7, Boots: 2, Trials: 1, Families: []string{"snapshot"}})

@@ -193,6 +193,27 @@ func catalog(cfg Config) []Mutation {
 			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
 		})
 	}
+	if want["tcbstorm"] {
+		// Same ~250ms delay ceiling as the policy family, and the same
+		// draw-order discipline: these draws are appended after every
+		// existing family so historic campaigns keep their parameters.
+		r := draw()
+		muts = append(muts, &stormForgedUnrevoke{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
+		})
+		r = draw()
+		muts = append(muts, &stormStaleFloorReplay{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
+		})
+		r = draw()
+		muts = append(muts, &stormForgedFloorRestore{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
+		})
+		r = draw()
+		muts = append(muts, &stormPristineRecovery{
+			delay: time.Duration(r.Int63n(int64(250 * time.Millisecond))),
+		})
+	}
 	return muts
 }
 

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/severifast/severifast/internal/kbs"
+	"github.com/severifast/severifast/internal/policy"
+)
+
+// ---------------------------------------------------------------------------
+// tcbstorm family: platform-generation revocation storms and minimum-TCB
+// floor bumps landing under live boots, plus the forged "recovery" claims
+// an adversary would file to undo them. The storms here are the honest
+// operator actions; the tamper is the attempt to neutralize them through
+// the store's hostile-write path. The engine's in-force-revocation
+// precedence and per-claim signature verification are the defenses under
+// test: a storm that bites must keep biting, and a storm that touches
+// nothing the run depends on must change nothing at all.
+
+// stormBumpedFloor is the floor the storm mutations raise above the
+// enrolled platform's TCB, mirroring the cluster storm scenario's
+// SNP+1/microcode+5 step.
+func stormBumpedFloor() kbs.TCB {
+	f := chaosTCB
+	f.SNP++
+	f.Microcode += 5
+	return f
+}
+
+// stormForgedUnrevoke revokes the enrolled chip at a drawn instant and
+// immediately injects an unsigned platform claim naming the chip — the
+// forged "un-revocation" an adversary on the store's write path would
+// file to restore trust. Two independent defenses must hold: in-force
+// revocation claims out-rank every platform claim, and the forgery
+// fails per-claim signature verification anyway (its ID is chosen to
+// sort first, so the engine does consult it). Every exchange strictly
+// after the storm must be refused; a run with zero failures means the
+// forgery worked and is an ESCAPE no matter what was served.
+type stormForgedUnrevoke struct {
+	delay time.Duration
+}
+
+func (m *stormForgedUnrevoke) Family() string { return "tcbstorm" }
+func (m *stormForgedUnrevoke) Name() string   { return "forged-unrevoke" }
+func (m *stormForgedUnrevoke) Params() string { return fmt.Sprintf("at=%s", m.delay) }
+func (m *stormForgedUnrevoke) Expected() []error {
+	// The revocation bites at the fleet's admission gate (a policy
+	// denial) or at the broker's exchange (a kbs denial), depending on
+	// where each boot is when the storm lands.
+	return []error{policy.ErrDenied, kbs.ErrDenied}
+}
+
+func (m *stormForgedUnrevoke) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		_ = h.Broker.RevokeAt("chip-chaos", h.Eng.Now())
+		_ = h.Broker.Policy().Inject(policy.Claim{
+			ID:      "aaa-unrevoke-chip-chaos", // sorts ahead of every honest claim
+			Kind:    policy.KindPlatform,
+			Scope:   "*",
+			Subject: "chip-chaos",
+			Issuer:  kbs.PolicyAnchorID, // impersonates the anchor, carries no signature
+			Note:    "forged un-revocation",
+		})
+	})
+}
+
+func (m *stormForgedUnrevoke) Verdict(res, clean *RunResult) (Outcome, string, bool) {
+	if len(res.failures()) == 0 {
+		return Escape, "chip revoked mid-run yet every boot served — the forged un-revocation restored trust", true
+	}
+	return "", "", false // the default expected-class check applies
+}
+
+// stormStaleFloorReplay bumps the minimum-TCB floor above the enrolled
+// platform at a drawn instant. Every exchange strictly after the bump
+// replays evidence at the old, now-stale TCB and must be refused —
+// including verdicts the broker had already cached, which die with the
+// store version. Zero failures means stale evidence kept redeeming past
+// the bump: an ESCAPE.
+type stormStaleFloorReplay struct {
+	delay time.Duration
+}
+
+func (m *stormStaleFloorReplay) Family() string { return "tcbstorm" }
+func (m *stormStaleFloorReplay) Name() string   { return "stale-floor-replay" }
+func (m *stormStaleFloorReplay) Params() string {
+	return fmt.Sprintf("at=%s floor=%s", m.delay, stormBumpedFloor())
+}
+func (m *stormStaleFloorReplay) Expected() []error {
+	return []error{policy.ErrDenied, kbs.ErrDenied}
+}
+
+func (m *stormStaleFloorReplay) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		_ = h.Broker.BumpFloor(stormBumpedFloor(), h.Eng.Now())
+	})
+}
+
+func (m *stormStaleFloorReplay) Verdict(res, clean *RunResult) (Outcome, string, bool) {
+	if len(res.failures()) == 0 {
+		return Escape, "floor bumped above the platform mid-run yet every boot served — stale evidence kept redeeming", true
+	}
+	return "", "", false
+}
+
+// stormForgedFloorRestore bumps the floor and injects an unsigned
+// replacement platform claim restoring the old, lower floor, its ID
+// chosen to sort ahead of the honest bump claim so the engine consults
+// the forgery first. Signature verification must refuse it and the
+// below-floor denial must keep biting.
+type stormForgedFloorRestore struct {
+	delay time.Duration
+}
+
+func (m *stormForgedFloorRestore) Family() string { return "tcbstorm" }
+func (m *stormForgedFloorRestore) Name() string   { return "forged-floor-restore" }
+func (m *stormForgedFloorRestore) Params() string { return fmt.Sprintf("at=%s", m.delay) }
+func (m *stormForgedFloorRestore) Expected() []error {
+	return []error{policy.ErrDenied, kbs.ErrDenied}
+}
+
+func (m *stormForgedFloorRestore) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		_ = h.Broker.BumpFloor(stormBumpedFloor(), h.Eng.Now())
+		_ = h.Broker.Policy().Inject(policy.Claim{
+			ID:      "aaa-floor-restore", // sorts ahead of the honest floor-bump claim
+			Kind:    policy.KindPlatform,
+			Scope:   "*",
+			Subject: "*",
+			MinTCB:  chaosTCB.Encode(),
+			Issuer:  kbs.PolicyAnchorID,
+			Note:    "forged floor restore",
+		})
+	})
+}
+
+func (m *stormForgedFloorRestore) Verdict(res, clean *RunResult) (Outcome, string, bool) {
+	if len(res.failures()) == 0 {
+		return Escape, "floor bumped mid-run yet every boot served — the forged floor restore was honored", true
+	}
+	return "", "", false
+}
+
+// stormPristineRecovery is the Harmless control: a full recovery cycle
+// that touches nothing the run depends on. A ghost chip that never
+// attests is revoked, and the floor is re-filed at its current value —
+// the store version moves twice, so every cached verdict and admission
+// certificate is re-derived from scratch, yet every boot must still
+// serve and the run must stay byte-identical to the clean run.
+type stormPristineRecovery struct {
+	delay time.Duration
+}
+
+func (m *stormPristineRecovery) Family() string { return "tcbstorm" }
+func (m *stormPristineRecovery) Name() string   { return "pristine-recovery" }
+func (m *stormPristineRecovery) Params() string { return fmt.Sprintf("at=%s", m.delay) }
+func (m *stormPristineRecovery) Expected() []error {
+	// Every boot must succeed; any failure is an unexpected detection.
+	return nil
+}
+
+func (m *stormPristineRecovery) Arm(h *Harness) {
+	h.Eng.After(m.delay, func() {
+		now := h.Eng.Now()
+		_ = h.Broker.RevokeAt("chip-ghost", now)
+		_ = h.Broker.BumpFloor(chaosTCB, now)
+	})
+}

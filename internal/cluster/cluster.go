@@ -99,6 +99,11 @@ type Config struct {
 	Authority *kbs.Authority
 	// TCB is the firmware level hosts are enrolled at.
 	TCB kbs.TCB
+	// Generations partitions hosts into chip generations: host i carries
+	// generation "gen<i mod Generations>". A revocation storm
+	// (InstallStorm) distrusts a whole generation at one virtual instant.
+	// Defaults to 1 — every host is gen0.
+	Generations int
 	// WrapKBS, when set, wraps each host's view of the broker — the
 	// hook tests use to break one host's transport without touching the
 	// others' (per-host circuit breaker isolation).
@@ -141,6 +146,9 @@ func (c *Config) fillDefaults() {
 	if c.Model == (costmodel.Model{}) {
 		c.Model = costmodel.Default()
 	}
+	if c.Generations <= 0 {
+		c.Generations = 1
+	}
 	if c.Policy == nil {
 		c.Policy, _ = PolicyByName("asid-pressure", c.Seed)
 	}
@@ -166,7 +174,24 @@ type HostShard struct {
 	asid  *asidPool
 	boots int
 	tiers [3]int
+
+	// Storm state. gen is the host's chip generation ("gen<i mod
+	// Generations>"); tcb its current firmware level, stepped by rolling
+	// drift; revoked flips when a revocation storm distrusts the
+	// generation. All mutated only from simulation processes.
+	gen     string
+	tcb     kbs.TCB
+	revoked bool
 }
+
+// Generation reports the host's chip generation.
+func (s *HostShard) Generation() string { return s.gen }
+
+// TCB reports the host's current firmware level.
+func (s *HostShard) TCB() kbs.TCB { return s.tcb }
+
+// Revoked reports whether a storm has distrusted this host's platform.
+func (s *HostShard) Revoked() bool { return s.revoked }
 
 func (s *HostShard) pspQueue() int { return s.Host.PSP.Resource().QueueLen() }
 
@@ -192,6 +217,14 @@ type Image struct {
 	sealedSize int
 	donor      *kvm.Machine
 	fork       *snapshot.Fork
+
+	// Donor provenance for storm hygiene. donorHost is the publisher of
+	// the sealed snapshot (-1 until published); donorOf[h] is the host
+	// whose admitted guest seeded host h's warm pool — h itself for a
+	// local capture, donorHost for an adoption, -1 while unseeded. A
+	// revocation storm evicts every pool whose donor is now distrusted.
+	donorHost int
+	donorOf   []int
 }
 
 // Request is one boot demand against the cluster.
@@ -224,6 +257,7 @@ type Cluster struct {
 	closed   bool
 	prepping int
 	nextID   int
+	deferred int
 
 	disp       *sim.Proc
 	dispParked bool
@@ -240,6 +274,13 @@ type Cluster struct {
 	publishedBytes int64
 	policyDenied   int
 
+	// floor tracks the broker's current minimum-TCB floor (Config.TCB
+	// until a storm bumps it) — the reference the tcb-aware policy
+	// compares host firmware against.
+	floor           kbs.TCB
+	dispatchDenials map[string]int
+	storm           *stormState
+
 	firstErr error
 }
 
@@ -252,9 +293,10 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		return nil, errors.New("cluster: Config.KBS set without Authority")
 	}
 	c := &Cluster{
-		eng:  eng,
-		cfg:  cfg,
-		repl: artifact.NewReplicator(cfg.Hosts, cfg.FabricSlots, cfg.Transfer, cfg.Telemetry),
+		eng:   eng,
+		cfg:   cfg,
+		repl:  artifact.NewReplicator(cfg.Hosts, cfg.FabricSlots, cfg.Transfer, cfg.Telemetry),
+		floor: cfg.TCB,
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		name := fmt.Sprintf("h%d", i)
@@ -294,6 +336,8 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 			Orch:  fleet.New(eng, host, fcfg),
 			Cache: cache,
 			asid:  newASIDPool(name, cfg.ASIDsPerHost, cfg.Telemetry),
+			gen:   fmt.Sprintf("gen%d", i%cfg.Generations),
+			tcb:   cfg.TCB,
 		})
 	}
 	eng.Go("cluster-dispatch", c.dispatch)
@@ -327,7 +371,10 @@ func (c *Cluster) Err() error {
 // replication layer's origin registry. No host holds the bytes locally
 // yet: the first boot on each host pays the pull.
 func (c *Cluster) RegisterImage(name string, preset kernelgen.Preset, initrd []byte) (*Image, error) {
-	img := &Image{Name: name}
+	img := &Image{Name: name, donorHost: -1, donorOf: make([]int, len(c.shards))}
+	for i := range img.donorOf {
+		img.donorOf[i] = -1
+	}
 	for _, s := range c.shards {
 		fi, err := s.Orch.RegisterImage(name, preset, initrd)
 		if err != nil {
@@ -419,6 +466,25 @@ func (c *Cluster) dispatch(p *sim.Proc) {
 		r := c.queue[0]
 		c.queue = c.queue[1:]
 		s := c.cfg.Policy.Place(c, r.Image, avail)
+		if s == nil {
+			// The policy declined every candidate — all remaining
+			// capacity sits on platforms it refuses to use (revoked, or
+			// below the TCB floor mid-drift). Hold the boot until
+			// capacity moves rather than burning it on a guaranteed
+			// denial; if nothing is in flight the picture can never
+			// improve, so force the placement and let the admission gate
+			// account the refusal.
+			if c.prepping > 0 || c.asidsInUse() > 0 {
+				c.queue = append(c.queue, nil)
+				copy(c.queue[1:], c.queue)
+				c.queue[0] = r
+				c.deferred++
+				c.cfg.Telemetry.Counter("severifast_cluster_deferred_total").Inc()
+				c.parkDispatch(p)
+				continue
+			}
+			s = avail[0]
+		}
 		s.asid.acquire()
 		c.samplePSPDepth(s)
 		c.prepping++
@@ -480,12 +546,21 @@ func (c *Cluster) prep(p *sim.Proc, s *HostShard, r *pending) {
 func (c *Cluster) admission(p *sim.Proc, s *HostShard, r *pending) error {
 	ev := policy.Evidence{Tenant: r.Tenant}
 	if c.cfg.KBS != nil {
+		// Per-host evidence: the shard's own firmware level, not the
+		// cluster-wide enrollment default, so rolling drift and floor
+		// bumps are visible at the dispatch gate.
 		ev.ChipID = "chip-" + s.Name
-		ev.TCB = c.cfg.TCB.Encode()
+		ev.TCB = s.tcb.Encode()
 		ev.HasPlatform = true
 	}
 	if _, err := c.cfg.Admission.Evaluate(ev, p.Now()); err != nil {
 		c.policyDenied++
+		if d := policy.DenialOf(err); d != nil {
+			if c.dispatchDenials == nil {
+				c.dispatchDenials = make(map[string]int)
+			}
+			c.dispatchDenials[d.Rule+"/"+string(d.Reason)]++
+		}
 		c.cfg.Telemetry.Counter("severifast_cluster_policy_denials_total",
 			telemetry.A("host", s.Name)).Inc()
 		return fmt.Errorf("cluster: dispatch to %s refused: %w", s.Name, err)
@@ -517,6 +592,7 @@ func (c *Cluster) stage(p *sim.Proc, s *HostShard, img *Image, simg *fleet.Image
 		}
 		if !simg.HasWarm() {
 			simg.AdoptWarmFork(snap, img.donor, img.fork)
+			img.donorOf[s.Index] = img.donorHost
 			c.adoptions++
 			c.cfg.Telemetry.Counter("severifast_cluster_warm_adoptions_total",
 				telemetry.A("host", s.Name)).Inc()
@@ -555,6 +631,12 @@ func (c *Cluster) bootDone(p *sim.Proc, s *HostShard, r *pending, tier fleet.Tie
 	c.allLat = append(c.allLat, lat)
 	s.boots++
 	s.tiers[tier]++
+	if c.cfg.EnableWarm && r.Image.perHost[s.Index].HasWarm() && r.Image.donorOf[s.Index] < 0 {
+		// A pool seeded by this host's own cold boot (not an adoption) is
+		// its own donor.
+		r.Image.donorOf[s.Index] = s.Index
+	}
+	c.stormObserve(p, s, r, tier)
 	c.maybePublishWarm(p, s, r.Image)
 	if r.Exec <= 0 {
 		c.release(s)
@@ -570,6 +652,16 @@ func (c *Cluster) bootDone(p *sim.Proc, s *HostShard, r *pending, tier fleet.Tie
 func (c *Cluster) release(s *HostShard) {
 	s.asid.release()
 	c.wakeDispatch()
+}
+
+// asidsInUse sums live guests across the fleet — the dispatcher's "can
+// the capacity picture still change" signal for deferred placements.
+func (c *Cluster) asidsInUse() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.asid.inUse
+	}
+	return n
 }
 
 // maybePublishWarm puts a freshly captured warm snapshot into the
@@ -602,8 +694,12 @@ func (c *Cluster) maybePublishWarm(p *sim.Proc, s *HostShard, img *Image) {
 	img.sealedSize = len(sealed)
 	img.donor = donor
 	img.fork = simg.ForkState()
+	img.donorHost = s.Index
 	img.published = true
 	c.captures++
+	if st := c.storm; st != nil && st.fired {
+		st.reseeds++
+	}
 	c.publishedBytes += int64(len(sealed))
 	c.repl.Publish(s.Index, img.sealedKey, len(sealed))
 	c.cfg.Telemetry.Counter("severifast_cluster_warm_publishes_total",

@@ -7,7 +7,9 @@ import (
 
 // Policy decides which host serves a boot. Place is called from the
 // dispatcher process with the candidate shards that have a free ASID
-// (never empty) and must return one of them. Policies are consulted in
+// (never empty) and returns one of them, or nil to decline them all —
+// the dispatcher then holds the boot until the capacity picture moves
+// (and forces the placement if it never can). Policies are consulted in
 // virtual time and must be deterministic for a given cluster seed.
 type Policy interface {
 	Name() string
@@ -26,13 +28,15 @@ func PolicyByName(name string, seed int64) (Policy, error) {
 		return asidPressurePolicy{}, nil
 	case "cache-affinity":
 		return affinityPolicy{}, nil
+	case "tcb-aware":
+		return tcbAwarePolicy{}, nil
 	}
-	return nil, fmt.Errorf("cluster: unknown policy %q (want random, binpack, asid-pressure, or cache-affinity)", name)
+	return nil, fmt.Errorf("cluster: unknown policy %q (want random, binpack, asid-pressure, cache-affinity, or tcb-aware)", name)
 }
 
 // PolicyNames lists the built-in policies in comparison order.
 func PolicyNames() []string {
-	return []string{"random", "binpack", "asid-pressure", "cache-affinity"}
+	return []string{"random", "binpack", "asid-pressure", "cache-affinity", "tcb-aware"}
 }
 
 // randomPolicy places uniformly at random among hosts with capacity —
@@ -102,6 +106,41 @@ func (affinityPolicy) Place(c *Cluster, img *Image, avail []*HostShard) *HostSha
 		}
 	}
 	return best
+}
+
+// tcbAwarePolicy steers boots toward trustworthy platforms during a
+// storm: only hosts whose firmware meets the current minimum-TCB floor
+// and whose platform is not revoked are eligible; when none qualify the
+// policy declines and the boot waits for a host to drift up rather than
+// being burned on a guaranteed dispatch denial. Ties break to the
+// fewest ASIDs in use, then the lowest index, so outside a storm — all
+// hosts current, none revoked — it degrades into plain load-balancing.
+type tcbAwarePolicy struct{}
+
+func (tcbAwarePolicy) Name() string { return "tcb-aware" }
+
+func (tcbAwarePolicy) Place(c *Cluster, _ *Image, avail []*HostShard) *HostShard {
+	best, bestScore := avail[0], tcbScore(c, avail[0])
+	for _, s := range avail[1:] {
+		if sc := tcbScore(c, s); sc > bestScore ||
+			(sc == bestScore && s.asid.inUse < best.asid.inUse) {
+			best, bestScore = s, sc
+		}
+	}
+	if bestScore <= 0 {
+		return nil
+	}
+	return best
+}
+
+func tcbScore(c *Cluster, s *HostShard) int {
+	switch {
+	case s.revoked:
+		return -1
+	case s.tcb.AtLeast(c.floor):
+		return 1
+	}
+	return 0
 }
 
 func affinityScore(c *Cluster, img *Image, s *HostShard) int {

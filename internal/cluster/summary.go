@@ -8,6 +8,7 @@ import (
 
 	"github.com/severifast/severifast/internal/artifact"
 	"github.com/severifast/severifast/internal/fleet"
+	"github.com/severifast/severifast/internal/kbs"
 	"github.com/severifast/severifast/internal/trace"
 )
 
@@ -82,7 +83,49 @@ type HostSummary struct {
 	BreakerFastFails int            `json:"breaker_fast_fails,omitempty"`
 	BreakerStates    map[string]int `json:"breaker_states,omitempty"`
 	Failed           int            `json:"failed,omitempty"`
-	Replication      GeoSummary     `json:"replication"`
+	// Storm state, present only on runs with generations or a storm
+	// installed (kept out of historic goldens otherwise).
+	Generation        string `json:"generation,omitempty"`
+	TCB               string `json:"tcb,omitempty"`
+	Revoked           bool   `json:"revoked,omitempty"`
+	Reenrolls         int    `json:"reenrolls,omitempty"`
+	Reattests         int    `json:"reattests,omitempty"`
+	ReattestQueuePeak int    `json:"reattest_queue_peak,omitempty"`
+	WarmInvalidated   int    `json:"warm_invalidated,omitempty"`
+	Replication       GeoSummary `json:"replication"`
+}
+
+// StormSummary is the disaster-and-recovery accounting of a run with an
+// installed storm: what was distrusted, what it cost, and how long the
+// fleet took to go green again.
+type StormSummary struct {
+	AtNs       int64  `json:"at_ns"`
+	Generation string `json:"generation,omitempty"`
+	// RevokedHosts counts platforms distrusted at the storm instant;
+	// Drifted counts hosts the rolling schedule re-enrolled.
+	RevokedHosts int    `json:"revoked_hosts"`
+	Floor        string `json:"floor,omitempty"`
+	Drifted      int    `json:"drifted"`
+	// Warm-pool invalidation cost: pools evicted because their donor was
+	// admitted under now-revoked trust, sealed publication bytes
+	// withdrawn, and fresh post-storm captures that re-seeded the pool.
+	WarmInvalidations    int   `json:"warm_invalidations"`
+	WarmInvalidatedBytes int64 `json:"warm_invalidated_bytes"`
+	Reseeds              int   `json:"reseeds"`
+	// TaintedWarmServed is the tripwire: forked boots served from a
+	// revoked donor's pool after the storm. It must be zero.
+	TaintedWarmServed int `json:"tainted_warm_served"`
+	// MakespanToGreenNs is the recovery makespan: storm instant to the
+	// first instant every non-revoked host has served a post-storm boot.
+	// -1 when the run ended before the fleet went green.
+	MakespanToGreenNs int64 `json:"makespan_to_green_ns"`
+	// DenialSpike is the per-reason denial growth after the storm
+	// instant, across all three gates (dispatch/, fleet/, kbs/ prefixes).
+	DenialSpike map[string]int `json:"denial_spike,omitempty"`
+	// Re-attestation churn under the storm, summed over hosts.
+	Reenrolls         int `json:"reenrolls"`
+	Reattests         int `json:"reattests"`
+	ReattestQueuePeak int `json:"reattest_queue_peak"`
 }
 
 // WarmPoolSummary is the cross-host warm pool's activity.
@@ -113,6 +156,19 @@ type Summary struct {
 	// refused before any staging or boot work. Omitted when zero so
 	// default-policy runs keep their historic summary bytes.
 	PolicyDenied int `json:"policy_denied,omitempty"`
+	// Deferred counts dispatch rounds where the policy declined every
+	// candidate host and the boot was held for capacity to move — the
+	// tcb-aware policy's wait-for-drift behaviour under a storm.
+	Deferred int `json:"deferred,omitempty"`
+	// Cluster-level trust-plane aggregates (all omitted when empty):
+	// DispatchDenials is the dispatch gate's per-rule/reason refusals;
+	// Denials, PolicyDenials, and BreakerStates sum the same-named
+	// per-host fleet counters, so the three admission gates reconcile in
+	// one place.
+	DispatchDenials map[string]int `json:"dispatch_denials,omitempty"`
+	Denials         map[string]int `json:"denials,omitempty"`
+	PolicyDenials   map[string]int `json:"policy_denials,omitempty"`
+	BreakerStates   map[string]int `json:"breaker_states,omitempty"`
 
 	TierBoots map[string]TierSummary `json:"tier_boots"`
 	// HitRate is the warm/cached-cold fraction of served boots — the
@@ -123,6 +179,7 @@ type Summary struct {
 	PerHost     []HostSummary   `json:"per_host"`
 	Replication GeoSummary      `json:"replication"`
 	WarmPool    WarmPoolSummary `json:"warm_pool"`
+	Storm       *StormSummary   `json:"storm,omitempty"`
 }
 
 // Summarize snapshots the run; call it after eng.Run returns.
@@ -138,6 +195,7 @@ func (c *Cluster) Summarize() Summary {
 		Failed:       c.failed,
 		QueueMax:     c.queueMax,
 		PolicyDenied: c.policyDenied,
+		Deferred:     c.deferred,
 		TierBoots:    make(map[string]TierSummary, 3),
 		Latency:      percentilesOf(c.allLat),
 		WarmPool: WarmPoolSummary{
@@ -193,9 +251,82 @@ func (c *Cluster) Summarize() Summary {
 		if len(met.BreakerTransitions) > 0 {
 			hs.BreakerStates = copyCounts(met.BreakerTransitions)
 		}
+		if c.cfg.Generations > 1 {
+			hs.Generation = s.gen
+		}
+		if c.storm != nil {
+			hs.TCB = s.tcb.String()
+			hs.Revoked = s.revoked
+		}
+		hs.Reenrolls = met.Reenrolls
+		hs.Reattests = met.Reattests
+		hs.ReattestQueuePeak = met.ReattestQueuePeak
+		hs.WarmInvalidated = met.WarmInvalidated
+		mergeCounts(&sum.Denials, met.Denials)
+		mergeCounts(&sum.PolicyDenials, met.PolicyDenials)
+		mergeCounts(&sum.BreakerStates, met.BreakerTransitions)
 		sum.PerHost = append(sum.PerHost, hs)
 	}
+	if len(c.dispatchDenials) > 0 {
+		sum.DispatchDenials = copyCounts(c.dispatchDenials)
+	}
+	if st := c.storm; st != nil && st.fired {
+		sum.Storm = c.stormSummary(st)
+	}
 	return sum
+}
+
+// stormSummary folds the storm accounting plus the per-host
+// re-attestation churn into the summary block.
+func (c *Cluster) stormSummary(st *stormState) *StormSummary {
+	ss := &StormSummary{
+		AtNs:                 int64(st.at),
+		Generation:           st.cfg.Generation,
+		RevokedHosts:         st.revokedHosts,
+		Drifted:              st.drifted,
+		WarmInvalidations:    st.invalidations,
+		WarmInvalidatedBytes: st.invalidatedBytes,
+		Reseeds:              st.reseeds,
+		TaintedWarmServed:    st.taintedServed,
+		MakespanToGreenNs:    -1,
+	}
+	if st.cfg.Floor != (kbs.TCB{}) {
+		ss.Floor = st.cfg.Floor.String()
+	}
+	if st.greenAt > 0 || st.pendingGreen == 0 {
+		ss.MakespanToGreenNs = int64(st.greenAt.Sub(st.at))
+	}
+	for k, v := range c.denialCounts() {
+		if d := v - st.preDenials[k]; d > 0 {
+			if ss.DenialSpike == nil {
+				ss.DenialSpike = make(map[string]int)
+			}
+			ss.DenialSpike[k] = d
+		}
+	}
+	for _, s := range c.shards {
+		met := s.Orch.Metrics()
+		ss.Reenrolls += met.Reenrolls
+		ss.Reattests += met.Reattests
+		if met.ReattestQueuePeak > ss.ReattestQueuePeak {
+			ss.ReattestQueuePeak = met.ReattestQueuePeak
+		}
+	}
+	return ss
+}
+
+// mergeCounts sums src into *dst, allocating it on first use so empty
+// aggregates stay omitted from the JSON.
+func mergeCounts(dst *map[string]int, src map[string]int) {
+	if len(src) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = make(map[string]int)
+	}
+	for k, v := range src {
+		(*dst)[k] += v
+	}
 }
 
 func copyCounts(m map[string]int) map[string]int {
@@ -237,6 +368,32 @@ func (s Summary) Report(width int) string {
 	fmt.Fprintf(&sb, "  replication: %d local, %d peer (%.1f KiB), %d origin (%.1f KiB), %d waits\n",
 		r.LocalHits, r.PeerFetches, float64(r.PeerBytes)/1024,
 		r.OriginFetches, float64(r.OriginBytes)/1024, r.Waits)
+	if st := s.Storm; st != nil {
+		green := "never went green"
+		if st.MakespanToGreenNs >= 0 {
+			green = fmt.Sprintf("green in %v", time.Duration(st.MakespanToGreenNs).Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(&sb, "  storm at %v: %d hosts revoked (%s), floor %s, %d drifted, %s\n",
+			time.Duration(st.AtNs).Round(10*time.Microsecond), st.RevokedHosts,
+			st.Generation, st.Floor, st.Drifted, green)
+		fmt.Fprintf(&sb, "    warm pool: %d evictions (%.1f KiB withdrawn), %d reseeds, %d tainted served\n",
+			st.WarmInvalidations, float64(st.WarmInvalidatedBytes)/1024,
+			st.Reseeds, st.TaintedWarmServed)
+		fmt.Fprintf(&sb, "    re-attestation: %d reenrolls, %d reattests (queue peak %d)\n",
+			st.Reenrolls, st.Reattests, st.ReattestQueuePeak)
+		if len(st.DenialSpike) > 0 {
+			keys := make([]string, 0, len(st.DenialSpike))
+			for k := range st.DenialSpike {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sb.WriteString("    denial spike:")
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%d", k, st.DenialSpike[k])
+			}
+			sb.WriteByte('\n')
+		}
+	}
 	for _, h := range s.PerHost {
 		fmt.Fprintf(&sb, "  %-4s %4d boots (warm %d, cached %d, cold %d)  asid peak %2d  psp util %5.1f%% (q max %d)  cache %d/%d\n",
 			h.Host, h.Boots,

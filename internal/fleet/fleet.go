@@ -51,6 +51,17 @@ var (
 	// transient — the retry loop retries it like an injected fault — and
 	// it feeds the circuit breaker's failure count.
 	ErrKBSUnreachable = errors.New("fleet: key broker unreachable")
+	// ErrReattest marks an exchange denied while the host's enrollment was
+	// being swapped underneath it (Reenroll mid-exchange): the evidence
+	// straddled two platform identities, so the denial is not a verdict on
+	// either. It is transient — the retry re-runs the exchange under the
+	// settled identity, bounded by the ordinary retry/backoff budget.
+	ErrReattest = errors.New("fleet: re-attestation required")
+	// ErrWarmInvalidated marks a warm boot whose donor pool was evicted
+	// between fork and serve (a revocation storm invalidating the donor's
+	// admission): the forked guest must never go live. It is transient —
+	// the retry finds the pool unseeded and boots cold.
+	ErrWarmInvalidated = errors.New("fleet: warm pool invalidated mid-boot")
 )
 
 // Config sizes the orchestrator.
@@ -210,6 +221,11 @@ type Image struct {
 	donor     *kvm.Machine
 	fork      *snapshot.Fork
 	capturing bool
+	// warmEpoch bumps on every EvictWarm. In-flight warm boots capture it
+	// at fork time and re-check it at serve time, so a pool invalidated
+	// mid-boot (donor admitted under a since-revoked claim) can never
+	// serve a guest forked from the stale donor.
+	warmEpoch int
 }
 
 // CacheKey returns the image's content address in the measured-image cache.
@@ -297,6 +313,9 @@ type request struct {
 	// cert is the request's admission certificate; re-validated (and
 	// re-evaluated when stale) before the boot goes live.
 	cert *policy.Certificate
+	// warmEpoch is the image's warm-pool epoch captured when this
+	// attempt's warm branch began; see Image.warmEpoch.
+	warmEpoch int
 }
 
 // Orchestrator is the fleet scheduler. All its mutable state is touched
@@ -327,6 +346,12 @@ type Orchestrator struct {
 	standby map[Key][]*kvm.Machine
 
 	idle []*sim.Proc // parked workers
+
+	// enrollVer bumps on every Reenroll, so an exchange can tell whether
+	// the platform identity moved underneath it (drift re-enrollment
+	// landing mid-exchange) and classify the resulting denial as a
+	// retryable re-attestation instead of a verdict.
+	enrollVer int
 
 	firstErr error
 
@@ -387,6 +412,19 @@ func (o *Orchestrator) Serve(p *sim.Proc, req Request) {
 
 // Metrics exposes the registry; read it after eng.Run returns.
 func (o *Orchestrator) Metrics() *Metrics { return o.met }
+
+// Reenroll swaps the host's platform identity — the rolling-update step
+// where a host's firmware moves to a new TCB and its PSP is re-enrolled
+// under the authority (kbs.Authority.Enroll re-derives the VCEK chain).
+// Admissions from this instant evaluate with the new identity. Exchanges
+// already in flight may straddle the swap — a report signed under one
+// VCEK redeemed with the other's chain — and their denials come back as
+// retryable ErrReattest, bounded by the ordinary retry budget.
+func (o *Orchestrator) Reenroll(e *kbs.Enrollment) {
+	o.cfg.Enrollment = e
+	o.enrollVer++
+	o.met.reenrolled()
+}
 
 // CacheStats snapshots the measured-image cache counters.
 func (o *Orchestrator) CacheStats() CacheStats { return o.cfg.Cache.Stats() }
@@ -593,7 +631,16 @@ func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 				ErrDeadlineExceeded, delay, err))
 			return
 		}
-		p.Sleep(delay)
+		if errors.Is(err, ErrReattest) {
+			// The request is now queued behind the identity swap: the gauge
+			// over these waits is the re-attestation queue depth a rolling
+			// TCB update builds up on a straggler host.
+			o.met.reattestWait(1)
+			p.Sleep(delay)
+			o.met.reattestWait(-1)
+		} else {
+			p.Sleep(delay)
+		}
 		o.met.retry()
 	}
 }
@@ -602,7 +649,8 @@ func (o *Orchestrator) serve(p *sim.Proc, r *request) {
 // faults and key-broker transport failures are retried with backoff; any
 // other error is deterministic and fails the request immediately.
 func retryable(err error) bool {
-	return errors.Is(err, ErrInjected) || errors.Is(err, ErrKBSUnreachable)
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrKBSUnreachable) ||
+		errors.Is(err, ErrReattest) || errors.Is(err, ErrWarmInvalidated)
 }
 
 // finish runs the function body off-worker and records end-to-end latency.
@@ -625,6 +673,7 @@ func (o *Orchestrator) bootOnce(p *sim.Proc, r *request) (Tier, error) {
 	// otherwise a fork (or legacy copy restore) from the image's
 	// shared-key snapshot.
 	if o.cfg.EnableWarm && img.snap != nil {
+		r.warmEpoch = img.warmEpoch
 		if o.bootFault() {
 			return TierWarm, o.injectFault(p)
 		}
@@ -769,6 +818,16 @@ func (o *Orchestrator) admit(p *sim.Proc, r *request, tier Tier, m *kvm.Machine)
 	if err := o.attestExchange(p, r, m); err != nil {
 		return err
 	}
+	// A warm guest forked before a pool eviction must never go live: the
+	// donor it inherited its key and digest from was admitted under trust
+	// that has since been withdrawn. The epoch check is last so it also
+	// covers evictions landing during the attestation yields above; the
+	// retry finds the pool unseeded and boots cold.
+	if tier == TierWarm && r.warmEpoch != r.Image.warmEpoch {
+		o.met.warmInvalidated()
+		return fmt.Errorf("%w: image %q pool epoch moved %d -> %d",
+			ErrWarmInvalidated, r.Image.Name, r.warmEpoch, r.Image.warmEpoch)
+	}
 	if o.cfg.OnServed != nil {
 		o.cfg.OnServed(p, m, tier)
 	}
@@ -821,18 +880,24 @@ func (o *Orchestrator) degradedRecover(p *sim.Proc, r *request, img *Image, mism
 // and the image's whole warm pool is invalidated, so the next boot of
 // the image re-seeds cold from measured bytes.
 func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error) {
-	m := o.host.NewMachine(p, img.snap.Size, img.spec.Level)
+	// Capture the pool state up front: an eviction landing during the
+	// virtual-time yields below (a revocation storm invalidating the
+	// pool mid-restore) must not tear the restore out from under us.
+	// The guest is built from the captured state and then refused by
+	// the pool-epoch check at admit time, so it is never served.
+	snap, donor, fork := img.snap, img.donor, img.fork
+	m := o.host.NewMachine(p, snap.Size, img.spec.Level)
 	m.Timeline.Annotate("vmm", "firecracker")
 	m.Timeline.Annotate("scheme", "warm-restore")
 	m.Timeline.Annotate("level", img.spec.Level.String())
 	m.PrepSEVHost(p)
-	forked := img.fork != nil && !o.cfg.LegacyCopyRestore
+	forked := fork != nil && !o.cfg.LegacyCopyRestore
 	var ctx *psp.GuestContext
 	var err error
 	if forked {
-		ctx, err = o.host.PSP.LaunchStartFork(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+		ctx, err = o.host.PSP.LaunchStartFork(p, m.Mem, donor.Launch, img.spec.Level, img.spec.Policy)
 	} else {
-		ctx, err = o.host.PSP.LaunchStartShared(p, m.Mem, img.donor.Launch, img.spec.Level, img.spec.Policy)
+		ctx, err = o.host.PSP.LaunchStartShared(p, m.Mem, donor.Launch, img.spec.Level, img.spec.Policy)
 	}
 	if err != nil {
 		return nil, err
@@ -840,18 +905,18 @@ func (o *Orchestrator) warmRestore(p *sim.Proc, img *Image) (*kvm.Machine, error
 	m.Launch = ctx
 	m.Timeline.Annotate("asid", fmt.Sprintf("%d", ctx.ASID()))
 	if forked {
-		if err := img.fork.Restore(p, m); err != nil {
+		if err := fork.Restore(p, m); err != nil {
 			if errors.Is(err, guestmem.ErrForkTampered) {
 				o.EvictWarm(img)
 			}
 			return nil, err
 		}
 	} else {
-		if err := snapshot.Restore(p, m, img.snap); err != nil {
+		if err := snapshot.Restore(p, m, snap); err != nil {
 			return nil, err
 		}
 	}
-	p.Sleep(o.host.Model.Pvalidate(len(img.snap.Pages)*4096, o.host.PvalidatePageSize()))
+	p.Sleep(o.host.Model.Pvalidate(len(snap.Pages)*4096, o.host.PvalidatePageSize()))
 	if _, err := ctx.LaunchFinish(p); err != nil {
 		return nil, err
 	}
@@ -893,6 +958,7 @@ func (o *Orchestrator) StandbyCount(img *Image) int { return len(o.standby[img.k
 func (o *Orchestrator) EvictWarm(img *Image) {
 	img.snap, img.donor, img.fork = nil, nil, nil
 	img.capturing = false
+	img.warmEpoch++
 	delete(o.standby, img.key)
 }
 
@@ -978,6 +1044,7 @@ func (o *Orchestrator) attestExchange(p *sim.Proc, r *request, m *kvm.Machine) e
 // planned attest-site tamper to the evidence before redemption.
 func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) error {
 	site, tampered := o.attestTamper()
+	enrollVer := o.enrollVer
 
 	p.Sleep(o.host.Model.AttestNetwork)
 	ch, err := o.cfg.KBS.Challenge(r.Tenant, p.Now())
@@ -1011,7 +1078,15 @@ func (o *Orchestrator) runExchange(p *sim.Proc, r *request, m *kvm.Machine) erro
 	p.Sleep(o.host.Model.AttestNetwork)
 	res, err := o.cfg.KBS.Redeem(req, p.Now())
 	if err != nil {
-		return o.brokerErr(p, err, tampered, site)
+		err = o.brokerErr(p, err, tampered, site)
+		// A denial from evidence that straddled a Reenroll (report signed
+		// under one VCEK, chain or admission state from the other) is not
+		// a verdict on either identity: retry under the settled one.
+		if !tampered && errors.Is(err, kbs.ErrDenied) && o.enrollVer != enrollVer {
+			o.met.reattest()
+			return fmt.Errorf("%w: enrollment moved mid-exchange: %w", ErrReattest, err)
+		}
+		return err
 	}
 	if o.brk != nil {
 		o.brk.success()

@@ -93,6 +93,22 @@ type Metrics struct {
 	// ("open", "half-open", "closed").
 	BreakerTransitions map[string]int
 
+	// Reenrolls counts platform identity swaps (Orchestrator.Reenroll):
+	// the host's rolling TCB updates.
+	Reenrolls int
+	// Reattests counts exchanges whose denial straddled a Reenroll and
+	// was retried as a re-attestation (ErrReattest).
+	Reattests int
+	// ReattestQueuePeak is the high-water mark of requests concurrently
+	// waiting out a re-attestation backoff — the thundering-herd depth a
+	// rolling update builds on this host.
+	ReattestQueuePeak int
+	reattestWaiting   int
+	// WarmInvalidated counts warm boots refused at serve time because the
+	// image's warm pool was evicted mid-boot (ErrWarmInvalidated) — the
+	// cost of a revocation storm landing on forked standbys.
+	WarmInvalidated int
+
 	// reg, when non-nil, mirrors every field above into the shared
 	// telemetry registry under severifast_fleet_* metric names, so a
 	// fleet run exports the same numbers Report prints. Nil is inert.
@@ -199,6 +215,29 @@ func (m *Metrics) breakerFastFail() {
 	m.reg.Counter("severifast_fleet_breaker_fastfail_total").Inc()
 }
 
+func (m *Metrics) reenrolled() {
+	m.Reenrolls++
+	m.reg.Counter("severifast_fleet_reenrolls_total").Inc()
+}
+
+func (m *Metrics) reattest() {
+	m.Reattests++
+	m.reg.Counter("severifast_fleet_reattests_total").Inc()
+}
+
+func (m *Metrics) reattestWait(delta int) {
+	m.reattestWaiting += delta
+	if m.reattestWaiting > m.ReattestQueuePeak {
+		m.ReattestQueuePeak = m.reattestWaiting
+	}
+	m.reg.Gauge("severifast_fleet_reattest_queue_depth").Max(float64(m.reattestWaiting))
+}
+
+func (m *Metrics) warmInvalidated() {
+	m.WarmInvalidated++
+	m.reg.Counter("severifast_fleet_warm_invalidated_total").Inc()
+}
+
 func (m *Metrics) breakerTransition(to string) {
 	if m.BreakerTransitions == nil {
 		m.BreakerTransitions = make(map[string]int)
@@ -259,6 +298,10 @@ func (m *Metrics) Report(cache CacheStats, width int) string {
 			fmt.Fprintf(&sb, " %s=%d", s, m.BreakerTransitions[s])
 		}
 		sb.WriteByte('\n')
+	}
+	if m.Reenrolls > 0 || m.Reattests > 0 || m.WarmInvalidated > 0 {
+		fmt.Fprintf(&sb, "  storm: %d reenrolls, %d reattests (queue peak %d), %d warm invalidations\n",
+			m.Reenrolls, m.Reattests, m.ReattestQueuePeak, m.WarmInvalidated)
 	}
 	if m.Attested > 0 {
 		fmt.Fprintf(&sb, "  attest: %d granted, p50 %v p99 %v\n", m.Attested,

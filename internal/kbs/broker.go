@@ -87,6 +87,12 @@ type Broker struct {
 	polMu  sync.Mutex
 	polKey *ecdsa.PrivateKey
 	polRNG *rand.Rand
+
+	// floorID names the platform claim currently carrying the minimum-TCB
+	// floor (MinTCBClaimID until the first BumpFloor), and floorSeq counts
+	// bumps so replacement claims get fresh, descending IDs. Guarded by mu.
+	floorID  string
+	floorSeq int
 }
 
 // Instrument mirrors the broker's counters (challenges, grants, denials
@@ -156,6 +162,7 @@ func NewBroker(ark *ecdsa.PublicKey, cfg Config) *Broker {
 		eng:      pol.Engine(),
 		polKey:   polKey,
 		polRNG:   polRNG,
+		floorID:  MinTCBClaimID,
 	}
 	// The configured minimum-TCB floor becomes an ordinary platform
 	// claim: revoking or replacing it is a policy mutation, not a
@@ -234,17 +241,80 @@ func (b *Broker) Provision(digest [32]byte, label string) error {
 // refused from now on, current TCB or not. The list entry is a
 // revocation claim, so outstanding cached verdicts for the chip go
 // stale with the store version.
+//
+// Unknown-target semantics: revoking a chip the broker has never seen is
+// idempotent success, never an error. The broker keeps no chip registry
+// — revocation is a forward-looking statement of distrust, and a CRL
+// entry for a chip that never attests is merely inert. This is the
+// deliberate opposite of policy.Store.RevokeClaim, which returns a typed
+// ErrNotFound for unknown claims because revoking a claim that was never
+// filed is an operator mistake worth surfacing. Repeating a revocation
+// is likewise idempotent success (duplicate claim IDs are swallowed).
 func (b *Broker) Revoke(chipID string) error {
+	return b.RevokeAt(chipID, 0)
+}
+
+// RevokeAt revokes a chip's VCEKs from a virtual instant: an exchange at
+// exactly `at` still admits, one at at+1ns is denied — the same inclusive
+// boundary convention as claim expiry and nonce TTLs. Revoke is RevokeAt
+// at instant zero (in force from the beginning of time). Unknown chips
+// succeed idempotently; see Revoke.
+func (b *Broker) RevokeAt(chipID string, at sim.Time) error {
 	b.mu.Lock()
 	b.revoked[chipID] = true
 	b.mu.Unlock()
+	var nb sim.Time
+	if at > 0 {
+		// Revocation claims gate from NotBefore inclusive, so in-force
+		// starts one instant after the still-admitting boundary.
+		nb = at + 1
+	}
 	return b.synthesize(policy.Claim{
-		ID:      "revoked-" + chipID,
-		Kind:    policy.KindRevocation,
-		Scope:   "*",
-		Subject: chipID,
-		Note:    "broker revocation list",
+		ID:        "revoked-" + chipID,
+		Kind:      policy.KindRevocation,
+		Scope:     "*",
+		Subject:   chipID,
+		NotBefore: nb,
+		Note:      "broker revocation list",
 	})
+}
+
+// BumpFloor raises the broker's minimum-TCB floor at a virtual instant:
+// the old floor claim is revoked at `at` (inclusive — an old-TCB
+// exchange at exactly `at` still admits) and a replacement platform
+// claim carrying the new floor takes effect from the same instant, so
+// there is no gap during which no floor claim exists. Replacement claim
+// IDs descend ("floor-bump-998", "floor-bump-997", ...) so the newest
+// floor sorts first in the engine's deterministic claim scan and
+// below-floor denials keep reporting tcb-below-floor (mapped to
+// stale-tcb) rather than the stale claim's expiry.
+func (b *Broker) BumpFloor(tcb TCB, at sim.Time) error {
+	b.mu.Lock()
+	oldID := b.floorID
+	b.floorSeq++
+	newID := fmt.Sprintf("floor-bump-%03d", 999-b.floorSeq)
+	b.floorID = newID
+	b.cfg.MinTCB = tcb
+	b.mu.Unlock()
+	if err := b.pol.RevokeClaim("*", oldID, at); err != nil {
+		return fmt.Errorf("kbs: bumping floor: %w", err)
+	}
+	return b.synthesize(policy.Claim{
+		ID:      newID,
+		Kind:    policy.KindPlatform,
+		Scope:   "*",
+		Subject: "*",
+		MinTCB:  tcb.Encode(),
+		Note:    fmt.Sprintf("minimum-TCB floor bumped to %s", tcb),
+	})
+}
+
+// MinTCB returns the currently enforced minimum-TCB floor (the
+// configured floor until the first BumpFloor).
+func (b *Broker) MinTCB() TCB {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cfg.MinTCB
 }
 
 // Challenge issues a fresh single-use nonce to a tenant. Expired nonces

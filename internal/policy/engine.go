@@ -148,6 +148,15 @@ func (e *Engine) Evaluate(ev Evidence, now sim.Time) (*Certificate, error) {
 					res.Rules[len(res.Rules)-1].Chain = chain
 					return res, err
 				}
+				// A revocation filed to come into force later (NotBefore in
+				// the future) bounds the certificate's life to the last
+				// instant before it bites: without this, a verdict cached
+				// between the filing and the in-force instant would outlive
+				// the revocation, since the store version only bumps at
+				// filing time.
+				if nb := rec.claim.NotBefore; now < nb {
+					cert.Expires = minExpiry(cert.Expires, nb-1)
+				}
 			}
 		}
 		pass, firstReason, firstID, firstDetail := RuleResult{}, Reason(""), "", ""
